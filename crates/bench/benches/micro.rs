@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks for the simulator's hot paths.
+//!
+//! These are engineering benchmarks (how fast is the simulator), not the
+//! paper's experiments — those live in `src/bin/` (fig3…fig9, table2,
+//! table3) and print the paper's tables.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use flitnet::{Flit, FlitKind, FrameId, MsgId, NodeId, StreamId, TrafficClass, VcId, VcPartition};
+use mediaworm::{MuxScheduler, Network, RouterConfig, SchedulerKind};
+use netsim::dist::{Distribution, Normal};
+use netsim::{Calendar, Cycles, SimRng};
+use topo::Topology;
+use traffic::{StreamClass, WorkloadBuilder};
+
+fn flit(vtick: f64) -> Flit {
+    Flit {
+        kind: FlitKind::Head,
+        stream: StreamId(0),
+        msg: MsgId(0),
+        frame: FrameId(0),
+        seq_in_msg: 0,
+        msg_len: 20,
+        msg_seq_in_frame: 0,
+        msgs_in_frame: 1,
+        dest: NodeId(0),
+        vc: VcId(0),
+        out_vc: VcId(0),
+        vtick,
+        class: TrafficClass::Vbr,
+        created_at: Cycles(0),
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("virtual_clock_scheduler");
+    for kind in [SchedulerKind::VirtualClock, SchedulerKind::Fifo] {
+        g.bench_function(format!("{kind:?}_arrival_choose_service_16vc"), |b| {
+            let mut s = MuxScheduler::new(kind, 16);
+            // Keep every VC backlogged so `choose` scans a full mux point.
+            for v in 0..16 {
+                for _ in 0..4 {
+                    s.on_arrival(v, Cycles(0), &flit(100.0));
+                }
+            }
+            let mut eligible = [true; 16];
+            let mut vc = 0usize;
+            b.iter(|| {
+                s.on_arrival(vc, Cycles(1), &flit(100.0));
+                for (v, e) in eligible.iter_mut().enumerate() {
+                    *e = s.pending(v) > 0;
+                }
+                let pick = s.choose(black_box(&eligible)).expect("eligible");
+                s.on_service(pick);
+                vc = (vc + 1) % 16;
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_calendar(c: &mut Criterion) {
+    c.bench_function("calendar_schedule_pop_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = SimRng::seed_from(1);
+                let times: Vec<u64> = (0..1000).map(|_| rng.range_u64(0, 1_000_000)).collect();
+                times
+            },
+            |times| {
+                let mut cal = Calendar::new();
+                for (i, t) in times.iter().enumerate() {
+                    cal.schedule(Cycles(*t), i);
+                }
+                let mut out = 0usize;
+                while let Some((_, v)) = cal.pop() {
+                    out = out.wrapping_add(v);
+                }
+                black_box(out)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_normal(c: &mut Criterion) {
+    c.bench_function("normal_sample", |b| {
+        let d = Normal::new(16_666.0, 3_333.0);
+        let mut rng = SimRng::seed_from(2);
+        b.iter(|| black_box(d.sample(&mut rng)));
+    });
+}
+
+fn bench_router_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_cycle");
+    g.sample_size(20);
+    for &load in &[0.5, 0.9] {
+        g.bench_function(format!("single_switch_load_{load}"), |b| {
+            b.iter_batched(
+                || {
+                    let topology = Topology::single_switch(8);
+                    let wl = WorkloadBuilder::new(8, VcPartition::all_real_time(16))
+                        .load(load)
+                        .mix(100.0, 0.0)
+                        .real_time_class(StreamClass::Vbr)
+                        .seed(3)
+                        .build();
+                    let mut net = Network::new(&topology, wl, &RouterConfig::default());
+                    // Warm into a busy region.
+                    let tb = net.timebase();
+                    net.run_until(tb.cycles_from_ms(2.0));
+                    net
+                },
+                |mut net| {
+                    // Simulate 10k cycles of steady state.
+                    let end = net.now() + Cycles(10_000);
+                    net.run_until(end);
+                    black_box(net.delivered_flits())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_calendar,
+    bench_normal,
+    bench_router_cycle
+);
+criterion_main!(benches);

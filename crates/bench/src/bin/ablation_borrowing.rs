@@ -1,0 +1,7 @@
+//! Reproduces the VC-borrowing ablation (paper §6 future work). See
+//! EXPERIMENTS.md.
+
+fn main() {
+    let args = mediaworm_bench::RunArgs::from_env();
+    let _ = mediaworm_bench::experiments::ablation_borrowing(&args);
+}

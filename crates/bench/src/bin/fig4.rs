@@ -1,0 +1,6 @@
+//! Reproduces the paper's fig4. See EXPERIMENTS.md.
+
+fn main() {
+    let args = mediaworm_bench::RunArgs::from_env();
+    let _ = mediaworm_bench::experiments::fig4(&args);
+}

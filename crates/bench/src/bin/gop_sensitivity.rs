@@ -1,0 +1,7 @@
+//! Extension experiment: GOP-structured MPEG-2 frames vs the paper's
+//! normal frame-size model. See EXPERIMENTS.md.
+
+fn main() {
+    let args = mediaworm_bench::RunArgs::from_env();
+    let _ = mediaworm_bench::experiments::gop_sensitivity(&args);
+}

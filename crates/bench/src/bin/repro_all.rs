@@ -1,0 +1,37 @@
+//! Runs every table/figure reproduction in sequence and writes a combined
+//! report to `repro_report.txt`.
+
+use std::fmt::Write as _;
+
+use mediaworm_bench::{experiments, RunArgs};
+
+fn main() {
+    let args = RunArgs::from_env();
+    let runs: Vec<(&str, fn(&RunArgs) -> metrics::Table)> = vec![
+        ("Fig 3", experiments::fig3),
+        ("Fig 4", experiments::fig4),
+        ("Fig 5", experiments::fig5),
+        ("Table 2", experiments::table2),
+        ("Fig 6", experiments::fig6),
+        ("Fig 7", experiments::fig7),
+        ("Fig 8", experiments::fig8),
+        ("Table 3", experiments::table3),
+        ("Fig 9", experiments::fig9),
+        ("Ablation: scheduler", experiments::ablation_sched),
+        ("Ablation: sched point", experiments::ablation_point),
+        ("Ablation: VC borrowing", experiments::ablation_borrowing),
+        ("Extension: GOP frames", experiments::gop_sensitivity),
+    ];
+    let mut report = String::new();
+    for (name, f) in runs {
+        let started = std::time::Instant::now();
+        let table = f(&args);
+        let _ = writeln!(
+            report,
+            "## {name} (wall time {:.1}s)\n\n{table}\n",
+            started.elapsed().as_secs_f64()
+        );
+    }
+    std::fs::write("repro_report.txt", &report).expect("write report");
+    println!("combined report written to repro_report.txt");
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's table2. See EXPERIMENTS.md.
+
+fn main() {
+    let args = mediaworm_bench::RunArgs::from_env();
+    let _ = mediaworm_bench::experiments::table2(&args);
+}

@@ -1,0 +1,379 @@
+//! One function per table/figure of the paper's evaluation (§5).
+//!
+//! Every function prints its result table and returns it, so `repro-all`
+//! can collect everything into one report. Parameter values mirror the
+//! paper exactly; see EXPERIMENTS.md for paper-vs-measured notes.
+
+use mediaworm::{CrossbarKind, RouterConfig, SchedPoint, SchedulerKind};
+use metrics::Table;
+use pcs_router::PcsConfig;
+use traffic::{FrameModel, StreamClass, WorkloadSpec};
+
+use crate::{banner, run_fat_mesh, run_single_switch, Point, RunArgs};
+
+/// The load axis used by the single-switch sweeps (Figs. 3–6).
+pub const LOADS: [f64; 5] = [0.6, 0.7, 0.8, 0.9, 0.96];
+
+/// Best-effort latency above which a cell prints as `Sat.` (the paper's
+/// Table 2 notation for a saturated best-effort class).
+pub const SATURATION_US: f64 = 5_000.0;
+
+fn be_cell(us: f64) -> String {
+    if us.is_nan() || us > SATURATION_US {
+        "Sat.".to_string()
+    } else {
+        format!("{us:.1}")
+    }
+}
+
+/// Fig. 3 — Virtual Clock vs FIFO (16 VCs, 80:20 mix): d̄ and σ_d vs load.
+pub fn fig3(args: &RunArgs) -> Table {
+    banner("Fig 3: Virtual Clock vs FIFO (16 VCs, mix 80:20)", args);
+    let mut t = Table::new(["load", "scheduler", "d (ms)", "sigma_d (ms)"])
+        .with_title("Fig 3 — mean delivery interval and deviation, VBR 80:20");
+    for &load in &LOADS {
+        for kind in [SchedulerKind::VirtualClock, SchedulerKind::Fifo] {
+            let mut p = Point::new(load, 80.0, 20.0);
+            p.router = RouterConfig::default().scheduler(kind);
+            let out = run_single_switch(&p, args);
+            t.row([
+                format!("{load:.2}"),
+                format!("{kind:?}"),
+                format!("{:.2}", out.jitter.mean_ms),
+                format!("{:.2}", out.jitter.std_ms),
+            ]);
+        }
+    }
+    println!("{t}");
+    t
+}
+
+/// Fig. 4 — CBR-only vs VBR-only traffic (16 VCs, 400 Mbps).
+pub fn fig4(args: &RunArgs) -> Table {
+    banner("Fig 4: CBR vs VBR traffic (16 VCs, 400 Mbps)", args);
+    let mut t = Table::new(["load", "class", "d (ms)", "sigma_d (ms)"])
+        .with_title("Fig 4 — pure real-time traffic, no best-effort");
+    for &load in &LOADS {
+        for class in [StreamClass::Cbr, StreamClass::Vbr] {
+            let mut p = Point::new(load, 100.0, 0.0);
+            p.class = class;
+            let out = run_single_switch(&p, args);
+            t.row([
+                format!("{load:.2}"),
+                format!("{class:?}"),
+                format!("{:.2}", out.jitter.mean_ms),
+                format!("{:.2}", out.jitter.std_ms),
+            ]);
+        }
+    }
+    println!("{t}");
+    t
+}
+
+/// The paper's traffic mixes for Fig. 5 / Table 2.
+pub const MIXES: [(f64, f64); 5] = [(20.0, 80.0), (50.0, 50.0), (80.0, 20.0), (90.0, 10.0), (100.0, 0.0)];
+
+/// Fig. 5 — mixed traffic: d̄ and σ_d over mix × load (16 VCs).
+pub fn fig5(args: &RunArgs) -> Table {
+    banner("Fig 5: mixed VBR/best-effort traffic (16 VCs)", args);
+    let mut t = Table::new(["mix (x:y)", "load", "d (ms)", "sigma_d (ms)"])
+        .with_title("Fig 5 — jitter across traffic mixes");
+    for &(x, y) in &MIXES {
+        for &load in &LOADS {
+            let out = run_single_switch(&Point::new(load, x, y), args);
+            t.row([
+                format!("{x:.0}:{y:.0}"),
+                format!("{load:.2}"),
+                format!("{:.2}", out.jitter.mean_ms),
+                format!("{:.2}", out.jitter.std_ms),
+            ]);
+        }
+    }
+    println!("{t}");
+    t
+}
+
+/// Table 2 — average best-effort latency (µs) over mix × load.
+pub fn table2(args: &RunArgs) -> Table {
+    banner("Table 2: average best-effort latency (8x8, 16 VCs, 400 Mbps)", args);
+    let mut t = Table::new(["mix (x:y)", "0.60", "0.70", "0.80", "0.90", "0.96"])
+        .with_title("Table 2 — best-effort latency in microseconds");
+    for &(x, y) in MIXES.iter().filter(|(_, y)| *y > 0.0) {
+        let mut cells = vec![format!("{x:.0}:{y:.0}")];
+        for &load in &LOADS {
+            let out = run_single_switch(&Point::new(load, x, y), args);
+            cells.push(be_cell(out.be_mean_latency_us));
+        }
+        t.row(cells);
+    }
+    println!("{t}");
+    t
+}
+
+/// Fig. 6 — impact of VC count and crossbar style (100:0 VBR).
+pub fn fig6(args: &RunArgs) -> Table {
+    banner("Fig 6: VCs and crossbar capabilities (400 Mbps, 100:0)", args);
+    let configs: [(&str, RouterConfig); 4] = [
+        ("16 VC muxed", RouterConfig::new(16)),
+        ("8 VC muxed", RouterConfig::new(8)),
+        ("4 VC muxed", RouterConfig::new(4)),
+        (
+            "4 VC full",
+            RouterConfig::new(4).crossbar(CrossbarKind::Full),
+        ),
+    ];
+    let mut t = Table::new(["config", "load", "d (ms)", "sigma_d (ms)"])
+        .with_title("Fig 6 — jitter vs VC count / crossbar style");
+    for (name, cfg) in &configs {
+        for &load in &[0.5, 0.6, 0.7, 0.8, 0.9, 0.96] {
+            let mut p = Point::new(load, 100.0, 0.0);
+            p.router = cfg.clone();
+            let out = run_single_switch(&p, args);
+            t.row([
+                (*name).to_string(),
+                format!("{load:.2}"),
+                format!("{:.2}", out.jitter.mean_ms),
+                format!("{:.2}", out.jitter.std_ms),
+            ]);
+        }
+    }
+    println!("{t}");
+    t
+}
+
+/// Fig. 7 — effect of message size on jitter (16 VCs).
+pub fn fig7(args: &RunArgs) -> Table {
+    banner("Fig 7: message size vs jitter (16 VCs)", args);
+    let mut t = Table::new(["msg (flits)", "load", "d (ms)", "sigma_d (ms)"])
+        .with_title("Fig 7 — jitter vs message size");
+    for &size in &[20u32, 40, 80, 160, 2560] {
+        for &load in &[0.64, 0.80] {
+            let mut p = Point::new(load, 100.0, 0.0);
+            p.spec = WorkloadSpec {
+                msg_flits: size,
+                ..WorkloadSpec::paper_default()
+            };
+            let out = run_single_switch(&p, args);
+            t.row([
+                format!("{size}"),
+                format!("{load:.2}"),
+                format!("{:.2}", out.jitter.mean_ms),
+                format!("{:.2}", out.jitter.std_ms),
+            ]);
+        }
+    }
+    println!("{t}");
+    t
+}
+
+/// Fig. 8 — MediaWorm vs the PCS router (8×8, 100 Mbps, 24 VCs).
+pub fn fig8(args: &RunArgs) -> Table {
+    banner("Fig 8: MediaWorm vs PCS (8x8, 100 Mbps, 24 VCs)", args);
+    let mut t = Table::new(["load", "router", "d (ms)", "sigma_d (ms)"])
+        .with_title("Fig 8 — wormhole vs pipelined circuit switching");
+    let (w, m) = args.windows();
+    for &load in &[0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
+        // MediaWorm at 100 Mbps with 24 VCs.
+        let mut p = Point::new(load, 100.0, 0.0);
+        p.router = RouterConfig::new(24);
+        p.spec = WorkloadSpec::paper_100mbps();
+        let worm = run_single_switch(&p, args);
+        t.row([
+            format!("{load:.2}"),
+            "MediaWorm".to_string(),
+            format!("{:.2}", worm.jitter.mean_ms),
+            format!("{:.2}", worm.jitter.std_ms),
+        ]);
+        let pcs = pcs_router::sim::run(load, &PcsConfig::paper_default(), w, m, args.seed);
+        t.row([
+            format!("{load:.2}"),
+            "PCS".to_string(),
+            format!("{:.2}", pcs.jitter.mean_ms),
+            format!("{:.2}", pcs.jitter.std_ms),
+        ]);
+    }
+    println!("{t}");
+    t
+}
+
+/// Table 3 — PCS connection attempts / establishments / drops vs load.
+pub fn table3(args: &RunArgs) -> Table {
+    banner("Table 3: PCS connection accounting (8x8, 100 Mbps, 24 VCs)", args);
+    let mut t = Table::new(["load", "offered", "attempts", "established", "dropped"])
+        .with_title("Table 3 — attempted, established and dropped connections");
+    let (w, m) = args.windows();
+    for &load in &[0.37, 0.42, 0.64, 0.67, 0.74, 0.80, 0.87, 0.91] {
+        let out = pcs_router::sim::run(load, &PcsConfig::paper_default(), w, m, args.seed);
+        t.row([
+            format!("{load:.2}"),
+            format!("{}", out.offered),
+            format!("{}", out.attempts),
+            format!("{}", out.established),
+            format!("{}", out.dropped),
+        ]);
+    }
+    println!("{t}");
+    t
+}
+
+/// Fig. 9 — the 2×2 fat-mesh: jitter and best-effort latency over
+/// mix × load.
+pub fn fig9(args: &RunArgs) -> Table {
+    banner("Fig 9: 2x2 fat-mesh (two links per neighbour pair)", args);
+    let mut t = Table::new(["mix (x:y)", "load", "d (ms)", "sigma_d (ms)", "BE lat (us)"])
+        .with_title("Fig 9 — fat-mesh jitter and best-effort latency");
+    for &(x, y) in &[(40.0, 60.0), (60.0, 40.0), (80.0, 20.0)] {
+        for &load in &[0.7, 0.8, 0.9] {
+            let out = run_fat_mesh(&Point::new(load, x, y), args);
+            t.row([
+                format!("{x:.0}:{y:.0}"),
+                format!("{load:.2}"),
+                format!("{:.2}", out.jitter.mean_ms),
+                format!("{:.2}", out.jitter.std_ms),
+                be_cell(out.be_mean_latency_us),
+            ]);
+        }
+    }
+    println!("{t}");
+    t
+}
+
+/// Ablation — the three multiplexer schedulers side by side (extends
+/// Fig. 3 with the round-robin scheduler the paper mentions in §6).
+pub fn ablation_sched(args: &RunArgs) -> Table {
+    banner("Ablation: scheduler disciplines (16 VCs, mix 80:20)", args);
+    let mut t = Table::new(["load", "scheduler", "d (ms)", "sigma_d (ms)", "BE lat (us)"])
+        .with_title("Ablation — VirtualClock vs FIFO vs RoundRobin");
+    for &load in &[0.7, 0.8, 0.9, 0.96] {
+        for kind in [
+            SchedulerKind::VirtualClock,
+            SchedulerKind::Fifo,
+            SchedulerKind::RoundRobin,
+        ] {
+            let mut p = Point::new(load, 80.0, 20.0);
+            p.router = RouterConfig::default().scheduler(kind);
+            let out = run_single_switch(&p, args);
+            t.row([
+                format!("{load:.2}"),
+                format!("{kind:?}"),
+                format!("{:.2}", out.jitter.mean_ms),
+                format!("{:.2}", out.jitter.std_ms),
+                be_cell(out.be_mean_latency_us),
+            ]);
+        }
+    }
+    println!("{t}");
+    t
+}
+
+/// Ablation — Virtual Clock applied at the crossbar input multiplexer
+/// (the paper's point A) vs at the VC output multiplexer (point C), both
+/// on the multiplexed crossbar. Quantifies the paper's §3.3 argument.
+pub fn ablation_point(args: &RunArgs) -> Table {
+    banner("Ablation: Virtual Clock at point A vs point C (muxed xbar)", args);
+    let mut t = Table::new(["load", "point", "d (ms)", "sigma_d (ms)"])
+        .with_title("Ablation — QoS scheduling point");
+    for &load in &[0.7, 0.8, 0.9, 0.96] {
+        for (name, point) in [("A (xbar input)", SchedPoint::CrossbarInput), ("C (VC mux)", SchedPoint::VcMux)] {
+            let mut p = Point::new(load, 80.0, 20.0);
+            p.router = RouterConfig::default().sched_point(point);
+            let out = run_single_switch(&p, args);
+            t.row([
+                format!("{load:.2}"),
+                name.to_string(),
+                format!("{:.2}", out.jitter.mean_ms),
+                format!("{:.2}", out.jitter.std_ms),
+            ]);
+        }
+    }
+    println!("{t}");
+    t
+}
+
+/// Ablation — dynamic VC borrowing (the paper's §6 "dynamically
+/// partitioned resources" future-work direction): when its own partition
+/// is exhausted, a message may take a free VC of the other class. The
+/// interesting question is whether best-effort improves without hurting
+/// the real-time class (Virtual Clock still outranks it at point A).
+pub fn ablation_borrowing(args: &RunArgs) -> Table {
+    banner("Ablation: dynamic VC borrowing (mix 90:10)", args);
+    let mut t = Table::new(["load", "borrowing", "d (ms)", "sigma_d (ms)", "BE lat (us)"])
+        .with_title("Ablation — static partition vs VC borrowing");
+    for &load in &[0.6, 0.7, 0.8, 0.9] {
+        for borrowing in [false, true] {
+            let mut p = Point::new(load, 90.0, 10.0);
+            p.router = RouterConfig::default().vc_borrowing(borrowing);
+            let out = run_single_switch(&p, args);
+            t.row([
+                format!("{load:.2}"),
+                if borrowing { "on" } else { "off" }.to_string(),
+                format!("{:.2}", out.jitter.mean_ms),
+                format!("{:.2}", out.jitter.std_ms),
+                be_cell(out.be_mean_latency_us),
+            ]);
+        }
+    }
+    println!("{t}");
+    t
+}
+
+/// Extension — GOP-structured VBR vs the paper's normal frame model.
+/// Real MPEG-2 alternates large I frames with small B/P frames; at equal
+/// mean rate the bursts are harder on the router. This experiment asks
+/// how much of the jitter-free region that structure costs.
+pub fn gop_sensitivity(args: &RunArgs) -> Table {
+    banner("Extension: GOP-structured VBR vs normal frame sizes", args);
+    let mut t = Table::new(["load", "frame model", "d (ms)", "sigma_d (ms)"])
+        .with_title("Extension — frame-size model sensitivity (100:0 VBR)");
+    for &load in &[0.6, 0.7, 0.8, 0.9] {
+        for model in [FrameModel::Normal, FrameModel::Gop] {
+            let mut p = Point::new(load, 100.0, 0.0);
+            p.spec = WorkloadSpec {
+                frame_model: model,
+                ..WorkloadSpec::paper_default()
+            };
+            let out = run_single_switch(&p, args);
+            t.row([
+                format!("{load:.2}"),
+                format!("{model:?}"),
+                format!("{:.2}", out.jitter.mean_ms),
+                format!("{:.2}", out.jitter.std_ms),
+            ]);
+        }
+    }
+    println!("{t}");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunArgs {
+        RunArgs {
+            quick: true,
+            seed: 11,
+            warmup_secs: 0.02,
+            measure_secs: 0.04,
+        }
+    }
+
+    #[test]
+    fn be_cell_saturates() {
+        assert_eq!(be_cell(50.0), "50.0");
+        assert_eq!(be_cell(1e6), "Sat.");
+        assert_eq!(be_cell(f64::NAN), "Sat.");
+    }
+
+    #[test]
+    fn table3_rows_match_loads() {
+        let t = table3(&quick());
+        assert_eq!(t.row_count(), 8);
+    }
+
+    #[test]
+    fn fig3_produces_full_grid() {
+        let t = fig3(&quick());
+        assert_eq!(t.row_count(), LOADS.len() * 2);
+    }
+}

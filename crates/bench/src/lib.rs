@@ -1,0 +1,221 @@
+//! Shared experiment harness for the MediaWorm reproduction binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! builds the right workload/topology/router configuration, runs the
+//! simulation, and prints the same rows or series the paper reports. This
+//! library holds what they share: the command-line knobs ([`RunArgs`]),
+//! the single-point runners ([`run_single_switch`], [`run_fat_mesh`]), and
+//! formatting helpers.
+//!
+//! # Conventions
+//!
+//! * All binaries accept `--quick` (shorter measurement window for smoke
+//!   runs), `--seed <u64>`, `--warmup <secs>` and `--measure <secs>`.
+//! * Results print as plain-text tables; `EXPERIMENTS.md` records the
+//!   paper-vs-measured comparison.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use flitnet::VcPartition;
+use mediaworm::{sim, RouterConfig, SimOutcome};
+use topo::Topology;
+use traffic::{StreamClass, WorkloadBuilder, WorkloadSpec};
+
+/// Command-line arguments shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Shorter windows for smoke runs.
+    pub quick: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Warm-up window in simulated seconds.
+    pub warmup_secs: f64,
+    /// Measurement window in simulated seconds.
+    pub measure_secs: f64,
+}
+
+impl RunArgs {
+    /// Parses `std::env::args()`. Unknown flags abort with a usage
+    /// message.
+    pub fn from_env() -> RunArgs {
+        let mut args = RunArgs::default();
+        let mut it = std::env::args().skip(1);
+        let mut explicit_windows = false;
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => args.quick = true,
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs a u64"));
+                }
+                "--warmup" => {
+                    args.warmup_secs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--warmup needs seconds"));
+                    explicit_windows = true;
+                }
+                "--measure" => {
+                    args.measure_secs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--measure needs seconds"));
+                    explicit_windows = true;
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        if args.quick && !explicit_windows {
+            args.warmup_secs = 0.05;
+            args.measure_secs = 0.15;
+        }
+        args
+    }
+
+    /// The `(warmup, measure)` windows in seconds.
+    pub fn windows(&self) -> (f64, f64) {
+        (self.warmup_secs, self.measure_secs)
+    }
+}
+
+impl Default for RunArgs {
+    fn default() -> RunArgs {
+        RunArgs {
+            quick: false,
+            seed: 42,
+            warmup_secs: 0.1,
+            measure_secs: 0.4,
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <experiment> [--quick] [--seed N] [--warmup SECS] [--measure SECS]");
+    std::process::exit(2);
+}
+
+/// Parameters for one simulation point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Total input load as a fraction of link bandwidth.
+    pub load: f64,
+    /// Real-time share of the mix.
+    pub mix_x: f64,
+    /// Best-effort share of the mix.
+    pub mix_y: f64,
+    /// VBR or CBR for the real-time component.
+    pub class: StreamClass,
+    /// Router configuration.
+    pub router: RouterConfig,
+    /// Physical workload parameters.
+    pub spec: WorkloadSpec,
+}
+
+impl Point {
+    /// A paper-default point: VBR, Table 1 spec, 16-VC Virtual Clock
+    /// router.
+    pub fn new(load: f64, mix_x: f64, mix_y: f64) -> Point {
+        Point {
+            load,
+            mix_x,
+            mix_y,
+            class: StreamClass::Vbr,
+            router: RouterConfig::default(),
+            spec: WorkloadSpec::paper_default(),
+        }
+    }
+
+    /// The VC partition the point's mix implies.
+    pub fn partition(&self) -> VcPartition {
+        if self.mix_y == 0.0 {
+            VcPartition::all_real_time(self.router.vcs_per_pc())
+        } else {
+            VcPartition::from_mix(self.router.vcs_per_pc(), self.mix_x, self.mix_y)
+        }
+    }
+
+    /// Runs this point over `topology`.
+    pub fn run_on(&self, topology: &Topology, args: &RunArgs) -> SimOutcome {
+        let workload = WorkloadBuilder::new(topology.node_count(), self.partition())
+            .spec(self.spec.clone())
+            .load(self.load)
+            .mix(self.mix_x, self.mix_y)
+            .real_time_class(self.class)
+            .seed(args.seed)
+            .build();
+        let (w, m) = args.windows();
+        sim::run(topology, workload, &self.router, w, m)
+    }
+}
+
+/// Runs one point on the paper's 8-port single switch.
+pub fn run_single_switch(point: &Point, args: &RunArgs) -> SimOutcome {
+    point.run_on(&Topology::single_switch(8), args)
+}
+
+/// Runs one point on the paper's 2×2 fat-mesh (two parallel links per
+/// neighbour pair, 4 endpoints per switch).
+pub fn run_fat_mesh(point: &Point, args: &RunArgs) -> SimOutcome {
+    point.run_on(&Topology::fat_mesh(2, 2, 2, 4), args)
+}
+
+/// Formats a jitter pair `(d̄, σ_d)` in milliseconds.
+pub fn fmt_jitter(outcome: &SimOutcome) -> (String, String) {
+    (
+        format!("{:.2}", outcome.jitter.mean_ms),
+        format!("{:.2}", outcome.jitter.std_ms),
+    )
+}
+
+/// Prints the standard experiment header.
+pub fn banner(title: &str, args: &RunArgs) {
+    println!("== {title} ==");
+    println!(
+        "   (seed {}, warm-up {:.0} ms, measure {:.0} ms{})",
+        args.seed,
+        args.warmup_secs * 1e3,
+        args.measure_secs * 1e3,
+        if args.quick { ", quick mode" } else { "" }
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args_are_sane() {
+        let a = RunArgs::default();
+        assert!(a.warmup_secs > 0.0 && a.measure_secs > 0.0);
+        assert!(!a.quick);
+    }
+
+    #[test]
+    fn point_partition_handles_pure_real_time() {
+        let p = Point::new(0.8, 100.0, 0.0);
+        assert_eq!(p.partition().best_effort_count(), 0);
+        let q = Point::new(0.8, 80.0, 20.0);
+        assert!(q.partition().best_effort_count() > 0);
+    }
+
+    #[test]
+    fn quick_single_switch_point_runs() {
+        let args = RunArgs {
+            quick: true,
+            seed: 7,
+            warmup_secs: 0.02,
+            measure_secs: 0.05,
+        };
+        let out = run_single_switch(&Point::new(0.4, 100.0, 0.0), &args);
+        assert!(out.jitter.intervals > 0);
+    }
+}

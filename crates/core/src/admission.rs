@@ -1,0 +1,269 @@
+//! Bandwidth-accounting admission control.
+//!
+//! The paper's conclusion (§5.7, §6): "Admission control criteria … have to
+//! consider what is the maximum load and proportion of VBR to best-effort
+//! traffic that will provide statistically acceptable QoS". This module
+//! implements the natural controller: track the real-time bandwidth
+//! reserved on every physical link, and admit a stream only if every link
+//! of its deterministic route stays below a configurable utilisation
+//! threshold — the threshold being exactly the jitter-free operating point
+//! the experiments identify (≈ 0.7–0.8 of link bandwidth for a single
+//! MediaWorm switch).
+
+use std::collections::HashMap;
+
+use flitnet::{NodeId, PortId, RouterId, StreamId};
+use topo::{PortTarget, Topology};
+
+/// A link in a route: router `r`'s output port `p` (the injection link is
+/// represented by the attachment router's input, keyed specially).
+type LinkKey = (u32, u32);
+
+/// Tracks per-link reserved bandwidth and admits or rejects streams.
+///
+/// # Example
+///
+/// ```
+/// use mediaworm::AdmissionController;
+/// use flitnet::{NodeId, StreamId};
+/// use topo::Topology;
+///
+/// let topology = Topology::single_switch(8);
+/// // 400 Mbps links, admit up to 80 % real-time utilisation.
+/// let mut ac = AdmissionController::new(&topology, 400e6, 0.8);
+/// // 80 streams of 4 Mbps fit under the 320 Mbps ceiling…
+/// for k in 0..80 {
+///     assert!(ac.admit(StreamId(k), NodeId(0), NodeId(1), 4e6).is_ok());
+/// }
+/// // …the 81st does not.
+/// assert!(ac.admit(StreamId(80), NodeId(0), NodeId(1), 4e6).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    topology: Topology,
+    link_bps: f64,
+    threshold: f64,
+    reserved: HashMap<LinkKey, f64>,
+    routes: HashMap<u32, Vec<LinkKey>>,
+}
+
+/// Why a stream was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionError {
+    /// The saturated link (router id, output port).
+    pub link: (RouterId, PortId),
+    /// The utilisation the stream would have pushed the link to.
+    pub would_be_utilisation: f64,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "admission denied: link {}:{} would reach {:.1}% utilisation",
+            self.link.0,
+            self.link.1,
+            self.would_be_utilisation * 100.0
+        )
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+impl AdmissionController {
+    /// Creates a controller for `topology` with links of `link_bps` and a
+    /// real-time utilisation ceiling of `threshold` (fraction of link
+    /// bandwidth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_bps` is not positive or `threshold` is outside
+    /// `(0, 1]`.
+    pub fn new(topology: &Topology, link_bps: f64, threshold: f64) -> AdmissionController {
+        assert!(link_bps > 0.0, "link bandwidth must be positive");
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
+        AdmissionController {
+            topology: topology.clone(),
+            link_bps,
+            threshold,
+            reserved: HashMap::new(),
+            routes: HashMap::new(),
+        }
+    }
+
+    /// The links (router output ports) a `src → dest` stream traverses
+    /// under deterministic routing (first candidate on fat bundles), plus
+    /// the injection link encoded as `(u32::MAX, src)`.
+    fn route_links(&self, src: NodeId, dest: NodeId) -> Vec<LinkKey> {
+        let mut links = vec![(u32::MAX, src.get())];
+        let (mut at, _) = self.topology.attachment(src);
+        let (goal, _) = self.topology.attachment(dest);
+        loop {
+            let port = self.topology.route(at, dest)[0];
+            links.push((at.get(), port.get()));
+            if at == goal {
+                break;
+            }
+            match self.topology.target_of(at, port) {
+                PortTarget::Router { router, .. } => at = router,
+                PortTarget::Node(_) => break,
+            }
+        }
+        links
+    }
+
+    /// Requests admission for a stream of `rate_bps` from `src` to `dest`.
+    ///
+    /// On success the bandwidth is reserved on every link of the route
+    /// until [`AdmissionController::release`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first link whose real-time reservation would exceed the
+    /// threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_bps` is not positive or the stream id is already
+    /// admitted.
+    pub fn admit(
+        &mut self,
+        stream: StreamId,
+        src: NodeId,
+        dest: NodeId,
+        rate_bps: f64,
+    ) -> Result<(), AdmissionError> {
+        assert!(rate_bps > 0.0, "stream rate must be positive");
+        assert!(
+            !self.routes.contains_key(&stream.get()),
+            "stream {stream} already admitted"
+        );
+        let links = self.route_links(src, dest);
+        for key in &links {
+            let used = self.reserved.get(key).copied().unwrap_or(0.0);
+            let would = (used + rate_bps) / self.link_bps;
+            if would > self.threshold + 1e-12 {
+                return Err(AdmissionError {
+                    link: (RouterId(key.0), PortId(key.1)),
+                    would_be_utilisation: would,
+                });
+            }
+        }
+        for key in &links {
+            *self.reserved.entry(*key).or_insert(0.0) += rate_bps;
+        }
+        self.routes.insert(stream.get(), links);
+        Ok(())
+    }
+
+    /// Releases a previously admitted stream's reservations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream was not admitted.
+    pub fn release(&mut self, stream: StreamId, rate_bps: f64) {
+        let links = self
+            .routes
+            .remove(&stream.get())
+            .unwrap_or_else(|| panic!("stream {stream} was not admitted"));
+        for key in links {
+            let used = self.reserved.get_mut(&key).expect("reservation exists");
+            *used -= rate_bps;
+            if *used <= 1e-9 {
+                self.reserved.remove(&key);
+            }
+        }
+    }
+
+    /// Current real-time utilisation of router `r`'s output port `p`.
+    pub fn utilisation(&self, r: RouterId, p: PortId) -> f64 {
+        self.reserved
+            .get(&(r.get(), p.get()))
+            .copied()
+            .unwrap_or(0.0)
+            / self.link_bps
+    }
+
+    /// Number of admitted streams.
+    pub fn admitted(&self) -> usize {
+        self.routes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_until_threshold_then_rejects() {
+        let t = Topology::single_switch(8);
+        let mut ac = AdmissionController::new(&t, 400e6, 0.7);
+        // 0.7 × 400 Mbps = 280 Mbps = 70 streams of 4 Mbps on one route.
+        for k in 0..70 {
+            ac.admit(StreamId(k), NodeId(0), NodeId(1), 4e6).unwrap();
+        }
+        let err = ac.admit(StreamId(70), NodeId(0), NodeId(1), 4e6).unwrap_err();
+        assert!(err.would_be_utilisation > 0.7);
+        assert_eq!(ac.admitted(), 70);
+    }
+
+    #[test]
+    fn different_routes_do_not_interfere() {
+        let t = Topology::single_switch(8);
+        let mut ac = AdmissionController::new(&t, 400e6, 0.5);
+        for k in 0..50 {
+            ac.admit(StreamId(k), NodeId(0), NodeId(1), 4e6).unwrap();
+        }
+        // The 0→1 ejection link is full, but 2→3 is untouched… except the
+        // injection link of node 2 which is also fresh.
+        assert!(ac.admit(StreamId(100), NodeId(2), NodeId(3), 4e6).is_ok());
+        // A new stream into node 1 hits the saturated ejection link.
+        assert!(ac.admit(StreamId(101), NodeId(2), NodeId(1), 4e6).is_err());
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let t = Topology::single_switch(8);
+        let mut ac = AdmissionController::new(&t, 400e6, 0.1);
+        for k in 0..10 {
+            ac.admit(StreamId(k), NodeId(0), NodeId(1), 4e6).unwrap();
+        }
+        assert!(ac.admit(StreamId(10), NodeId(0), NodeId(1), 4e6).is_err());
+        ac.release(StreamId(0), 4e6);
+        assert!(ac.admit(StreamId(10), NodeId(0), NodeId(1), 4e6).is_ok());
+    }
+
+    #[test]
+    fn fat_mesh_routes_reserve_intermediate_links() {
+        let t = Topology::fat_mesh(2, 2, 2, 4);
+        let mut ac = AdmissionController::new(&t, 400e6, 1.0);
+        // Node 0 (router 0) → node 12 (router 3): two hops.
+        ac.admit(StreamId(0), NodeId(0), NodeId(12), 4e6).unwrap();
+        // Some inter-router link on router 0 carries the reservation.
+        let used: f64 = (0..8)
+            .map(|p| ac.utilisation(RouterId(0), PortId(p)))
+            .sum();
+        assert!(used > 0.0, "route must reserve a router-0 output");
+    }
+
+    #[test]
+    fn utilisation_reports_fractions() {
+        let t = Topology::single_switch(8);
+        let mut ac = AdmissionController::new(&t, 400e6, 1.0);
+        ac.admit(StreamId(0), NodeId(3), NodeId(4), 40e6).unwrap();
+        let (r, p) = t.attachment(NodeId(4));
+        assert!((ac.utilisation(r, p) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already admitted")]
+    fn double_admit_panics() {
+        let t = Topology::single_switch(8);
+        let mut ac = AdmissionController::new(&t, 400e6, 1.0);
+        ac.admit(StreamId(0), NodeId(0), NodeId(1), 4e6).unwrap();
+        let _ = ac.admit(StreamId(0), NodeId(0), NodeId(2), 4e6);
+    }
+}

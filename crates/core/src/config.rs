@@ -1,0 +1,276 @@
+//! Router configuration.
+
+use std::fmt;
+
+/// Crossbar implementation style (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrossbarKind {
+    /// `n×n` crossbar with a multiplexer at each input port sharing the
+    /// crossbar input among that port's VCs. Cheap, but introduces a new
+    /// contention point (the paper's point "A") — which is exactly where
+    /// MediaWorm runs Virtual Clock.
+    #[default]
+    Multiplexed,
+    /// `(n·m)×(n·m)` crossbar with one port per VC. No input multiplexer;
+    /// the only shared resource is the output physical channel, so Virtual
+    /// Clock runs at the VC multiplexer (point "C").
+    Full,
+}
+
+/// Multiplexer scheduling discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Rate-based Virtual Clock (Zhang 1991) — the MediaWorm scheduler.
+    #[default]
+    VirtualClock,
+    /// First-in-first-out by arrival time — the conventional wormhole
+    /// router baseline of Fig. 3.
+    Fifo,
+    /// Rotating priority — the other rate-agnostic scheduler the paper
+    /// mentions (§6); used in the scheduling ablation.
+    RoundRobin,
+}
+
+/// Where the QoS scheduler is applied in a *multiplexed*-crossbar router.
+///
+/// The paper argues (§3.3) for the crossbar input multiplexer (point A)
+/// over the VC output multiplexer (point C); `SchedPoint::VcMux` lets the
+/// ablation benchmark quantify that argument. Full-crossbar routers always
+/// schedule at the VC multiplexer (they have no input multiplexer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPoint {
+    /// The crossbar input multiplexer — the paper's choice.
+    #[default]
+    CrossbarInput,
+    /// The output VC multiplexer.
+    VcMux,
+}
+
+/// Complete configuration of a MediaWorm router.
+///
+/// # Example
+///
+/// ```
+/// use mediaworm::{CrossbarKind, RouterConfig, SchedulerKind};
+///
+/// // The paper's Fig. 6 "4 VCs with full crossbar" configuration:
+/// let cfg = RouterConfig::new(4)
+///     .crossbar(CrossbarKind::Full)
+///     .scheduler(SchedulerKind::VirtualClock);
+/// assert_eq!(cfg.vcs_per_pc(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterConfig {
+    vcs_per_pc: u32,
+    buf_flits: u32,
+    out_buf_flits: u32,
+    crossbar: CrossbarKind,
+    scheduler: SchedulerKind,
+    sched_point: SchedPoint,
+    link_latency: u32,
+    vc_borrowing: bool,
+}
+
+impl RouterConfig {
+    /// Creates a configuration with `vcs_per_pc` virtual channels per
+    /// physical channel and the paper's Table 1 defaults elsewhere:
+    /// 20-flit input buffers, multiplexed crossbar, Virtual Clock at the
+    /// crossbar input multiplexer, 1-cycle links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs_per_pc == 0`.
+    pub fn new(vcs_per_pc: u32) -> RouterConfig {
+        assert!(vcs_per_pc > 0, "need at least one VC per physical channel");
+        RouterConfig {
+            vcs_per_pc,
+            buf_flits: 20,
+            out_buf_flits: 20,
+            crossbar: CrossbarKind::Multiplexed,
+            scheduler: SchedulerKind::VirtualClock,
+            sched_point: SchedPoint::CrossbarInput,
+            link_latency: 1,
+            vc_borrowing: false,
+        }
+    }
+
+    /// Sets the input VC buffer depth in flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flits == 0`.
+    pub fn buf_flits(mut self, flits: u32) -> RouterConfig {
+        assert!(flits > 0, "buffers must hold at least one flit");
+        self.buf_flits = flits;
+        self
+    }
+
+    /// Sets the output (stage-5) staging buffer depth in flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flits == 0`.
+    pub fn out_buf_flits(mut self, flits: u32) -> RouterConfig {
+        assert!(flits > 0, "buffers must hold at least one flit");
+        self.out_buf_flits = flits;
+        self
+    }
+
+    /// Chooses the crossbar style.
+    pub fn crossbar(mut self, kind: CrossbarKind) -> RouterConfig {
+        self.crossbar = kind;
+        self
+    }
+
+    /// Chooses the QoS scheduler.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> RouterConfig {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Forces the QoS scheduling point (multiplexed crossbars only; full
+    /// crossbars always schedule at the VC multiplexer).
+    pub fn sched_point(mut self, point: SchedPoint) -> RouterConfig {
+        self.sched_point = point;
+        self
+    }
+
+    /// Enables dynamic VC borrowing: when a message finds no free output
+    /// VC in its own class partition, it may take a free VC of the other
+    /// class. This implements the paper's §6 future-work direction of
+    /// "dynamic mixes with dynamically partitioned resources" — the
+    /// static x:y split remains the *preference*, but idle capacity is
+    /// never stranded.
+    pub fn vc_borrowing(mut self, enabled: bool) -> RouterConfig {
+        self.vc_borrowing = enabled;
+        self
+    }
+
+    /// Sets the link latency in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0`.
+    pub fn link_latency(mut self, cycles: u32) -> RouterConfig {
+        assert!(cycles > 0, "links have at least one cycle of latency");
+        self.link_latency = cycles;
+        self
+    }
+
+    /// Virtual channels per physical channel.
+    pub fn vcs_per_pc(&self) -> u32 {
+        self.vcs_per_pc
+    }
+
+    /// Input VC buffer depth in flits.
+    pub fn buf_flits_value(&self) -> u32 {
+        self.buf_flits
+    }
+
+    /// Output staging buffer depth in flits.
+    pub fn out_buf_flits_value(&self) -> u32 {
+        self.out_buf_flits
+    }
+
+    /// The crossbar style.
+    pub fn crossbar_kind(&self) -> CrossbarKind {
+        self.crossbar
+    }
+
+    /// The QoS scheduler.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
+    /// The effective QoS scheduling point: the configured point for a
+    /// multiplexed crossbar, always the VC multiplexer for a full crossbar.
+    pub fn effective_sched_point(&self) -> SchedPoint {
+        match self.crossbar {
+            CrossbarKind::Multiplexed => self.sched_point,
+            CrossbarKind::Full => SchedPoint::VcMux,
+        }
+    }
+
+    /// Whether dynamic VC borrowing is enabled.
+    pub fn vc_borrowing_enabled(&self) -> bool {
+        self.vc_borrowing
+    }
+
+    /// Link latency in cycles.
+    pub fn link_latency_value(&self) -> u32 {
+        self.link_latency
+    }
+}
+
+impl Default for RouterConfig {
+    /// The paper's canonical configuration: 16 VCs, multiplexed crossbar,
+    /// Virtual Clock at the crossbar input multiplexer.
+    fn default() -> RouterConfig {
+        RouterConfig::new(16)
+    }
+}
+
+impl fmt::Display for RouterConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} crossbar, {} VCs/PC, {:?} scheduling at {:?}",
+            self.crossbar, self.vcs_per_pc, self.scheduler, self.effective_sched_point()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table1() {
+        let cfg = RouterConfig::default();
+        assert_eq!(cfg.vcs_per_pc(), 16);
+        assert_eq!(cfg.buf_flits_value(), 20);
+        assert_eq!(cfg.crossbar_kind(), CrossbarKind::Multiplexed);
+        assert_eq!(cfg.scheduler_kind(), SchedulerKind::VirtualClock);
+        assert_eq!(cfg.effective_sched_point(), SchedPoint::CrossbarInput);
+    }
+
+    #[test]
+    fn full_crossbar_forces_vc_mux_scheduling() {
+        let cfg = RouterConfig::new(4)
+            .crossbar(CrossbarKind::Full)
+            .sched_point(SchedPoint::CrossbarInput);
+        assert_eq!(cfg.effective_sched_point(), SchedPoint::VcMux);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = RouterConfig::new(8)
+            .buf_flits(10)
+            .out_buf_flits(2)
+            .scheduler(SchedulerKind::Fifo)
+            .link_latency(3);
+        assert_eq!(cfg.buf_flits_value(), 10);
+        assert_eq!(cfg.out_buf_flits_value(), 2);
+        assert_eq!(cfg.scheduler_kind(), SchedulerKind::Fifo);
+        assert_eq!(cfg.link_latency_value(), 3);
+    }
+
+    #[test]
+    fn vc_borrowing_defaults_off() {
+        assert!(!RouterConfig::default().vc_borrowing_enabled());
+        assert!(RouterConfig::new(8).vc_borrowing(true).vc_borrowing_enabled());
+    }
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let s = RouterConfig::default().to_string();
+        assert!(s.contains("16 VCs"));
+        assert!(s.contains("VirtualClock"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one VC")]
+    fn zero_vcs_panics() {
+        let _ = RouterConfig::new(0);
+    }
+}

@@ -1,0 +1,946 @@
+//! The pipelined MediaWorm router model.
+//!
+//! One [`Router`] models the paper's five-stage PROUD pipeline (Fig. 1):
+//!
+//! 1. **Sync / demux / buffer / decode** — arriving flits land in the
+//!    per-VC input buffer (one cycle before becoming schedulable).
+//! 2. **Routing decision** and
+//! 3. **arbitration** — a head flit at the front of its VC spends two
+//!    cycles computing its route and competing for its output VC, which a
+//!    message holds from head to tail (the paper's message-granularity
+//!    output arbitration, §3.3). Middle and tail flits bypass these
+//!    stages.
+//! 4. **Crossbar** — flits move to the output staging buffers. On a
+//!    multiplexed crossbar each input port's multiplexer picks one flit
+//!    per cycle among its granted VCs — the paper's contention point "A",
+//!    where MediaWorm applies Virtual Clock. Output-side arbitration
+//!    already happened at message granularity in stage 3 (output-VC
+//!    ownership), so staging buffers absorb concurrent arrivals on
+//!    different VCs. A full crossbar moves every granted VC's flit
+//!    concurrently.
+//! 5. **Output buffering / VC mux** — each output physical channel picks
+//!    one staged flit per cycle (point "C"; the Virtual Clock point for
+//!    full-crossbar routers) and transmits it, consuming a credit of the
+//!    downstream input buffer.
+//!
+//! The router is pure state + decisions; moving flits across links and
+//! returning credits is the [`crate::net::Network`]'s job.
+
+use std::collections::VecDeque;
+
+use flitnet::{Flit, MsgId, PortId, RouterId, VcBuffer, VcId, VcPartition};
+use netsim::Cycles;
+
+use crate::config::{CrossbarKind, RouterConfig, SchedPoint, SchedulerKind};
+use crate::scheduler::MuxScheduler;
+
+/// Cycles a head flit spends in stages 2–3 (routing + arbitration) before
+/// it may try to win the crossbar.
+pub const ROUTE_ARB_CYCLES: u64 = 2;
+
+/// A granted route for the message currently occupying an input VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Grant {
+    out_port: usize,
+    out_vc: usize,
+    /// Earliest cycle the head may traverse the crossbar.
+    ready_at: Cycles,
+}
+
+/// Per-VC input unit: buffer + pipeline bookkeeping.
+#[derive(Debug)]
+struct InputVc {
+    buf: VcBuffer,
+    /// Arrival cycle of each buffered flit (parallel to `buf`).
+    arrivals: VecDeque<Cycles>,
+    grant: Option<Grant>,
+    /// When the current head flit was first seen at the buffer front
+    /// (starts the stage-2/3 latency).
+    head_seen_at: Option<Cycles>,
+}
+
+#[derive(Debug)]
+struct InputPort {
+    vcs: Vec<InputVc>,
+    /// Crossbar input multiplexer scheduler (point A).
+    sched: MuxScheduler,
+}
+
+/// Per-VC output unit: stage-5 staging buffer + downstream credits.
+#[derive(Debug)]
+struct OutputVc {
+    /// Staged flits with their staging-arrival cycle.
+    buf: VecDeque<(Cycles, Flit)>,
+    cap: usize,
+    /// Credits for the downstream input VC buffer.
+    credits: u32,
+    /// Message currently allocated this output VC (held head → tail).
+    owner: Option<MsgId>,
+}
+
+#[derive(Debug)]
+struct OutputPort {
+    vcs: Vec<OutputVc>,
+    /// Output VC multiplexer scheduler (point C).
+    sched: MuxScheduler,
+}
+
+/// A flit leaving the router this cycle on `port`.
+#[derive(Debug, Clone, Copy)]
+pub struct Departure {
+    /// Output physical channel.
+    pub port: PortId,
+    /// The transmitted flit.
+    pub flit: Flit,
+}
+
+/// A credit to return upstream: the input `(port, vc)` that freed a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditReturn {
+    /// Input physical channel whose buffer freed a slot.
+    pub port: PortId,
+    /// The VC within that channel.
+    pub vc: VcId,
+}
+
+/// A MediaWorm router instance.
+///
+/// See the [module docs](self) for the pipeline model. Typical use is via
+/// [`crate::net::Network`]; the router API is public for unit testing and
+/// custom drivers.
+#[derive(Debug)]
+pub struct Router {
+    id: RouterId,
+    cfg: RouterConfig,
+    /// Class split of each physical channel's VCs; output-VC allocation
+    /// draws from the head flit's class partition.
+    partition: VcPartition,
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+    /// Rotating arbitration start point for fairness.
+    arb_cursor: usize,
+    /// Total flits that traversed the crossbar (utilisation stats).
+    flits_crossed: u64,
+    /// Allocator diagnostics: (active cycles, input-slots with an eligible
+    /// flit that did not move, input-slots with nothing eligible).
+    diag: (u64, u64, u64),
+}
+
+impl Router {
+    /// Creates a router with `n_ports` physical channels whose VCs are
+    /// split between traffic classes per `partition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_ports == 0` or the partition does not cover exactly
+    /// the configured VCs.
+    pub fn new(
+        id: RouterId,
+        n_ports: usize,
+        cfg: &RouterConfig,
+        partition: VcPartition,
+    ) -> Router {
+        assert!(n_ports > 0, "a router needs at least one port");
+        assert_eq!(
+            partition.total(),
+            cfg.vcs_per_pc(),
+            "VC partition must cover exactly the configured VCs"
+        );
+        let m = cfg.vcs_per_pc() as usize;
+        let point = cfg.effective_sched_point();
+        let a_kind = if point == SchedPoint::CrossbarInput {
+            cfg.scheduler_kind()
+        } else {
+            SchedulerKind::Fifo
+        };
+        let c_kind = if point == SchedPoint::VcMux {
+            cfg.scheduler_kind()
+        } else {
+            SchedulerKind::Fifo
+        };
+        let inputs = (0..n_ports)
+            .map(|_| InputPort {
+                vcs: (0..m)
+                    .map(|_| InputVc {
+                        buf: VcBuffer::new(cfg.buf_flits_value() as usize),
+                        arrivals: VecDeque::new(),
+                        grant: None,
+                        head_seen_at: None,
+                    })
+                    .collect(),
+                sched: MuxScheduler::new(a_kind, m),
+            })
+            .collect();
+        let outputs = (0..n_ports)
+            .map(|_| OutputPort {
+                vcs: (0..m)
+                    .map(|_| OutputVc {
+                        buf: VecDeque::new(),
+                        cap: cfg.out_buf_flits_value() as usize,
+                        credits: 0,
+                        owner: None,
+                    })
+                    .collect(),
+                sched: MuxScheduler::new(c_kind, m),
+            })
+            .collect();
+        Router {
+            id,
+            cfg: cfg.clone(),
+            partition,
+            inputs,
+            outputs,
+            arb_cursor: 0,
+            flits_crossed: 0,
+            diag: (0, 0, 0),
+        }
+    }
+
+    /// Router id.
+    pub fn id(&self) -> RouterId {
+        self.id
+    }
+
+    /// Number of physical channels.
+    pub fn port_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Initialises the downstream credit count of output `(port, vc)` —
+    /// the depth of the next hop's input buffer, or a large value for
+    /// endpoint-attached ports (endpoints consume at link rate).
+    pub fn init_credits(&mut self, port: PortId, vc: VcId, credits: u32) {
+        self.outputs[port.index()].vcs[vc.index()].credits = credits;
+    }
+
+    /// Accepts a flit arriving on input `port` (stage 1). The flit joins
+    /// the VC buffer selected by its `vc` field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer overflows (credit protocol violation) or the
+    /// VC index is out of range.
+    pub fn receive_flit(&mut self, now: Cycles, port: PortId, flit: Flit) {
+        let ip = &mut self.inputs[port.index()];
+        let v = flit.vc.index();
+        ip.vcs[v].buf.push(flit);
+        ip.vcs[v].arrivals.push_back(now);
+        ip.sched.on_arrival(v, now, &flit);
+    }
+
+    /// Accepts a returned credit for output `(port, vc)`.
+    pub fn receive_credit(&mut self, port: PortId, vc: VcId) {
+        self.outputs[port.index()].vcs[vc.index()].credits += 1;
+    }
+
+    /// Stage 2–3: routing + arbitration for every input VC whose head flit
+    /// has finished its [`ROUTE_ARB_CYCLES`] and whose resources are free.
+    ///
+    /// `candidates(flit)` returns the deterministic route's output-port
+    /// candidates (several only across parallel fat links); among those
+    /// with a free VC the *least loaded* wins, per §3.4. The output VC is
+    /// allocated dynamically from the head's class partition (preferring
+    /// the stream's requested VC) and is owned by the message until its
+    /// tail passes the crossbar — the paper's message-granularity output
+    /// arbitration.
+    pub fn arbitrate<'t, F>(&mut self, now: Cycles, candidates: F)
+    where
+        F: Fn(&Flit) -> &'t [PortId],
+    {
+        let n = self.inputs.len();
+        let m = self.cfg.vcs_per_pc() as usize;
+        let total = n * m;
+        let start = self.arb_cursor;
+        self.arb_cursor = (self.arb_cursor + 1) % total;
+
+        for off in 0..total {
+            let idx = (start + off) % total;
+            let (p, v) = (idx / m, idx % m);
+            let ivc = &mut self.inputs[p].vcs[v];
+            if ivc.grant.is_some() {
+                continue;
+            }
+            let Some(head) = ivc.buf.head().copied() else {
+                ivc.head_seen_at = None;
+                continue;
+            };
+            // Stage-1 latency: the head becomes visible to the routing
+            // logic the cycle after it was buffered.
+            let arrived = *ivc.arrivals.front().expect("arrivals parallel buf");
+            if now < arrived + Cycles(1) {
+                continue;
+            }
+            if !head.kind.is_head() {
+                // A body flit with no grant can only mean the previous
+                // tail released the VC out of order — a simulator bug.
+                unreachable!(
+                    "non-head flit at an unrouted input VC: port {p} vc {v} flit {head:?}"
+                );
+            }
+            let seen = *ivc.head_seen_at.get_or_insert(now);
+            if now < seen.saturating_add(Cycles(ROUTE_ARB_CYCLES)) {
+                continue;
+            }
+            // Dynamic output-VC allocation: any free VC of the head's
+            // class partition, preferring the stream's requested VC. With
+            // VC borrowing enabled (§6 future work), a free VC of the
+            // *other* class is taken as a last resort, so idle capacity
+            // is never stranded by the static split.
+            let borrowing = self.cfg.vc_borrowing_enabled();
+            let free_vc = |op: &OutputPort| -> Option<usize> {
+                let preferred = head.out_vc.index();
+                if self.partition.class_of(head.out_vc).is_real_time()
+                    == head.class.is_real_time()
+                    && op.vcs[preferred].owner.is_none()
+                {
+                    return Some(preferred);
+                }
+                let own = self
+                    .partition
+                    .vcs_for(head.class)
+                    .map(VcId::index)
+                    .find(|&vc| op.vcs[vc].owner.is_none());
+                if own.is_some() || !borrowing {
+                    return own;
+                }
+                (0..op.vcs.len()).find(|&vc| op.vcs[vc].owner.is_none())
+            };
+            // Pick the least-loaded candidate port with a free VC.
+            let mut best: Option<(usize, usize, usize)> = None; // (load, port, vc)
+            for cand in candidates(&head) {
+                let o = cand.index();
+                let op = &self.outputs[o];
+                let Some(vc) = free_vc(op) else {
+                    continue;
+                };
+                // Load proxy for the fat-link choice (§3.4): staged flits
+                // plus a term per VC currently owned by an in-flight
+                // message.
+                let load: usize = op
+                    .vcs
+                    .iter()
+                    .map(|vc| vc.buf.len() + if vc.owner.is_some() { 4 } else { 0 })
+                    .sum();
+                if best.map_or(true, |(l, _, _)| load < l) {
+                    best = Some((load, o, vc));
+                }
+            }
+            let Some((_, o, out_vc)) = best else {
+                continue;
+            };
+            self.inputs[p].vcs[v].grant = Some(Grant {
+                out_port: o,
+                out_vc,
+                ready_at: now + Cycles(1),
+            });
+            self.inputs[p].vcs[v].head_seen_at = None;
+            self.outputs[o].vcs[out_vc].owner = Some(head.msg);
+        }
+    }
+
+    /// Whether input `(p, v)` may move its head flit through the crossbar
+    /// at `now`.
+    fn xbar_eligible(&self, p: usize, v: usize, now: Cycles) -> bool {
+        let ivc = &self.inputs[p].vcs[v];
+        let Some(grant) = ivc.grant else {
+            return false;
+        };
+        let Some(head) = ivc.buf.head() else {
+            return false;
+        };
+        // Stage-1 latency: a flit becomes schedulable the cycle after it
+        // was buffered.
+        let arrived = *ivc.arrivals.front().expect("arrivals parallel buf");
+        if now < arrived + Cycles(1) {
+            return false;
+        }
+        if head.kind.is_head() && now < grant.ready_at {
+            return false;
+        }
+        let ovc = &self.outputs[grant.out_port].vcs[grant.out_vc];
+        ovc.buf.len() < ovc.cap
+    }
+
+    /// Moves input `(p, v)`'s head flit through the crossbar.
+    fn xbar_move(&mut self, p: usize, v: usize, now: Cycles, credits: &mut Vec<CreditReturn>) {
+        let grant = self.inputs[p].vcs[v].grant.expect("eligible VC has a grant");
+        let mut flit = self.inputs[p].vcs[v].buf.pop().expect("eligible VC has a flit");
+        self.inputs[p].vcs[v].arrivals.pop_front();
+        self.inputs[p].sched.on_service(v);
+        credits.push(CreditReturn {
+            port: PortId(p as u32),
+            vc: VcId(v as u32),
+        });
+        // The flit now travels on the granted output VC.
+        flit.vc = VcId(grant.out_vc as u32);
+        let out = &mut self.outputs[grant.out_port];
+        out.sched.on_arrival(grant.out_vc, now, &flit);
+        out.vcs[grant.out_vc].buf.push_back((now, flit));
+        self.flits_crossed += 1;
+        if flit.kind.is_tail() {
+            self.inputs[p].vcs[v].grant = None;
+            // The output VC hands over at tail crossing: its staging
+            // buffer is FIFO, so a successor message cannot overtake the
+            // worm downstream.
+            out.vcs[grant.out_vc].owner = None;
+        }
+    }
+
+    /// Stage 4: crossbar traversal. Returns the credits to send upstream
+    /// for the input-buffer slots freed this cycle.
+    ///
+    /// Multiplexed crossbar: each input port's multiplexer (point A)
+    /// picks one flit per cycle among its granted VCs. Crossbar output
+    /// ports were arbitrated at message granularity back in stage 3
+    /// (output-VC ownership), so there is no per-flit output conflict
+    /// here: the stage-5 staging buffers absorb concurrent arrivals on
+    /// different VCs and the VC multiplexer enforces the physical
+    /// one-flit-per-cycle bound of the output channel.
+    ///
+    /// Full crossbar: every granted VC moves — each output VC has its own
+    /// crossbar port.
+    pub fn crossbar(&mut self, now: Cycles) -> Vec<CreditReturn> {
+        let n = self.inputs.len();
+        let m = self.cfg.vcs_per_pc() as usize;
+        let mut credits = Vec::new();
+        self.diag.0 += 1;
+        match self.cfg.crossbar_kind() {
+            CrossbarKind::Multiplexed => {
+                let mut eligible = vec![false; m];
+                for p in 0..n {
+                    let mut any = false;
+                    for (v, e) in eligible.iter_mut().enumerate() {
+                        *e = self.xbar_eligible(p, v, now);
+                        any |= *e;
+                    }
+                    if let Some(v) = self.inputs[p].sched.choose(&eligible) {
+                        self.xbar_move(p, v, now, &mut credits);
+                    } else if any {
+                        self.diag.1 += 1;
+                    } else {
+                        self.diag.2 += 1;
+                    }
+                }
+            }
+            CrossbarKind::Full => {
+                for p in 0..n {
+                    for v in 0..m {
+                        if self.xbar_eligible(p, v, now) {
+                            self.xbar_move(p, v, now, &mut credits);
+                        }
+                    }
+                }
+            }
+        }
+        credits
+    }
+
+    /// Allocator diagnostics `(active_cycles, blocked_slots, empty_slots)`.
+    pub fn diag(&self) -> (u64, u64, u64) {
+        self.diag
+    }
+
+    /// Stage 5: the output VC multiplexers. Each output physical channel
+    /// transmits at most one staged flit (point C), consuming one
+    /// downstream credit.
+    pub fn output_stage(&mut self, now: Cycles) -> Vec<Departure> {
+        let m = self.cfg.vcs_per_pc() as usize;
+        let mut departures = Vec::new();
+        let mut eligible = vec![false; m];
+        for (p, out) in self.outputs.iter_mut().enumerate() {
+            for (v, e) in eligible.iter_mut().enumerate() {
+                let ovc = &out.vcs[v];
+                *e = ovc
+                    .buf
+                    .front()
+                    .is_some_and(|(at, _)| now >= *at + Cycles(1))
+                    && ovc.credits > 0;
+            }
+            let Some(v) = out.sched.choose(&eligible) else {
+                continue;
+            };
+            let (_, flit) = out.vcs[v].buf.pop_front().expect("eligible VC has a flit");
+            out.sched.on_service(v);
+            out.vcs[v].credits -= 1;
+            departures.push(Departure {
+                port: PortId(p as u32),
+                flit,
+            });
+        }
+        departures
+    }
+
+    /// Whether any flit is buffered anywhere in the router.
+    pub fn has_work(&self) -> bool {
+        self.inputs
+            .iter()
+            .any(|ip| ip.vcs.iter().any(|vc| !vc.buf.is_empty()))
+            || self
+                .outputs
+                .iter()
+                .any(|op| op.vcs.iter().any(|vc| !vc.buf.is_empty()))
+    }
+
+    /// Total flits that have traversed the crossbar.
+    pub fn flits_crossed(&self) -> u64 {
+        self.flits_crossed
+    }
+
+    /// Free credit count of output `(port, vc)` (for tests).
+    pub fn credits_of(&self, port: PortId, vc: VcId) -> u32 {
+        self.outputs[port.index()].vcs[vc.index()].credits
+    }
+
+    /// Buffered flit count of input `(port, vc)` (for tests).
+    pub fn input_buffered(&self, port: PortId, vc: VcId) -> usize {
+        self.inputs[port.index()].vcs[vc.index()].buf.len()
+    }
+
+    /// Prints a human-readable dump of every VC's state (diagnostics).
+    pub fn debug_dump(&self) {
+        for (p, ip) in self.inputs.iter().enumerate() {
+            for (v, vc) in ip.vcs.iter().enumerate() {
+                if vc.buf.is_empty() {
+                    continue;
+                }
+                let head = vc.buf.head().expect("non-empty");
+                println!(
+                    "  in p{p} v{v}: len={:<2} head={:?} {:?} granted={} ",
+                    vc.buf.len(),
+                    head.kind,
+                    head.class,
+                    vc.grant.is_some(),
+                );
+            }
+        }
+        for (p, op) in self.outputs.iter().enumerate() {
+            for (v, vc) in op.vcs.iter().enumerate() {
+                if vc.owner.is_none() && vc.buf.is_empty() {
+                    continue;
+                }
+                println!(
+                    "  out p{p} v{v}: staged={} owner={:?} credits={}",
+                    vc.buf.len(),
+                    vc.owner,
+                    vc.credits
+                );
+            }
+        }
+    }
+
+    /// Counts buffered flits `(real_time, best_effort)` across all input
+    /// and output buffers (diagnostics).
+    pub fn occupancy_by_class(&self) -> (usize, usize) {
+        let mut rt = 0;
+        let mut be = 0;
+        for ip in &self.inputs {
+            for vc in &ip.vcs {
+                for f in vc.buf.iter() {
+                    if f.class.is_real_time() {
+                        rt += 1;
+                    } else {
+                        be += 1;
+                    }
+                }
+            }
+        }
+        for op in &self.outputs {
+            for vc in &op.vcs {
+                for (_, f) in &vc.buf {
+                    if f.class.is_real_time() {
+                        rt += 1;
+                    } else {
+                        be += 1;
+                    }
+                }
+            }
+        }
+        (rt, be)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flitnet::{FlitKind, FrameId, MsgId, NodeId, StreamId, TrafficClass};
+
+    fn msg_flits(msg: u64, len: u32, dest: u32, vc: u32, vtick: f64) -> Vec<Flit> {
+        let template = Flit {
+            kind: FlitKind::Head,
+            stream: StreamId(0),
+            msg: MsgId(msg),
+            frame: FrameId(0),
+            seq_in_msg: 0,
+            msg_len: len,
+            msg_seq_in_frame: 0,
+            msgs_in_frame: 1,
+            dest: NodeId(dest),
+            vc: VcId(vc),
+            out_vc: VcId(vc),
+            vtick,
+            class: TrafficClass::Vbr,
+            created_at: Cycles(0),
+        };
+        Flit::flitify(template)
+    }
+
+    fn drive(router: &mut Router, now: Cycles) -> (Vec<CreditReturn>, Vec<Departure>) {
+        // Route straight to the port matching the destination id.
+        const PORTS: [PortId; 4] = [PortId(0), PortId(1), PortId(2), PortId(3)];
+        router.arbitrate(now, |f| std::slice::from_ref(&PORTS[f.dest.index()]));
+        let credits = router.crossbar(now);
+        let departs = router.output_stage(now);
+        (credits, departs)
+    }
+
+    fn cfg() -> RouterConfig {
+        RouterConfig::new(4)
+    }
+
+    fn new_router(cfg: &RouterConfig) -> Router {
+        let mut r = Router::new(RouterId(0), 4, cfg, VcPartition::all_real_time(cfg.vcs_per_pc()));
+        for p in 0..4 {
+            for v in 0..cfg.vcs_per_pc() {
+                r.init_credits(PortId(p), VcId(v), 1_000_000);
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn single_message_flows_through_pipeline() {
+        let mut r = new_router(&cfg());
+        let flits = msg_flits(1, 3, 2, 0, 100.0);
+        for (i, f) in flits.iter().enumerate() {
+            r.receive_flit(Cycles(i as u64), PortId(0), *f);
+        }
+        let mut out = Vec::new();
+        for t in 0..30u64 {
+            let (_, d) = drive(&mut r, Cycles(t));
+            out.extend(d);
+        }
+        assert_eq!(out.len(), 3);
+        for d in &out {
+            assert_eq!(d.port, PortId(2));
+        }
+        assert_eq!(out[0].flit.kind, FlitKind::Head);
+        assert_eq!(out[2].flit.kind, FlitKind::Tail);
+        assert!(!r.has_work());
+        assert_eq!(r.flits_crossed(), 3);
+    }
+
+    #[test]
+    fn head_takes_five_stage_latency() {
+        let mut r = new_router(&cfg());
+        let flits = msg_flits(1, 2, 3, 1, 100.0);
+        r.receive_flit(Cycles(0), PortId(0), flits[0]);
+        r.receive_flit(Cycles(1), PortId(0), flits[1]);
+        let mut first_out = None;
+        for t in 0..20u64 {
+            let (_, d) = drive(&mut r, Cycles(t));
+            if let Some(dep) = d.first() {
+                first_out = Some((t, dep.flit.kind));
+                break;
+            }
+        }
+        let (t, kind) = first_out.expect("head must depart");
+        assert_eq!(kind, FlitKind::Head);
+        // Arrived at 0; stages: buffer(1) + route/arb(2) + xbar(1) +
+        // output(1) = departs at cycle 5... allow exactly 5 here.
+        assert_eq!(t, 5, "head departed at cycle {t}");
+    }
+
+    #[test]
+    fn messages_serialize_when_only_one_vc_exists() {
+        // With a single VC per channel, two messages to the same output
+        // must serialize at message granularity (the VC is owned head to
+        // tail).
+        let c = RouterConfig::new(1);
+        let mut r = Router::new(RouterId(0), 4, &c, VcPartition::all_real_time(1));
+        for p in 0..4 {
+            r.init_credits(PortId(p), VcId(0), 1_000_000);
+        }
+        for f in msg_flits(1, 3, 3, 0, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        for f in msg_flits(2, 3, 3, 0, 100.0) {
+            r.receive_flit(Cycles(0), PortId(1), f);
+        }
+        let mut order = Vec::new();
+        for t in 0..80u64 {
+            let (_, d) = drive(&mut r, Cycles(t));
+            for dep in d {
+                order.push(dep.flit.msg);
+            }
+        }
+        assert_eq!(order.len(), 6);
+        // All three flits of one message before any flit of the other.
+        assert_eq!(order[0], order[1]);
+        assert_eq!(order[1], order[2]);
+        assert_eq!(order[3], order[4]);
+        assert_eq!(order[4], order[5]);
+        assert_ne!(order[0], order[3]);
+    }
+
+    #[test]
+    fn best_effort_is_confined_without_borrowing() {
+        // 4 VCs, 2 real-time + 2 best-effort. A best-effort message whose
+        // two class VCs are owned must wait, even while real-time VCs sit
+        // free.
+        let c = RouterConfig::new(4);
+        let part = VcPartition::from_mix(4, 50.0, 50.0);
+        let mut r = Router::new(RouterId(0), 4, &c, part);
+        for p in 0..4 {
+            for v in 0..4 {
+                r.init_credits(PortId(p), VcId(v), 1_000_000);
+            }
+        }
+        let be = |msg: u64, port: u32, vc: u32| {
+            let mut flits = msg_flits(msg, 20, 3, vc, flitnet::BEST_EFFORT_VTICK);
+            for f in &mut flits {
+                f.class = TrafficClass::BestEffort;
+            }
+            let _ = port;
+            flits
+        };
+        // Two long best-effort worms occupy the two BE VCs (2 and 3).
+        for f in be(1, 0, 2) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        for f in be(2, 1, 3) {
+            r.receive_flit(Cycles(0), PortId(1), f);
+        }
+        // A third best-effort message has nowhere to go until one ends.
+        for f in be(3, 2, 2) {
+            r.receive_flit(Cycles(0), PortId(2), f);
+        }
+        let mut first_flit_at = std::collections::HashMap::new();
+        let mut vcs_seen = std::collections::HashSet::new();
+        for t in 0..300u64 {
+            let (_, d) = drive(&mut r, Cycles(t));
+            for dep in d {
+                first_flit_at.entry(dep.flit.msg).or_insert(t);
+                vcs_seen.insert(dep.flit.vc);
+            }
+        }
+        // All three eventually flow, but only over the two best-effort
+        // VCs — and therefore one worm had to wait for a VC to free.
+        assert_eq!(first_flit_at.len(), 3);
+        assert!(vcs_seen.iter().all(|vc| vc.get() >= 2), "confined to BE VCs: {vcs_seen:?}");
+        let latest = first_flit_at.values().max().copied().expect("three worms");
+        assert!(latest > 20, "one BE worm must wait for a BE VC, latest start {latest}");
+    }
+
+    #[test]
+    fn borrowing_lets_best_effort_use_idle_real_time_vcs() {
+        let c = RouterConfig::new(4).vc_borrowing(true);
+        let part = VcPartition::from_mix(4, 50.0, 50.0);
+        let mut r = Router::new(RouterId(0), 4, &c, part);
+        for p in 0..4 {
+            for v in 0..4 {
+                r.init_credits(PortId(p), VcId(v), 1_000_000);
+            }
+        }
+        let be = |msg: u64, vc: u32| {
+            let mut flits = msg_flits(msg, 20, 3, vc, flitnet::BEST_EFFORT_VTICK);
+            for f in &mut flits {
+                f.class = TrafficClass::BestEffort;
+            }
+            flits
+        };
+        for f in be(1, 2) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        for f in be(2, 3) {
+            r.receive_flit(Cycles(0), PortId(1), f);
+        }
+        for f in be(3, 2) {
+            r.receive_flit(Cycles(0), PortId(2), f);
+        }
+        // With borrowing, the third worm is granted an idle real-time VC
+        // and departs interleaved with the other two.
+        let mut vcs_seen = std::collections::HashSet::new();
+        for t in 0..120u64 {
+            let (_, d) = drive(&mut r, Cycles(t));
+            for dep in d {
+                vcs_seen.insert(dep.flit.vc);
+            }
+        }
+        assert!(
+            vcs_seen.iter().any(|vc| vc.get() < 2),
+            "expected a borrowed real-time VC in {vcs_seen:?}"
+        );
+        assert_eq!(vcs_seen.len(), 3);
+    }
+
+    #[test]
+    fn same_requested_vc_reallocates_dynamically() {
+        // With several VCs available, a second message requesting an
+        // owned output VC is steered to a free VC of the same class and
+        // proceeds concurrently (dynamic VC allocation).
+        let mut r = new_router(&cfg());
+        for f in msg_flits(1, 10, 3, 0, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        for f in msg_flits(2, 10, 3, 0, 100.0) {
+            r.receive_flit(Cycles(0), PortId(1), f);
+        }
+        let mut done_at = std::collections::HashMap::new();
+        let mut vcs_seen = std::collections::HashSet::new();
+        for t in 0..120u64 {
+            let (_, d) = drive(&mut r, Cycles(t));
+            for dep in d {
+                vcs_seen.insert(dep.flit.vc);
+                if dep.flit.kind.is_tail() {
+                    done_at.insert(dep.flit.msg, t);
+                }
+            }
+        }
+        assert_eq!(done_at.len(), 2);
+        assert_eq!(vcs_seen.len(), 2, "two VCs must carry the worms: {vcs_seen:?}");
+        let t1 = done_at[&MsgId(1)];
+        let t2 = done_at[&MsgId(2)];
+        // Concurrent, interleaved on the output physical channel: the two
+        // tails finish within a couple of flit times of each other.
+        assert!(t1.abs_diff(t2) <= 4, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn different_vcs_to_different_outputs_proceed_concurrently() {
+        let mut r = new_router(&cfg());
+        for f in msg_flits(1, 5, 2, 0, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        for f in msg_flits(2, 5, 3, 1, 100.0) {
+            r.receive_flit(Cycles(0), PortId(1), f);
+        }
+        let mut done_at = std::collections::HashMap::new();
+        for t in 0..60u64 {
+            let (_, d) = drive(&mut r, Cycles(t));
+            for dep in d {
+                if dep.flit.kind.is_tail() {
+                    done_at.insert(dep.flit.msg, t);
+                }
+            }
+        }
+        let t1 = done_at[&MsgId(1)];
+        let t2 = done_at[&MsgId(2)];
+        // Independent paths: finish within a cycle of each other.
+        assert!(t1.abs_diff(t2) <= 1, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn credits_block_transmission_until_returned() {
+        let c = cfg();
+        let mut r = Router::new(RouterId(0), 4, &c, VcPartition::all_real_time(c.vcs_per_pc()));
+        // Only 2 credits on the output this message uses.
+        r.init_credits(PortId(2), VcId(0), 2);
+        for f in msg_flits(1, 5, 2, 0, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        let mut sent = 0;
+        for t in 0..40u64 {
+            let (_, d) = drive(&mut r, Cycles(t));
+            sent += d.len();
+        }
+        assert_eq!(sent, 2, "only two credits were available");
+        // Returning credits resumes the flow.
+        r.receive_credit(PortId(2), VcId(0));
+        r.receive_credit(PortId(2), VcId(0));
+        r.receive_credit(PortId(2), VcId(0));
+        for t in 40..80u64 {
+            let (_, d) = drive(&mut r, Cycles(t));
+            sent += d.len();
+        }
+        assert_eq!(sent, 5);
+    }
+
+    #[test]
+    fn crossbar_returns_one_credit_per_moved_flit() {
+        let mut r = new_router(&cfg());
+        for f in msg_flits(1, 4, 1, 2, 100.0) {
+            r.receive_flit(Cycles(0), PortId(3), f);
+        }
+        let mut credits = Vec::new();
+        for t in 0..30u64 {
+            let (c, _) = drive(&mut r, Cycles(t));
+            credits.extend(c);
+        }
+        assert_eq!(credits.len(), 4);
+        for c in &credits {
+            assert_eq!(*c, CreditReturn { port: PortId(3), vc: VcId(2) });
+        }
+    }
+
+    #[test]
+    fn full_crossbar_moves_multiple_vcs_of_one_port_per_cycle() {
+        let c = RouterConfig::new(4).crossbar(CrossbarKind::Full);
+        let mut r = Router::new(RouterId(0), 4, &c, VcPartition::all_real_time(c.vcs_per_pc()));
+        for p in 0..4 {
+            for v in 0..4 {
+                r.init_credits(PortId(p), VcId(v), 1_000_000);
+            }
+        }
+        // Two messages on the same input port, different VCs, different
+        // outputs: with a full crossbar both can cross in the same cycle.
+        for f in msg_flits(1, 10, 1, 0, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        for f in msg_flits(2, 10, 2, 1, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        let mut per_cycle_max = 0usize;
+        for t in 0..40u64 {
+            const PORTS: [PortId; 4] = [PortId(0), PortId(1), PortId(2), PortId(3)];
+            r.arbitrate(Cycles(t), |f| std::slice::from_ref(&PORTS[f.dest.index()]));
+            let credits = r.crossbar(Cycles(t));
+            per_cycle_max = per_cycle_max.max(credits.len());
+            let _ = r.output_stage(Cycles(t));
+        }
+        assert_eq!(per_cycle_max, 2, "full crossbar should move both VCs at once");
+    }
+
+    #[test]
+    fn multiplexed_crossbar_moves_at_most_one_vc_per_input_port() {
+        let mut r = new_router(&cfg());
+        for f in msg_flits(1, 10, 1, 0, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        for f in msg_flits(2, 10, 2, 1, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        for t in 0..60u64 {
+            const PORTS: [PortId; 4] = [PortId(0), PortId(1), PortId(2), PortId(3)];
+            r.arbitrate(Cycles(t), |f| std::slice::from_ref(&PORTS[f.dest.index()]));
+            let credits = r.crossbar(Cycles(t));
+            assert!(credits.len() <= 1, "muxed crossbar: one flit per input port");
+            let _ = r.output_stage(Cycles(t));
+        }
+    }
+
+    #[test]
+    fn fat_link_candidates_balance_by_load() {
+        let mut r = new_router(&cfg());
+        // Message 1 to port 2 (via candidate set {2, 3}).
+        for f in msg_flits(1, 20, 0, 0, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        // Message 2, same candidate set, different input port & VC.
+        for f in msg_flits(2, 20, 0, 1, 100.0) {
+            r.receive_flit(Cycles(0), PortId(1), f);
+        }
+        let mut used_ports = std::collections::HashSet::new();
+        for t in 0..100u64 {
+            const FAT: [PortId; 2] = [PortId(2), PortId(3)];
+            r.arbitrate(Cycles(t), |_| &FAT[..]);
+            let _ = r.crossbar(Cycles(t));
+            for d in r.output_stage(Cycles(t)) {
+                used_ports.insert(d.port);
+            }
+        }
+        // The two concurrent messages must spread across the fat bundle —
+        // the multiplexed crossbar holds an output per message, so the
+        // second message is steered to the free parallel link.
+        assert_eq!(used_ports.len(), 2, "used {used_ports:?}");
+    }
+}

@@ -1,0 +1,354 @@
+//! Multiplexer schedulers: Virtual Clock, FIFO and round-robin.
+//!
+//! A [`MuxScheduler`] arbitrates one multiplexing point — a crossbar input
+//! multiplexer, an output VC multiplexer, or a network-interface injection
+//! multiplexer — among the virtual channels feeding it.
+//!
+//! For **Virtual Clock** (paper §3.3), each VC keeps two registers:
+//! `auxVC` (the connection's virtual clock) and `Vtick` (the negotiated
+//! inter-flit service interval, carried by each message's head flit). On
+//! every flit arrival the flit is stamped with
+//! `auxVC ← max(Clock, auxVC) + Vtick`, and the multiplexer serves, each
+//! cycle, the eligible VC whose head flit has the lowest stamp. The
+//! algorithm is work-conserving: stamps order competing flits but never
+//! delay a lone one.
+//!
+//! **FIFO** stamps flits with their arrival cycle (the conventional
+//! wormhole router of Fig. 3); **round-robin** rotates among eligible VCs.
+
+use std::collections::VecDeque;
+
+use flitnet::Flit;
+use netsim::Cycles;
+
+use crate::config::SchedulerKind;
+
+/// Per-VC scheduler state.
+#[derive(Debug, Clone, Default)]
+struct VcState {
+    /// Pending stamps, parallel to the flits queued at this mux point.
+    stamps: VecDeque<f64>,
+    /// The connection's virtual clock register.
+    aux_vc: f64,
+    /// The Vtick of the message currently using this VC (set by its head
+    /// flit, discarded — i.e. simply overwritten — after the tail).
+    vtick: f64,
+}
+
+/// A scheduler for one multiplexing point with a fixed number of VCs.
+///
+/// The owner mirrors its flit queues into the scheduler: call
+/// [`MuxScheduler::on_arrival`] when a flit joins VC `vc`'s queue,
+/// [`MuxScheduler::choose`] each cycle with the eligibility mask, and
+/// [`MuxScheduler::on_service`] when the chosen VC's head flit departs.
+///
+/// # Example
+///
+/// ```
+/// use mediaworm::{MuxScheduler, SchedulerKind};
+/// use netsim::Cycles;
+/// # use flitnet::{Flit, FlitKind, TrafficClass, MsgId, NodeId, StreamId, FrameId, VcId};
+/// # fn head(vtick: f64) -> Flit {
+/// #     Flit { kind: FlitKind::Head, stream: StreamId(0), msg: MsgId(0), frame: FrameId(0),
+/// #         seq_in_msg: 0, msg_len: 2, msg_seq_in_frame: 0, msgs_in_frame: 1,
+/// #         dest: NodeId(0), vc: VcId(0), out_vc: VcId(0), vtick, class: TrafficClass::Vbr,
+/// #         created_at: Cycles(0) }
+/// # }
+/// let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 2);
+/// // VC 0: a low-rate stream (large Vtick). VC 1: a high-rate stream.
+/// s.on_arrival(0, Cycles(0), &head(1000.0));
+/// s.on_arrival(1, Cycles(0), &head(10.0));
+/// // The high-rate stream's flit has the earlier virtual-clock stamp.
+/// assert_eq!(s.choose(&[true, true]), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MuxScheduler {
+    kind: SchedulerKind,
+    vcs: Vec<VcState>,
+    rr_cursor: usize,
+}
+
+impl MuxScheduler {
+    /// Creates a scheduler for `n_vcs` virtual channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_vcs == 0`.
+    pub fn new(kind: SchedulerKind, n_vcs: usize) -> MuxScheduler {
+        assert!(n_vcs > 0, "a mux point needs at least one VC");
+        MuxScheduler {
+            kind,
+            vcs: vec![VcState::default(); n_vcs],
+            rr_cursor: 0,
+        }
+    }
+
+    /// The scheduling discipline.
+    pub fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    /// Number of VCs at this mux point.
+    pub fn vc_count(&self) -> usize {
+        self.vcs.len()
+    }
+
+    /// Records a flit joining VC `vc`'s queue at cycle `now` and stamps it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    pub fn on_arrival(&mut self, vc: usize, now: Cycles, flit: &Flit) {
+        let state = &mut self.vcs[vc];
+        if flit.kind.is_head() {
+            state.vtick = flit.vtick;
+        }
+        let stamp = match self.kind {
+            SchedulerKind::VirtualClock => {
+                // auxVC ← max(Clock, auxVC) + Vtick  (Zhang's update rule)
+                state.aux_vc = state.aux_vc.max(now.as_f64()) + state.vtick;
+                state.aux_vc
+            }
+            SchedulerKind::Fifo => now.as_f64(),
+            SchedulerKind::RoundRobin => 0.0,
+        };
+        state.stamps.push_back(stamp);
+    }
+
+    /// Picks the VC to serve this cycle among those marked eligible.
+    ///
+    /// A VC may only be marked eligible if it has at least one pending
+    /// stamp (i.e. a queued flit) — violations panic, as they indicate the
+    /// owner's queue and the scheduler went out of sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eligible.len()` differs from the VC count, or an eligible
+    /// VC has no pending flit.
+    pub fn choose(&mut self, eligible: &[bool]) -> Option<usize> {
+        assert_eq!(eligible.len(), self.vcs.len(), "eligibility mask size mismatch");
+        match self.kind {
+            SchedulerKind::VirtualClock | SchedulerKind::Fifo => {
+                let mut best: Option<(f64, usize)> = None;
+                for (vc, &ok) in eligible.iter().enumerate() {
+                    if !ok {
+                        continue;
+                    }
+                    let stamp = *self.vcs[vc]
+                        .stamps
+                        .front()
+                        .expect("eligible VC must have a queued flit");
+                    // Strict < keeps ties at the lowest VC index: stable,
+                    // deterministic behaviour.
+                    if best.map_or(true, |(s, _)| stamp < s) {
+                        best = Some((stamp, vc));
+                    }
+                }
+                best.map(|(_, vc)| vc)
+            }
+            SchedulerKind::RoundRobin => {
+                let n = self.vcs.len();
+                for off in 1..=n {
+                    let vc = (self.rr_cursor + off) % n;
+                    if eligible[vc] {
+                        assert!(
+                            !self.vcs[vc].stamps.is_empty(),
+                            "eligible VC must have a queued flit"
+                        );
+                        return Some(vc);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Records that VC `vc`'s head flit was served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` has no pending flit.
+    pub fn on_service(&mut self, vc: usize) {
+        self.vcs[vc]
+            .stamps
+            .pop_front()
+            .expect("serviced VC must have had a queued flit");
+        self.rr_cursor = vc;
+    }
+
+    /// Pending flits registered for VC `vc` (for owner/scheduler sync
+    /// assertions in tests).
+    pub fn pending(&self, vc: usize) -> usize {
+        self.vcs[vc].stamps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flitnet::{FlitKind, FrameId, MsgId, NodeId, StreamId, TrafficClass, VcId};
+
+    fn flit(kind: FlitKind, vtick: f64) -> Flit {
+        Flit {
+            kind,
+            stream: StreamId(0),
+            msg: MsgId(0),
+            frame: FrameId(0),
+            seq_in_msg: 0,
+            msg_len: 4,
+            msg_seq_in_frame: 0,
+            msgs_in_frame: 1,
+            dest: NodeId(0),
+            vc: VcId(0),
+            out_vc: VcId(0),
+            vtick,
+            class: TrafficClass::Vbr,
+            created_at: Cycles(0),
+        }
+    }
+
+    #[test]
+    fn virtual_clock_prefers_higher_rate() {
+        let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 2);
+        s.on_arrival(0, Cycles(0), &flit(FlitKind::Head, 100.0)); // stamp 100
+        s.on_arrival(1, Cycles(0), &flit(FlitKind::Head, 10.0)); // stamp 10
+        assert_eq!(s.choose(&[true, true]), Some(1));
+        s.on_service(1);
+        assert_eq!(s.choose(&[true, false]), Some(0));
+    }
+
+    #[test]
+    fn virtual_clock_shares_proportionally() {
+        // Two streams with 1:3 rate ratio should be served ~1:3.
+        let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 2);
+        // Pre-load 400 flits on each VC (burst arrival at t=0).
+        let h0 = flit(FlitKind::Head, 40.0); // slow stream
+        let h1 = flit(FlitKind::Head, 13.3); // ~3x faster
+        s.on_arrival(0, Cycles(0), &h0);
+        s.on_arrival(1, Cycles(0), &h1);
+        for _ in 0..399 {
+            s.on_arrival(0, Cycles(0), &flit(FlitKind::Body, 40.0));
+            s.on_arrival(1, Cycles(0), &flit(FlitKind::Body, 13.3));
+        }
+        let mut served = [0u32; 2];
+        for _ in 0..400 {
+            let vc = s.choose(&[true, true]).unwrap();
+            served[vc as usize] += 1;
+            s.on_service(vc);
+        }
+        let ratio = f64::from(served[1]) / f64::from(served[0]);
+        assert!((2.5..3.5).contains(&ratio), "ratio {ratio}, served {served:?}");
+    }
+
+    #[test]
+    fn virtual_clock_resets_stale_clock_to_now() {
+        let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 1);
+        s.on_arrival(0, Cycles(0), &flit(FlitKind::Head, 10.0));
+        let vc = s.choose(&[true]).unwrap();
+        s.on_service(vc);
+        // Long idle gap: auxVC (10) is far behind the clock; the next
+        // arrival must stamp relative to `now`, not the stale register.
+        s.on_arrival(0, Cycles(1_000), &flit(FlitKind::Head, 10.0));
+        // Internal stamp = max(1000, 10) + 10 = 1010. Verify by comparing
+        // against a fresh fast arrival on another scheduler — here we just
+        // check it serves (work conservation) and doesn't panic.
+        assert_eq!(s.choose(&[true]), Some(0));
+    }
+
+    #[test]
+    fn fifo_serves_in_arrival_order_across_vcs() {
+        let mut s = MuxScheduler::new(SchedulerKind::Fifo, 3);
+        s.on_arrival(2, Cycles(5), &flit(FlitKind::Head, 1.0));
+        s.on_arrival(0, Cycles(7), &flit(FlitKind::Head, 1.0));
+        s.on_arrival(1, Cycles(6), &flit(FlitKind::Head, 1.0));
+        let order: Vec<usize> = (0..3)
+            .map(|_| {
+                let eligible: Vec<bool> = (0..3).map(|v| s.pending(v) > 0).collect();
+                let vc = s.choose(&eligible).unwrap();
+                s.on_service(vc);
+                vc
+            })
+            .collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn fifo_ignores_vtick() {
+        let mut s = MuxScheduler::new(SchedulerKind::Fifo, 2);
+        s.on_arrival(0, Cycles(1), &flit(FlitKind::Head, 1e9)); // "slow" stream first
+        s.on_arrival(1, Cycles(2), &flit(FlitKind::Head, 1.0));
+        assert_eq!(s.choose(&[true, true]), Some(0));
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut s = MuxScheduler::new(SchedulerKind::RoundRobin, 3);
+        for vc in 0..3 {
+            for _ in 0..2 {
+                s.on_arrival(vc, Cycles(0), &flit(FlitKind::Body, 1.0));
+            }
+        }
+        let mut order = Vec::new();
+        for _ in 0..6 {
+            let vc = s.choose(&[true, true, true]).unwrap();
+            s.on_service(vc);
+            order.push(vc);
+        }
+        assert_eq!(order, vec![1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn round_robin_skips_ineligible() {
+        let mut s = MuxScheduler::new(SchedulerKind::RoundRobin, 3);
+        s.on_arrival(0, Cycles(0), &flit(FlitKind::Body, 1.0));
+        s.on_arrival(2, Cycles(0), &flit(FlitKind::Body, 1.0));
+        assert_eq!(s.choose(&[true, false, true]), Some(2));
+    }
+
+    #[test]
+    fn choose_returns_none_when_nothing_eligible() {
+        let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 2);
+        assert_eq!(s.choose(&[false, false]), None);
+    }
+
+    #[test]
+    fn best_effort_always_loses_to_real_time() {
+        let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 2);
+        // Best-effort arrives FIRST, real-time second.
+        s.on_arrival(0, Cycles(0), &flit(FlitKind::Head, flitnet::BEST_EFFORT_VTICK));
+        s.on_arrival(1, Cycles(10), &flit(FlitKind::Head, 100.0));
+        assert_eq!(s.choose(&[true, true]), Some(1));
+    }
+
+    #[test]
+    fn best_effort_is_fifo_among_itself() {
+        let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 2);
+        s.on_arrival(1, Cycles(0), &flit(FlitKind::Head, flitnet::BEST_EFFORT_VTICK));
+        s.on_arrival(0, Cycles(5), &flit(FlitKind::Head, flitnet::BEST_EFFORT_VTICK));
+        // VC 1 arrived first → lower accumulated stamp.
+        assert_eq!(s.choose(&[true, true]), Some(1));
+    }
+
+    #[test]
+    fn vtick_tracks_current_message() {
+        let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 1);
+        // Message 1: fast. Its body flits inherit the head's vtick.
+        s.on_arrival(0, Cycles(0), &flit(FlitKind::Head, 10.0));
+        s.on_arrival(0, Cycles(0), &flit(FlitKind::Tail, 10.0));
+        // Message 2 on the same VC: slow.
+        s.on_arrival(0, Cycles(0), &flit(FlitKind::Head, 1000.0));
+        assert_eq!(s.pending(0), 3);
+        for _ in 0..3 {
+            let vc = s.choose(&[true]).unwrap();
+            s.on_service(vc);
+        }
+        assert_eq!(s.pending(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "queued flit")]
+    fn eligible_without_flit_panics() {
+        let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 1);
+        let _ = s.choose(&[true]);
+    }
+}

@@ -1,0 +1,163 @@
+//! One-call experiment driver.
+//!
+//! Wraps [`crate::net::Network`] with the warm-up / measurement protocol
+//! every experiment in the paper follows, and condenses the result into a
+//! [`SimOutcome`].
+
+use metrics::JitterSummary;
+use topo::Topology;
+use traffic::Workload;
+
+use crate::config::RouterConfig;
+use crate::net::Network;
+
+/// The condensed result of one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOutcome {
+    /// Frame-delivery jitter of the real-time streams (d̄, σ_d).
+    pub jitter: JitterSummary,
+    /// Mean best-effort message latency in microseconds (`NaN` if the
+    /// workload had no best-effort component).
+    pub be_mean_latency_us: f64,
+    /// Best-effort messages measured.
+    pub be_msgs: u64,
+    /// Realized real-time load (fraction of link bandwidth per node).
+    pub rt_load: f64,
+    /// Realized best-effort load.
+    pub be_load: f64,
+    /// Whether the real-time demand exceeded the per-VC stream capacity.
+    pub oversubscribed: bool,
+    /// Messages injected over the whole run (including warm-up).
+    pub injected_msgs: u64,
+    /// Messages delivered over the whole run.
+    pub delivered_msgs: u64,
+}
+
+impl SimOutcome {
+    /// Whether the run delivered real-time traffic jitter-free in the
+    /// paper's sense (d̄ ≈ frame interval, σ_d ≈ 0), with `tol_ms`
+    /// tolerance.
+    pub fn is_jitter_free(&self, frame_interval_ms: f64, tol_ms: f64) -> bool {
+        self.jitter.is_jitter_free(frame_interval_ms, tol_ms)
+    }
+}
+
+/// Runs `workload` over `topology` with `cfg`-configured MediaWorm
+/// switches for `warmup_secs + measure_secs` of simulated time, measuring
+/// only after the warm-up.
+///
+/// # Example
+///
+/// ```
+/// use mediaworm::{sim, RouterConfig};
+/// use flitnet::VcPartition;
+/// use topo::Topology;
+/// use traffic::{StreamClass, WorkloadBuilder};
+///
+/// let topology = Topology::single_switch(8);
+/// let wl = WorkloadBuilder::new(8, VcPartition::all_real_time(16))
+///     .load(0.4)
+///     .mix(100.0, 0.0)
+///     .real_time_class(StreamClass::Cbr)
+///     .build();
+/// let out = sim::run(&topology, wl, &RouterConfig::default(), 0.02, 0.08);
+/// assert!(out.is_jitter_free(33.0, 1.0));
+/// ```
+///
+/// # Panics
+///
+/// Panics if either duration is not positive.
+pub fn run(
+    topology: &Topology,
+    workload: Workload,
+    cfg: &RouterConfig,
+    warmup_secs: f64,
+    measure_secs: f64,
+) -> SimOutcome {
+    assert!(warmup_secs > 0.0, "warm-up must be positive");
+    assert!(measure_secs > 0.0, "measurement window must be positive");
+    let (rt_load, be_load) = workload.realized_load();
+    let oversubscribed = workload.is_oversubscribed();
+    let mut net = Network::new(topology, workload, cfg);
+    let tb = net.timebase();
+    let warmup = tb.cycles_from_secs(warmup_secs);
+    let end = tb.cycles_from_secs(warmup_secs + measure_secs);
+    net.set_warmup_end(warmup);
+    net.run_until(end);
+    SimOutcome {
+        jitter: net.delivery().summary(),
+        be_mean_latency_us: net.latency().mean_us(),
+        be_msgs: net.latency().count(),
+        rt_load,
+        be_load,
+        oversubscribed,
+        injected_msgs: net.injected_msgs(),
+        delivered_msgs: net.delivered_msgs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use flitnet::VcPartition;
+    use traffic::{StreamClass, WorkloadBuilder};
+
+    fn workload(load: f64, x: f64, y: f64, seed: u64) -> Workload {
+        let p = if y == 0.0 {
+            VcPartition::all_real_time(16)
+        } else {
+            VcPartition::from_mix(16, x, y)
+        };
+        WorkloadBuilder::new(8, p)
+            .load(load)
+            .mix(x, y)
+            .real_time_class(StreamClass::Vbr)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn outcome_reports_loads() {
+        let out = run(
+            &Topology::single_switch(8),
+            workload(0.5, 80.0, 20.0, 1),
+            &RouterConfig::default(),
+            0.02,
+            0.05,
+        );
+        assert!((out.rt_load - 0.4).abs() < 0.01);
+        assert!((out.be_load - 0.1).abs() < 0.01);
+        assert!(out.be_msgs > 0);
+        assert!(out.injected_msgs > out.delivered_msgs / 2);
+    }
+
+    #[test]
+    fn moderate_load_vbr_is_jitter_free_with_virtual_clock() {
+        let out = run(
+            &Topology::single_switch(8),
+            workload(0.6, 100.0, 0.0, 2),
+            &RouterConfig::default().scheduler(SchedulerKind::VirtualClock),
+            0.05,
+            0.2,
+        );
+        assert!(
+            out.is_jitter_free(33.0, 1.5),
+            "d={} σ={}",
+            out.jitter.mean_ms,
+            out.jitter.std_ms
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-up must be positive")]
+    fn zero_warmup_rejected() {
+        let _ = run(
+            &Topology::single_switch(8),
+            workload(0.5, 100.0, 0.0, 3),
+            &RouterConfig::default(),
+            0.0,
+            0.1,
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! The paper's three ATM-style traffic classes.
+
+use std::fmt;
+
+/// Traffic class of a stream or message, following the ATM Forum taxonomy
+/// the paper adopts (§1): CBR and VBR need QoS guarantees, ABR (best-effort)
+/// does not.
+///
+/// # Example
+///
+/// ```
+/// use flitnet::TrafficClass;
+///
+/// assert!(TrafficClass::Vbr.is_real_time());
+/// assert!(TrafficClass::Cbr.is_real_time());
+/// assert!(!TrafficClass::BestEffort.is_real_time());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrafficClass {
+    /// Constant bit rate — uncompressed audio/video; fixed frame size.
+    Cbr,
+    /// Variable bit rate — compressed (MPEG-2) video; normally-distributed
+    /// frame size in the paper's workload.
+    Vbr,
+    /// Best-effort (ABR) — everything without real-time requirements.
+    BestEffort,
+}
+
+impl TrafficClass {
+    /// Whether this class carries real-time (QoS-requiring) traffic.
+    pub fn is_real_time(self) -> bool {
+        matches!(self, TrafficClass::Cbr | TrafficClass::Vbr)
+    }
+
+    /// All classes, for iteration in tests and reports.
+    pub const ALL: [TrafficClass; 3] = [
+        TrafficClass::Cbr,
+        TrafficClass::Vbr,
+        TrafficClass::BestEffort,
+    ];
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrafficClass::Cbr => "CBR",
+            TrafficClass::Vbr => "VBR",
+            TrafficClass::BestEffort => "best-effort",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_time_split() {
+        assert!(TrafficClass::Cbr.is_real_time());
+        assert!(TrafficClass::Vbr.is_real_time());
+        assert!(!TrafficClass::BestEffort.is_real_time());
+    }
+
+    #[test]
+    fn all_lists_each_class_once() {
+        assert_eq!(TrafficClass::ALL.len(), 3);
+        let mut seen = std::collections::HashSet::new();
+        for c in TrafficClass::ALL {
+            assert!(seen.insert(c));
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TrafficClass::Cbr.to_string(), "CBR");
+        assert_eq!(TrafficClass::Vbr.to_string(), "VBR");
+        assert_eq!(TrafficClass::BestEffort.to_string(), "best-effort");
+    }
+}

@@ -1,0 +1,112 @@
+//! Strongly-typed identifiers for network entities.
+//!
+//! Using newtypes instead of bare `usize`/`u64` prevents the classic
+//! simulator bug of indexing a port table with a VC number. Each id derives
+//! the full set of comparison traits so it can key maps and sort stably.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw index value.
+            #[inline]
+            pub fn get(self) -> $inner {
+                self.0
+            }
+
+            /// Returns the id as a `usize` for table indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> $name {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An endpoint (compute node / network interface) in the cluster.
+    NodeId, u32, "n"
+);
+id_type!(
+    /// A router (switch) in the topology.
+    RouterId, u32, "r"
+);
+id_type!(
+    /// A physical channel (port) of a router.
+    PortId, u32, "p"
+);
+id_type!(
+    /// A virtual channel index within a physical channel.
+    VcId, u32, "vc"
+);
+id_type!(
+    /// A traffic stream (one VBR/CBR connection or a best-effort source).
+    StreamId, u32, "s"
+);
+id_type!(
+    /// A video frame, numbered per stream.
+    FrameId, u32, "f"
+);
+id_type!(
+    /// A message (the wormhole unit that carries a Vtick in its header).
+    MsgId, u64, "m"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // This is a compile-time property; the test documents it.
+        fn takes_port(_p: PortId) {}
+        takes_port(PortId(3));
+        // takes_port(VcId(3)); // would not compile
+    }
+
+    #[test]
+    fn display_includes_tag() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(RouterId(1).to_string(), "r1");
+        assert_eq!(PortId(7).to_string(), "p7");
+        assert_eq!(VcId(15).to_string(), "vc15");
+        assert_eq!(StreamId(9).to_string(), "s9");
+        assert_eq!(FrameId(2).to_string(), "f2");
+        assert_eq!(MsgId(100).to_string(), "m100");
+    }
+
+    #[test]
+    fn ids_hash_and_order() {
+        let mut set = HashSet::new();
+        set.insert(VcId(0));
+        set.insert(VcId(1));
+        set.insert(VcId(0));
+        assert_eq!(set.len(), 2);
+        assert!(VcId(0) < VcId(1));
+    }
+
+    #[test]
+    fn conversions() {
+        let p: PortId = 5u32.into();
+        assert_eq!(p.get(), 5);
+        assert_eq!(p.index(), 5usize);
+    }
+}

@@ -1,0 +1,222 @@
+//! Physical channels and credit return paths.
+//!
+//! A [`Link`] moves at most one flit per cycle with a fixed pipeline
+//! latency; the matching [`CreditLink`] carries per-VC buffer credits back
+//! upstream with the same latency model. Both are plain delay lines — the
+//! *decision* of what to send is the router's job.
+
+use std::collections::VecDeque;
+
+use netsim::Cycles;
+
+use crate::flit::Flit;
+use crate::ids::VcId;
+
+/// A one-flit-per-cycle pipelined physical channel.
+///
+/// # Example
+///
+/// ```
+/// use flitnet::{Flit, FlitKind, Link, TrafficClass};
+/// use flitnet::{MsgId, NodeId, StreamId, FrameId, VcId};
+/// use netsim::Cycles;
+///
+/// let mut link = Link::new(Cycles(1));
+/// # let f = Flit { kind: FlitKind::HeadTail, stream: StreamId(0), msg: MsgId(0),
+/// #   frame: FrameId(0), seq_in_msg: 0, msg_len: 1, msg_seq_in_frame: 0,
+/// #   msgs_in_frame: 1, dest: NodeId(0), vc: VcId(0), out_vc: VcId(0), vtick: 1.0,
+/// #   class: TrafficClass::Vbr, created_at: Cycles(0) };
+/// assert!(link.can_send(Cycles(5)));
+/// link.send(Cycles(5), f);
+/// assert!(!link.can_send(Cycles(5))); // one flit per cycle
+/// assert!(link.recv(Cycles(5)).is_none()); // still in flight
+/// assert!(link.recv(Cycles(6)).is_some()); // arrives after latency
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    latency: Cycles,
+    in_flight: VecDeque<(Cycles, Flit)>,
+    last_send: Option<Cycles>,
+}
+
+impl Link {
+    /// Creates a link with the given pipeline latency (≥ 1 cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero: a zero-latency link would let a flit
+    /// traverse several routers in one cycle.
+    pub fn new(latency: Cycles) -> Link {
+        assert!(latency > Cycles::ZERO, "link latency must be at least one cycle");
+        Link {
+            latency,
+            in_flight: VecDeque::new(),
+            last_send: None,
+        }
+    }
+
+    /// The link's pipeline latency.
+    pub fn latency(&self) -> Cycles {
+        self.latency
+    }
+
+    /// Whether the link can accept a flit this cycle (bandwidth check only;
+    /// the sender must separately hold a downstream credit).
+    pub fn can_send(&self, now: Cycles) -> bool {
+        self.last_send != Some(now)
+    }
+
+    /// Puts a flit on the wire at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flit was already sent this cycle (one flit per cycle).
+    pub fn send(&mut self, now: Cycles, flit: Flit) {
+        assert!(self.can_send(now), "link bandwidth exceeded at {now}");
+        self.last_send = Some(now);
+        self.in_flight.push_back((now + self.latency, flit));
+    }
+
+    /// Takes the flit arriving at cycle `now`, if any.
+    pub fn recv(&mut self, now: Cycles) -> Option<Flit> {
+        if self.in_flight.front().is_some_and(|(at, _)| *at <= now) {
+            Some(self.in_flight.pop_front().expect("peeked entry").1)
+        } else {
+            None
+        }
+    }
+
+    /// Number of flits currently on the wire.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Whether any flit is on the wire (used for idle detection).
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+}
+
+/// The upstream credit-return path paired with a [`Link`].
+///
+/// When a downstream input VC buffer frees a slot, a credit for that VC
+/// travels back with the link's latency.
+#[derive(Debug, Clone, Default)]
+pub struct CreditLink {
+    latency: Cycles,
+    in_flight: VecDeque<(Cycles, VcId)>,
+}
+
+impl CreditLink {
+    /// Creates a credit path with the given latency.
+    pub fn new(latency: Cycles) -> CreditLink {
+        CreditLink {
+            latency,
+            in_flight: VecDeque::new(),
+        }
+    }
+
+    /// Sends one credit for `vc` at cycle `now`.
+    pub fn send(&mut self, now: Cycles, vc: VcId) {
+        self.in_flight.push_back((now + self.latency, vc));
+    }
+
+    /// Takes the next credit arriving at or before `now`, if any. Call in a
+    /// loop to drain all due credits (multiple VCs may return credits in the
+    /// same cycle).
+    pub fn recv(&mut self, now: Cycles) -> Option<VcId> {
+        if self.in_flight.front().is_some_and(|(at, _)| *at <= now) {
+            Some(self.in_flight.pop_front().expect("peeked entry").1)
+        } else {
+            None
+        }
+    }
+
+    /// Whether no credits are in flight.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::FlitKind;
+    use crate::ids::{FrameId, MsgId, NodeId, StreamId};
+    use crate::TrafficClass;
+
+    fn flit(seq: u32) -> Flit {
+        Flit {
+            kind: FlitKind::Body,
+            stream: StreamId(0),
+            msg: MsgId(0),
+            frame: FrameId(0),
+            seq_in_msg: seq,
+            msg_len: 10,
+            msg_seq_in_frame: 0,
+            msgs_in_frame: 1,
+            dest: NodeId(0),
+            vc: VcId(0),
+            out_vc: VcId(0),
+            vtick: 1.0,
+            class: TrafficClass::Vbr,
+            created_at: Cycles(0),
+        }
+    }
+
+    #[test]
+    fn delivers_after_latency() {
+        let mut link = Link::new(Cycles(3));
+        link.send(Cycles(10), flit(0));
+        assert!(link.recv(Cycles(12)).is_none());
+        assert_eq!(link.recv(Cycles(13)).unwrap().seq_in_msg, 0);
+        assert!(link.is_idle());
+    }
+
+    #[test]
+    fn preserves_order_across_cycles() {
+        let mut link = Link::new(Cycles(1));
+        link.send(Cycles(0), flit(0));
+        link.send(Cycles(1), flit(1));
+        assert_eq!(link.recv(Cycles(1)).unwrap().seq_in_msg, 0);
+        assert_eq!(link.recv(Cycles(2)).unwrap().seq_in_msg, 1);
+    }
+
+    #[test]
+    fn one_flit_per_cycle() {
+        let mut link = Link::new(Cycles(1));
+        link.send(Cycles(0), flit(0));
+        assert!(!link.can_send(Cycles(0)));
+        assert!(link.can_send(Cycles(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth exceeded")]
+    fn double_send_panics() {
+        let mut link = Link::new(Cycles(1));
+        link.send(Cycles(0), flit(0));
+        link.send(Cycles(0), flit(1));
+    }
+
+    #[test]
+    fn credits_round_trip() {
+        let mut credits = CreditLink::new(Cycles(1));
+        credits.send(Cycles(5), VcId(3));
+        credits.send(Cycles(5), VcId(1));
+        assert!(credits.recv(Cycles(5)).is_none());
+        assert_eq!(credits.recv(Cycles(6)), Some(VcId(3)));
+        assert_eq!(credits.recv(Cycles(6)), Some(VcId(1)));
+        assert!(credits.recv(Cycles(6)).is_none());
+        assert!(credits.is_idle());
+    }
+
+    #[test]
+    fn in_flight_counts() {
+        let mut link = Link::new(Cycles(5));
+        link.send(Cycles(0), flit(0));
+        link.send(Cycles(1), flit(1));
+        assert_eq!(link.in_flight(), 2);
+        let _ = link.recv(Cycles(5));
+        assert_eq!(link.in_flight(), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Bounded per-virtual-channel flit buffers.
+//!
+//! Each input port of the router holds one [`VcBuffer`] per virtual channel
+//! (the paper's configuration: 20-flit buffers). Occupancy is governed by
+//! credit-based flow control — the upstream sender only transmits when it
+//! holds a credit, so `push` overflowing indicates a protocol bug and
+//! panics rather than dropping flits.
+
+use std::collections::VecDeque;
+
+use crate::flit::Flit;
+
+/// A bounded FIFO of flits with a fixed capacity.
+///
+/// # Example
+///
+/// ```
+/// use flitnet::VcBuffer;
+///
+/// let buf = VcBuffer::new(20);
+/// assert_eq!(buf.capacity(), 20);
+/// assert!(buf.is_empty());
+/// assert_eq!(buf.free_space(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VcBuffer {
+    flits: VecDeque<Flit>,
+    capacity: usize,
+}
+
+impl VcBuffer {
+    /// Creates an empty buffer holding at most `capacity` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> VcBuffer {
+        assert!(capacity > 0, "a VC buffer must hold at least one flit");
+        VcBuffer {
+            flits: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of flits the buffer can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of buffered flits.
+    pub fn len(&self) -> usize {
+        self.flits.len()
+    }
+
+    /// Whether the buffer holds no flits.
+    pub fn is_empty(&self) -> bool {
+        self.flits.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.flits.len() >= self.capacity
+    }
+
+    /// Remaining space in flits.
+    pub fn free_space(&self) -> usize {
+        self.capacity - self.flits.len()
+    }
+
+    /// Appends a flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full — credit-based flow control must have
+    /// prevented the send, so overflow is a simulator bug, not a network
+    /// condition.
+    pub fn push(&mut self, flit: Flit) {
+        assert!(
+            !self.is_full(),
+            "VC buffer overflow: credit protocol violated (capacity {})",
+            self.capacity
+        );
+        self.flits.push_back(flit);
+    }
+
+    /// The flit at the head of the FIFO, if any.
+    pub fn head(&self) -> Option<&Flit> {
+        self.flits.front()
+    }
+
+    /// Removes and returns the head flit.
+    pub fn pop(&mut self) -> Option<Flit> {
+        self.flits.pop_front()
+    }
+
+    /// Iterates over buffered flits, head first.
+    pub fn iter(&self) -> impl Iterator<Item = &Flit> {
+        self.flits.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::FlitKind;
+    use crate::ids::{FrameId, MsgId, NodeId, StreamId, VcId};
+    use crate::TrafficClass;
+    use netsim::Cycles;
+
+    fn flit(seq: u32) -> Flit {
+        Flit {
+            kind: FlitKind::Body,
+            stream: StreamId(0),
+            msg: MsgId(0),
+            frame: FrameId(0),
+            seq_in_msg: seq,
+            msg_len: 100,
+            msg_seq_in_frame: 0,
+            msgs_in_frame: 1,
+            dest: NodeId(0),
+            vc: VcId(0),
+            out_vc: VcId(0),
+            vtick: 1.0,
+            class: TrafficClass::Vbr,
+            created_at: Cycles(0),
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut buf = VcBuffer::new(4);
+        for i in 0..4 {
+            buf.push(flit(i));
+        }
+        assert!(buf.is_full());
+        for i in 0..4 {
+            assert_eq!(buf.pop().unwrap().seq_in_msg, i);
+        }
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn head_peeks_without_removing() {
+        let mut buf = VcBuffer::new(2);
+        buf.push(flit(9));
+        assert_eq!(buf.head().unwrap().seq_in_msg, 9);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn free_space_tracks_occupancy() {
+        let mut buf = VcBuffer::new(3);
+        assert_eq!(buf.free_space(), 3);
+        buf.push(flit(0));
+        assert_eq!(buf.free_space(), 2);
+        buf.pop();
+        assert_eq!(buf.free_space(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit protocol violated")]
+    fn overflow_panics() {
+        let mut buf = VcBuffer::new(1);
+        buf.push(flit(0));
+        buf.push(flit(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_capacity_panics() {
+        let _ = VcBuffer::new(0);
+    }
+}

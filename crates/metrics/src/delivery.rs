@@ -1,0 +1,268 @@
+//! Frame delivery interval (jitter) tracking.
+
+use flitnet::StreamId;
+use netsim::{Cycles, Histogram, RunningStats, TimeBase};
+
+/// Aggregated jitter results for a set of real-time streams.
+///
+/// All values are in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitterSummary {
+    /// Mean frame delivery interval d̄.
+    pub mean_ms: f64,
+    /// Standard deviation of the delivery interval σ_d.
+    pub std_ms: f64,
+    /// Largest observed interval.
+    pub max_ms: f64,
+    /// 99th-percentile interval (histogram estimate; `NaN` if empty).
+    pub p99_ms: f64,
+    /// Number of intervals that entered the statistics.
+    pub intervals: u64,
+    /// Number of frame deliveries observed (including each stream's first).
+    pub frames: u64,
+}
+
+impl JitterSummary {
+    /// Whether delivery is jitter-free in the paper's sense: the mean
+    /// interval tracks the source frame interval within `tol_ms` and the
+    /// deviation is below `tol_ms`.
+    pub fn is_jitter_free(&self, source_interval_ms: f64, tol_ms: f64) -> bool {
+        (self.mean_ms - source_interval_ms).abs() <= tol_ms && self.std_ms <= tol_ms
+    }
+}
+
+/// Records frame-completion times per stream and accumulates the
+/// between-frame intervals.
+///
+/// The delivery interval is "the difference between the delivery times of
+/// two successive frames at the destination" (§4.1). Intervals are pooled
+/// across all tracked streams, matching the per-configuration d̄/σ_d the
+/// paper plots.
+///
+/// A warm-up boundary may be set; intervals whose *later* frame completes
+/// before the boundary are discarded, and the first interval measured
+/// across the boundary is also discarded (its earlier frame belongs to the
+/// warm-up regime).
+///
+/// # Example
+///
+/// ```
+/// use metrics::DeliveryTracker;
+/// use flitnet::StreamId;
+/// use netsim::{Cycles, TimeBase};
+///
+/// let tb = TimeBase::from_link(400e6, 32);
+/// let frame = tb.cycles_from_ms(33.0).get();
+/// let mut t = DeliveryTracker::new(tb);
+/// for k in 0..10 {
+///     t.record_frame(StreamId(0), Cycles(k * frame));
+/// }
+/// let s = t.summary();
+/// assert_eq!(s.intervals, 9);
+/// assert!((s.mean_ms - 33.0).abs() < 1e-9);
+/// assert!(s.std_ms.abs() < 1e-9);
+/// assert!(s.is_jitter_free(33.0, 0.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeliveryTracker {
+    timebase: TimeBase,
+    /// Last completion per stream (dense by stream id).
+    last: Vec<Option<Cycles>>,
+    intervals: RunningStats,
+    /// Per-stream interval statistics (dense by stream id).
+    per_stream: Vec<RunningStats>,
+    /// Interval histogram in milliseconds, for percentile estimates.
+    histogram: Histogram,
+    frames: u64,
+    warmup_end: Cycles,
+}
+
+impl DeliveryTracker {
+    /// Creates a tracker; `timebase` converts cycles to milliseconds.
+    pub fn new(timebase: TimeBase) -> DeliveryTracker {
+        DeliveryTracker {
+            timebase,
+            last: Vec::new(),
+            intervals: RunningStats::new(),
+            per_stream: Vec::new(),
+            // 0–330 ms covers ten frame intervals; overflow still counts.
+            histogram: Histogram::new(0.0, 330.0, 660),
+            frames: 0,
+            warmup_end: Cycles::ZERO,
+        }
+    }
+
+    /// Discards statistics for frames completing before `at`, and the first
+    /// interval spanning the boundary.
+    pub fn set_warmup_end(&mut self, at: Cycles) {
+        self.warmup_end = at;
+    }
+
+    /// Records that `stream` completed a frame at cycle `at`.
+    ///
+    /// Out-of-order completions (earlier than the stream's previous frame)
+    /// are a simulator bug and panic.
+    pub fn record_frame(&mut self, stream: StreamId, at: Cycles) {
+        let idx = stream.index();
+        if idx >= self.last.len() {
+            self.last.resize(idx + 1, None);
+        }
+        if at >= self.warmup_end {
+            self.frames += 1;
+        }
+        if let Some(prev) = self.last[idx] {
+            assert!(at >= prev, "frame completions must be monotonic per stream");
+            if prev >= self.warmup_end {
+                let ms = self.timebase.cycles_to_ms(at - prev);
+                self.intervals.push(ms);
+                self.histogram.record(ms);
+                if idx >= self.per_stream.len() {
+                    self.per_stream.resize_with(idx + 1, RunningStats::new);
+                }
+                self.per_stream[idx].push(ms);
+            }
+        }
+        self.last[idx] = Some(at);
+    }
+
+    /// Number of streams that have delivered at least one frame.
+    pub fn streams_seen(&self) -> usize {
+        self.last.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// The pooled jitter summary.
+    pub fn summary(&self) -> JitterSummary {
+        JitterSummary {
+            mean_ms: self.intervals.mean(),
+            std_ms: self.intervals.std_dev(),
+            max_ms: self.intervals.max(),
+            p99_ms: if self.intervals.count() == 0 {
+                f64::NAN
+            } else {
+                self.histogram.percentile(99.0)
+            },
+            intervals: self.intervals.count(),
+            frames: self.frames,
+        }
+    }
+
+    /// Per-stream interval statistics (dense by stream id; streams with no
+    /// measured interval report empty stats).
+    pub fn per_stream(&self) -> &[RunningStats] {
+        &self.per_stream
+    }
+
+    /// The stream with the worst (largest) mean delivery interval, with
+    /// that mean in milliseconds — the user-facing "who is starving"
+    /// question. `None` before any interval is measured.
+    pub fn worst_stream(&self) -> Option<(StreamId, f64)> {
+        self.per_stream
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, s)| (StreamId(i as u32), s.mean()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tb() -> TimeBase {
+        TimeBase::from_link(400e6, 32)
+    }
+
+    #[test]
+    fn steady_stream_has_zero_jitter() {
+        let mut t = DeliveryTracker::new(tb());
+        let frame = tb().cycles_from_ms(33.0).get();
+        for k in 0..100u64 {
+            t.record_frame(StreamId(3), Cycles(k * frame));
+        }
+        let s = t.summary();
+        assert_eq!(s.intervals, 99);
+        assert_eq!(s.frames, 100);
+        assert!((s.mean_ms - 33.0).abs() < 1e-9);
+        assert!(s.std_ms < 1e-9);
+    }
+
+    #[test]
+    fn jittery_stream_has_positive_sigma() {
+        let mut t = DeliveryTracker::new(tb());
+        let frame = tb().cycles_from_ms(33.0).get();
+        let mut at = 0u64;
+        for k in 0..100u64 {
+            at += if k % 2 == 0 { frame / 2 } else { frame + frame / 2 };
+            t.record_frame(StreamId(0), Cycles(at));
+        }
+        let s = t.summary();
+        assert!((s.mean_ms - 33.0).abs() < 0.5);
+        assert!(s.std_ms > 10.0);
+        assert!(!s.is_jitter_free(33.0, 1.0));
+    }
+
+    #[test]
+    fn pools_across_streams() {
+        let mut t = DeliveryTracker::new(tb());
+        let frame = tb().cycles_from_ms(33.0).get();
+        for s in 0..4u32 {
+            for k in 0..10u64 {
+                // Offset each stream so completions interleave.
+                t.record_frame(StreamId(s), Cycles(k * frame + u64::from(s) * 1000));
+            }
+        }
+        let sum = t.summary();
+        assert_eq!(sum.intervals, 4 * 9);
+        assert_eq!(t.streams_seen(), 4);
+        assert!((sum.mean_ms - 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_discards_early_intervals() {
+        let mut t = DeliveryTracker::new(tb());
+        let frame = tb().cycles_from_ms(33.0).get();
+        t.set_warmup_end(Cycles(5 * frame));
+        for k in 0..10u64 {
+            t.record_frame(StreamId(0), Cycles(k * frame));
+        }
+        let s = t.summary();
+        // Frames at 5..10 count; intervals only where the earlier frame is
+        // past warm-up: (5,6),(6,7),(7,8),(8,9) = 4.
+        assert_eq!(s.frames, 5);
+        assert_eq!(s.intervals, 4);
+    }
+
+    #[test]
+    fn percentiles_and_worst_stream() {
+        let mut t = DeliveryTracker::new(tb());
+        let frame = tb().cycles_from_ms(33.0).get();
+        // Stream 0: steady. Stream 1: every interval stretched by 10 %.
+        for k in 0..50u64 {
+            t.record_frame(StreamId(0), Cycles(k * frame));
+            t.record_frame(StreamId(1), Cycles(k * frame * 11 / 10));
+        }
+        let (worst, mean) = t.worst_stream().expect("streams measured");
+        assert_eq!(worst, StreamId(1));
+        assert!(mean > 33.0);
+        let s = t.summary();
+        assert!(s.p99_ms >= s.mean_ms - 0.5);
+        assert_eq!(t.per_stream().len(), 2);
+        assert_eq!(t.per_stream()[0].count(), 49);
+    }
+
+    #[test]
+    fn empty_summary_has_nan_percentile() {
+        let t = DeliveryTracker::new(tb());
+        assert!(t.summary().p99_ms.is_nan());
+        assert!(t.worst_stream().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn out_of_order_panics() {
+        let mut t = DeliveryTracker::new(tb());
+        t.record_frame(StreamId(0), Cycles(100));
+        t.record_frame(StreamId(0), Cycles(50));
+    }
+}

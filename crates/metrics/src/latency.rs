@@ -1,0 +1,120 @@
+//! Best-effort message latency tracking.
+
+use netsim::{Cycles, RunningStats, TimeBase};
+
+/// Accumulates message latencies (creation → tail delivery) and reports the
+/// paper's "average latency for best-effort traffic" in microseconds.
+///
+/// # Example
+///
+/// ```
+/// use metrics::LatencyTracker;
+/// use netsim::{Cycles, TimeBase};
+///
+/// let tb = TimeBase::from_link(400e6, 32); // 80 ns cycles
+/// let mut t = LatencyTracker::new(tb);
+/// t.record(Cycles(0), Cycles(125)); // 10 µs
+/// t.record(Cycles(100), Cycles(350)); // 20 µs
+/// assert!((t.mean_us() - 15.0).abs() < 1e-9);
+/// assert_eq!(t.count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyTracker {
+    timebase: TimeBase,
+    stats: RunningStats,
+    warmup_end: Cycles,
+}
+
+impl LatencyTracker {
+    /// Creates a tracker; `timebase` converts cycles to microseconds.
+    pub fn new(timebase: TimeBase) -> LatencyTracker {
+        LatencyTracker {
+            timebase,
+            stats: RunningStats::new(),
+            warmup_end: Cycles::ZERO,
+        }
+    }
+
+    /// Ignores messages *created* before `at` (their queueing time belongs
+    /// to the warm-up transient).
+    pub fn set_warmup_end(&mut self, at: Cycles) {
+        self.warmup_end = at;
+    }
+
+    /// Records one message delivered at `delivered` that was created at
+    /// `created`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delivered < created`.
+    pub fn record(&mut self, created: Cycles, delivered: Cycles) {
+        assert!(delivered >= created, "delivery before creation");
+        if created < self.warmup_end {
+            return;
+        }
+        self.stats.push(self.timebase.cycles_to_us(delivered - created));
+    }
+
+    /// Mean latency in microseconds (`NaN` if no samples).
+    pub fn mean_us(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Standard deviation of latency in microseconds.
+    pub fn std_us(&self) -> f64 {
+        self.stats.std_dev()
+    }
+
+    /// Largest observed latency in microseconds.
+    pub fn max_us(&self) -> f64 {
+        self.stats.max()
+    }
+
+    /// Number of recorded messages.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tb() -> TimeBase {
+        TimeBase::from_link(400e6, 32)
+    }
+
+    #[test]
+    fn mean_of_known_latencies() {
+        let mut t = LatencyTracker::new(tb());
+        // 125 cycles at 80 ns = 10 µs.
+        t.record(Cycles(0), Cycles(125));
+        t.record(Cycles(0), Cycles(375));
+        assert!((t.mean_us() - 20.0).abs() < 1e-9);
+        assert!((t.max_us() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_filters_by_creation_time() {
+        let mut t = LatencyTracker::new(tb());
+        t.set_warmup_end(Cycles(1000));
+        t.record(Cycles(999), Cycles(2000)); // created in warm-up: dropped
+        t.record(Cycles(1000), Cycles(1125)); // counted
+        assert_eq!(t.count(), 1);
+        assert!((t.mean_us() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_tracker_reports_nan() {
+        let t = LatencyTracker::new(tb());
+        assert!(t.mean_us().is_nan());
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delivery before creation")]
+    fn negative_latency_panics() {
+        let mut t = LatencyTracker::new(tb());
+        t.record(Cycles(10), Cycles(5));
+    }
+}

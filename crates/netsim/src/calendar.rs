@@ -1,0 +1,204 @@
+//! A future-event calendar: a stable min-heap of `(time, payload)` pairs.
+//!
+//! The wormhole and PCS simulators are cycle-driven, but traffic injection
+//! is naturally event-driven (a VBR source emits one message every ~165 µs).
+//! The [`Calendar`] bridges the two: the main loop pops every event due at
+//! the current cycle, and when the network is idle it can skip the clock
+//! straight to the next event.
+
+use std::collections::BinaryHeap;
+
+use crate::time::Cycles;
+
+/// A pending event inside the heap. Ordering is reversed (min-heap) and tied
+/// on a sequence number so that events scheduled for the same cycle pop in
+/// insertion order (stability matters for reproducibility).
+struct Entry<T> {
+    at: Cycles,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on (at, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A stable future-event list ordered by cycle.
+///
+/// # Example
+///
+/// ```
+/// use netsim::{Calendar, Cycles};
+///
+/// let mut cal = Calendar::new();
+/// cal.schedule(Cycles(20), 'b');
+/// cal.schedule(Cycles(10), 'a');
+/// cal.schedule(Cycles(10), 'c'); // same cycle: preserves insertion order
+///
+/// assert_eq!(cal.next_at(), Some(Cycles(10)));
+/// assert_eq!(cal.pop_due(Cycles(10)), Some((Cycles(10), 'a')));
+/// assert_eq!(cal.pop_due(Cycles(10)), Some((Cycles(10), 'c')));
+/// assert_eq!(cal.pop_due(Cycles(10)), None);
+/// assert_eq!(cal.len(), 1);
+/// ```
+#[derive(Default)]
+pub struct Calendar<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Calendar<T> {
+    /// Creates an empty calendar.
+    pub fn new() -> Calendar<T> {
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty calendar with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Calendar<T> {
+        Calendar {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at cycle `at`.
+    pub fn schedule(&mut self, at: Cycles, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// The cycle of the earliest pending event, if any.
+    pub fn next_at(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest event if it is due at or before `now`.
+    ///
+    /// Call in a loop to drain every event due this cycle.
+    pub fn pop_due(&mut self, now: Cycles) -> Option<(Cycles, T)> {
+        if self.heap.peek().is_some_and(|e| e.at <= now) {
+            let e = self.heap.pop().expect("peeked entry must pop");
+            Some((e.at, e.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Pops the earliest event unconditionally.
+    pub fn pop(&mut self) -> Option<(Cycles, T)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> std::fmt::Debug for Calendar<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Calendar")
+            .field("pending", &self.heap.len())
+            .field("next_at", &self.next_at())
+            .finish()
+    }
+}
+
+impl<T> Extend<(Cycles, T)> for Calendar<T> {
+    fn extend<I: IntoIterator<Item = (Cycles, T)>>(&mut self, iter: I) {
+        for (at, payload) in iter {
+            self.schedule(at, payload);
+        }
+    }
+}
+
+impl<T> FromIterator<(Cycles, T)> for Calendar<T> {
+    fn from_iter<I: IntoIterator<Item = (Cycles, T)>>(iter: I) -> Calendar<T> {
+        let mut cal = Calendar::new();
+        cal.extend(iter);
+        cal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(Cycles(30), 3);
+        cal.schedule(Cycles(10), 1);
+        cal.schedule(Cycles(20), 2);
+        assert_eq!(cal.pop(), Some((Cycles(10), 1)));
+        assert_eq!(cal.pop(), Some((Cycles(20), 2)));
+        assert_eq!(cal.pop(), Some((Cycles(30), 3)));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut cal = Calendar::new();
+        for i in 0..100 {
+            cal.schedule(Cycles(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(cal.pop_due(Cycles(5)), Some((Cycles(5), i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut cal = Calendar::new();
+        cal.schedule(Cycles(10), ());
+        assert_eq!(cal.pop_due(Cycles(9)), None);
+        assert_eq!(cal.pop_due(Cycles(10)), Some((Cycles(10), ())));
+    }
+
+    #[test]
+    fn next_at_and_len() {
+        let mut cal = Calendar::new();
+        assert!(cal.is_empty());
+        assert_eq!(cal.next_at(), None);
+        cal.schedule(Cycles(7), "x");
+        assert_eq!(cal.next_at(), Some(Cycles(7)));
+        assert_eq!(cal.len(), 1);
+        cal.clear();
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let cal: Calendar<u32> = vec![(Cycles(2), 2), (Cycles(1), 1)].into_iter().collect();
+        assert_eq!(cal.next_at(), Some(Cycles(1)));
+        assert_eq!(cal.len(), 2);
+    }
+}

@@ -1,0 +1,347 @@
+//! Online statistics: Welford mean/variance, histograms and percentiles.
+//!
+//! The paper reports, for every experiment, the *mean frame delivery
+//! interval* (d̄) and its *standard deviation* (σ_d), plus average latency
+//! for best-effort traffic. [`RunningStats`] accumulates those in a single
+//! pass without storing samples; [`Histogram`] supports percentile queries
+//! for the extended analyses.
+
+/// Single-pass mean / variance / extrema accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use netsim::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.std_dev() - 2.138089935).abs() < 1e-6); // sample std-dev
+/// assert_eq!(s.min(), 2.0);
+/// assert_eq!(s.max(), 9.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> RunningStats {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no samples have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Arithmetic mean; `NaN` if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n−1 denominator); `NaN` if fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation; `NaN` if fewer than two samples, except
+    /// that a single sample reports `0.0` (a lone frame interval has no
+    /// jitter, which is what the experiment tables want to print).
+    pub fn std_dev(&self) -> f64 {
+        match self.n {
+            0 => f64::NAN,
+            1 => 0.0,
+            _ => self.variance().sqrt(),
+        }
+    }
+
+    /// Smallest sample; `NaN` if empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample; `NaN` if empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> RunningStats {
+        let mut s = RunningStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A fixed-width bucket histogram over `[lo, hi)` with overflow/underflow
+/// buckets, supporting percentile queries.
+///
+/// # Example
+///
+/// ```
+/// use netsim::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 100.0, 10);
+/// for x in 0..100 {
+///     h.record(x as f64);
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.percentile(50.0);
+/// assert!((40.0..=60.0).contains(&p50));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `n` equal-width buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `n == 0`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Histogram {
+        assert!(lo < hi, "empty histogram range");
+        assert!(n > 0, "need at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Approximate percentile (0–100) by linear interpolation within the
+    /// containing bucket. Underflow counts as `lo`, overflow as `hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or the histogram is empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        assert!(self.count > 0, "empty histogram");
+        let target = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.lo;
+        }
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if seen + c >= target {
+                let into = (target - seen) as f64 / c.max(1) as f64;
+                return self.lo + (i as f64 + into) * w;
+            }
+            seen += c;
+        }
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_nan() {
+        let s = RunningStats::new();
+        assert!(s.mean().is_nan());
+        assert!(s.std_dev().is_nan());
+        assert!(s.min().is_nan());
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s: RunningStats = [42.0].into_iter().collect();
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        let s: RunningStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.variance() - var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(200);
+        let mut sa: RunningStats = a.iter().copied().collect();
+        let sb: RunningStats = b.iter().copied().collect();
+        let all: RunningStats = xs.iter().copied().collect();
+        sa.merge(&sb);
+        assert_eq!(sa.count(), all.count());
+        assert!((sa.mean() - all.mean()).abs() < 1e-9);
+        assert!((sa.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(sa.min(), all.min());
+        assert_eq!(sa.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: RunningStats = [1.0, 2.0].into_iter().collect();
+        let before = s;
+        s.merge(&RunningStats::new());
+        assert_eq!(s, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn histogram_bucket_placement() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-1.0);
+        h.record(0.0);
+        h.record(9.999);
+        h.record(10.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[9], 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn histogram_percentiles_of_uniform() {
+        let mut h = Histogram::new(0.0, 1000.0, 100);
+        for i in 0..1000 {
+            h.record(i as f64);
+        }
+        for &(p, expect) in &[(10.0, 100.0), (50.0, 500.0), (90.0, 900.0)] {
+            let got = h.percentile(p);
+            assert!((got - expect).abs() < 20.0, "p{p}: got {got}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn percentile_of_empty_panics() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        let _ = h.percentile(50.0);
+    }
+}

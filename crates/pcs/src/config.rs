@@ -1,0 +1,90 @@
+//! PCS simulation configuration.
+
+use traffic::WorkloadSpec;
+
+/// Configuration of the PCS single-switch experiment.
+///
+/// # Example
+///
+/// ```
+/// use pcs_router::PcsConfig;
+///
+/// let cfg = PcsConfig::paper_default();
+/// assert_eq!(cfg.vcs_per_link, 24);
+/// assert_eq!(cfg.spec.link_bps, 100e6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcsConfig {
+    /// Number of endpoints (ports of the switch).
+    pub nodes: usize,
+    /// Virtual channels per physical link — one per resident connection
+    /// (the paper uses 24 on its 100 Mbps links).
+    pub vcs_per_link: u32,
+    /// Switch pipeline latency in cycles for data flits.
+    pub pipe_cycles: u32,
+    /// Workload parameters (the PCS comparison runs at 100 Mbps).
+    pub spec: WorkloadSpec,
+    /// Window over which offered streams place their first connection
+    /// attempt, in milliseconds.
+    pub setup_window_ms: f64,
+    /// Mean exponential backoff before a dropped attempt retries, in
+    /// milliseconds.
+    pub retry_backoff_ms: f64,
+}
+
+impl PcsConfig {
+    /// The paper's Fig. 8 / Table 3 configuration: 8×8 switch, 100 Mbps
+    /// links, 24 VCs per link.
+    pub fn paper_default() -> PcsConfig {
+        PcsConfig {
+            nodes: 8,
+            vcs_per_link: 24,
+            pipe_cycles: 5,
+            spec: WorkloadSpec::paper_100mbps(),
+            setup_window_ms: 60.0,
+            retry_backoff_ms: 15.0,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical parameters.
+    pub fn validate(&self) {
+        assert!(self.nodes >= 2, "need at least two endpoints");
+        assert!(self.vcs_per_link > 0, "need at least one VC per link");
+        assert!(self.pipe_cycles > 0, "the switch pipe has latency");
+        assert!(self.setup_window_ms > 0.0, "setup window must be positive");
+        assert!(self.retry_backoff_ms > 0.0, "retry backoff must be positive");
+        self.spec.validate();
+    }
+}
+
+impl Default for PcsConfig {
+    fn default() -> PcsConfig {
+        PcsConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let cfg = PcsConfig::paper_default();
+        cfg.validate();
+        assert_eq!(cfg.nodes, 8);
+        // 24 VCs ≈ the 25 stream capacity of a 100 Mbps link.
+        assert_eq!(cfg.spec.streams_per_link(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one VC")]
+    fn zero_vcs_rejected() {
+        let mut cfg = PcsConfig::paper_default();
+        cfg.vcs_per_link = 0;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,46 @@
+//! Pipelined circuit switching (PCS) baseline for the MediaWorm study.
+//!
+//! PCS (Gaughan & Yalamanchili) is the connection-oriented alternative the
+//! paper compares MediaWorm against (§3.5, §5.6, Fig. 8, Table 3):
+//!
+//! * A stream's first flit (the *probe*) must reserve a complete path —
+//!   one dedicated virtual channel per link — before any data moves. With
+//!   deterministic routing and no backtracking, a probe that finds no free
+//!   VC is **dropped** (negative acknowledgment) and the connection
+//!   attempt fails.
+//! * Once established, the stream's flits are pipelined along the reserved
+//!   circuit; the link multiplexers share physical bandwidth among the
+//!   resident connections with the Virtual Clock discipline (bandwidth was
+//!   negotiated at setup).
+//!
+//! Because a connection needs a whole VC per link, supporting a loaded
+//! 100 Mbps link of 4 Mbps streams takes 24–25 VCs (the paper's Fig. 8
+//! configuration), and destinations whose offered streams exceed the VC
+//! count can never accept them all — which is exactly how Table 3's large
+//! drop counts arise.
+//!
+//! The model here is the single 8-port switch the paper evaluates:
+//! contention exists at the source (input) link, the switch pipe adds the
+//! five-stage latency, and the destination (output) link multiplexes the
+//! circuits terminating at that node.
+//!
+//! # Example
+//!
+//! ```
+//! use pcs_router::{PcsConfig, sim};
+//!
+//! let cfg = PcsConfig::paper_default();
+//! let out = sim::run(0.4, &cfg, 0.05, 0.1, 42);
+//! assert!(out.established > 0);
+//! assert_eq!(out.attempts, out.established + out.dropped);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod netmodel;
+pub mod sim;
+
+pub use config::PcsConfig;
+pub use netmodel::PcsNetwork;
+pub use sim::{run, PcsOutcome};

@@ -1,0 +1,342 @@
+//! The PCS single-switch data-path model.
+//!
+//! Once a circuit is established, its flits see three resources:
+//!
+//! 1. the **input link** from the source node to the switch (shared by
+//!    the node's outgoing circuits, one flit per cycle, Virtual Clock
+//!    multiplexing at the negotiated rates),
+//! 2. the **switch pipe** — a fixed five-stage latency (no contention:
+//!    the circuit was reserved end to end), and
+//! 3. the **output link** from the switch to the destination node (shared
+//!    by the circuits terminating there, Virtual Clock again).
+//!
+//! Queues are unbounded: circuit admission bounds the resident rate of
+//! every link below its capacity, so queues stay small in any admitted
+//! configuration — backpressure hardware would be dead logic here.
+
+use std::collections::{HashMap, VecDeque};
+
+use flitnet::{Flit, NodeId, VcId};
+use mediaworm::{MuxScheduler, SchedulerKind};
+use metrics::DeliveryTracker;
+use netsim::{Cycles, TimeBase};
+
+use crate::config::PcsConfig;
+
+/// One physical link shared by up to `vcs` circuits.
+#[derive(Debug)]
+struct LinkMux {
+    queues: Vec<VecDeque<Flit>>,
+    sched: MuxScheduler,
+}
+
+impl LinkMux {
+    fn new(vcs: usize) -> LinkMux {
+        LinkMux {
+            queues: (0..vcs).map(|_| VecDeque::new()).collect(),
+            sched: MuxScheduler::new(SchedulerKind::VirtualClock, vcs),
+        }
+    }
+
+    fn enqueue(&mut self, now: Cycles, vc: usize, flit: Flit) {
+        self.queues[vc].push_back(flit);
+        self.sched.on_arrival(vc, now, &flit);
+    }
+
+    fn transmit(&mut self, scratch: &mut [bool]) -> Option<Flit> {
+        let mut any = false;
+        for (v, e) in scratch.iter_mut().enumerate() {
+            *e = !self.queues[v].is_empty();
+            any |= *e;
+        }
+        if !any {
+            return None;
+        }
+        let v = self.sched.choose(scratch)?;
+        let flit = self.queues[v].pop_front().expect("eligible VC has a flit");
+        self.sched.on_service(v);
+        Some(flit)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+}
+
+/// The PCS switch with its attached links and circuit bookkeeping.
+///
+/// Circuit setup/teardown is driven by [`crate::sim`]; the network model
+/// only moves flits of established circuits.
+#[derive(Debug)]
+pub struct PcsNetwork {
+    pipe_latency: Cycles,
+    input_links: Vec<LinkMux>,
+    output_links: Vec<LinkMux>,
+    /// Flits inside the switch pipe: (exit time, destination, flit).
+    pipe: VecDeque<(Cycles, NodeId, Flit)>,
+    /// VC occupancy per node, input side and output side.
+    in_vc_used: Vec<Vec<bool>>,
+    out_vc_used: Vec<Vec<bool>>,
+    delivery: DeliveryTracker,
+    frame_tails: Vec<HashMap<u32, u32>>,
+    flits_in_flight: u64,
+    delivered_msgs: u64,
+    scratch: Vec<bool>,
+    /// Whether each input/output link transmitted a data flit on the most
+    /// recent cycle — a probe arriving then is blocked and nacked (§3.5:
+    /// deterministic routing, no backtracking).
+    in_busy: Vec<bool>,
+    out_busy: Vec<bool>,
+}
+
+impl PcsNetwork {
+    /// Builds the switch model for `cfg`.
+    pub fn new(cfg: &PcsConfig, timebase: TimeBase) -> PcsNetwork {
+        cfg.validate();
+        let vcs = cfg.vcs_per_link as usize;
+        PcsNetwork {
+            pipe_latency: Cycles(u64::from(cfg.pipe_cycles)),
+            input_links: (0..cfg.nodes).map(|_| LinkMux::new(vcs)).collect(),
+            output_links: (0..cfg.nodes).map(|_| LinkMux::new(vcs)).collect(),
+            pipe: VecDeque::new(),
+            in_vc_used: vec![vec![false; vcs]; cfg.nodes],
+            out_vc_used: vec![vec![false; vcs]; cfg.nodes],
+            delivery: DeliveryTracker::new(timebase),
+            frame_tails: Vec::new(),
+            flits_in_flight: 0,
+            delivered_msgs: 0,
+            scratch: vec![false; vcs],
+            in_busy: vec![false; cfg.nodes],
+            out_busy: vec![false; cfg.nodes],
+        }
+    }
+
+    /// Whether a probe `src → dest` would be blocked by in-flight data
+    /// this instant. A blocked probe cannot progress and, without
+    /// backtracking, is nacked (§3.5).
+    pub fn probe_blocked(&self, src: NodeId, dest: NodeId) -> bool {
+        self.in_busy[src.index()] || self.out_busy[dest.index()]
+    }
+
+    /// Attempts to reserve a circuit `src → dest`: one free VC on the
+    /// source's input link and one on the destination's output link
+    /// (deterministic routing, no backtracking — failure means the probe
+    /// is nacked and the connection dropped). The caller should first
+    /// consult [`PcsNetwork::probe_blocked`]; this method only checks VC
+    /// availability.
+    ///
+    /// Returns the allocated `(input_vc, output_vc)` on success.
+    pub fn try_establish(&mut self, src: NodeId, dest: NodeId) -> Option<(VcId, VcId)> {
+        let in_vc = self.in_vc_used[src.index()].iter().position(|u| !u)?;
+        let out_vc = self.out_vc_used[dest.index()].iter().position(|u| !u)?;
+        self.in_vc_used[src.index()][in_vc] = true;
+        self.out_vc_used[dest.index()][out_vc] = true;
+        Some((VcId(in_vc as u32), VcId(out_vc as u32)))
+    }
+
+    /// Releases a circuit's VCs (connection teardown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either VC was not allocated.
+    pub fn release(&mut self, src: NodeId, dest: NodeId, in_vc: VcId, out_vc: VcId) {
+        let i = &mut self.in_vc_used[src.index()][in_vc.index()];
+        assert!(*i, "input VC was not allocated");
+        *i = false;
+        let o = &mut self.out_vc_used[dest.index()][out_vc.index()];
+        assert!(*o, "output VC was not allocated");
+        *o = false;
+    }
+
+    /// Injects one flit of an established circuit at the source node. The
+    /// flit's `vc` field selects the input-link VC; `out_vc` the
+    /// output-link VC at the destination.
+    pub fn inject(&mut self, now: Cycles, src: NodeId, flit: Flit) {
+        self.input_links[src.index()].enqueue(now, flit.vc.index(), flit);
+        self.flits_in_flight += 1;
+    }
+
+    /// Advances the model by one cycle.
+    pub fn step(&mut self, now: Cycles) {
+        // Pipe exits → output link queues.
+        while self.pipe.front().is_some_and(|(at, _, _)| *at <= now) {
+            let (_, dest, flit) = self.pipe.pop_front().expect("peeked");
+            self.output_links[dest.index()].enqueue(now, flit.out_vc.index(), flit);
+        }
+        // Input links → switch pipe.
+        for node in 0..self.input_links.len() {
+            let sent = self.input_links[node].transmit(&mut self.scratch);
+            self.in_busy[node] = sent.is_some();
+            if let Some(flit) = sent {
+                self.pipe
+                    .push_back((now + self.pipe_latency, flit.dest, flit));
+            }
+        }
+        // Output links → destination sinks.
+        for node in 0..self.output_links.len() {
+            let sent = self.output_links[node].transmit(&mut self.scratch);
+            self.out_busy[node] = sent.is_some();
+            if let Some(flit) = sent {
+                self.sink(now, flit);
+            }
+        }
+    }
+
+    fn sink(&mut self, now: Cycles, flit: Flit) {
+        self.flits_in_flight -= 1;
+        if !flit.kind.is_tail() {
+            return;
+        }
+        self.delivered_msgs += 1;
+        let s = flit.stream.index();
+        if s >= self.frame_tails.len() {
+            self.frame_tails.resize_with(s + 1, HashMap::new);
+        }
+        let tails = self.frame_tails[s].entry(flit.frame.get()).or_insert(0);
+        *tails += 1;
+        if *tails == flit.msgs_in_frame {
+            self.frame_tails[s].remove(&flit.frame.get());
+            self.delivery.record_frame(flit.stream, now);
+        }
+    }
+
+    /// Flits injected but not yet delivered.
+    pub fn flits_in_flight(&self) -> u64 {
+        self.flits_in_flight
+    }
+
+    /// Whether every queue and the pipe are empty.
+    pub fn is_idle(&self) -> bool {
+        self.flits_in_flight == 0
+            && self.pipe.is_empty()
+            && self.input_links.iter().all(LinkMux::is_empty)
+            && self.output_links.iter().all(LinkMux::is_empty)
+    }
+
+    /// Messages fully delivered.
+    pub fn delivered_msgs(&self) -> u64 {
+        self.delivered_msgs
+    }
+
+    /// The frame-delivery (jitter) tracker.
+    pub fn delivery(&self) -> &DeliveryTracker {
+        &self.delivery
+    }
+
+    /// Discards measurements before `at`.
+    pub fn set_warmup_end(&mut self, at: Cycles) {
+        self.delivery.set_warmup_end(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flitnet::{FlitKind, FrameId, MsgId, StreamId, TrafficClass};
+
+    fn timebase() -> TimeBase {
+        TimeBase::from_link(100e6, 32)
+    }
+
+    fn network() -> PcsNetwork {
+        PcsNetwork::new(&PcsConfig::paper_default(), timebase())
+    }
+
+    fn msg(stream: u32, msg_id: u64, dest: u32, vc_in: u32, vc_out: u32, len: u32) -> Vec<Flit> {
+        Flit::flitify(Flit {
+            kind: FlitKind::Head,
+            stream: StreamId(stream),
+            msg: MsgId(msg_id),
+            frame: FrameId(0),
+            seq_in_msg: 0,
+            msg_len: len,
+            msg_seq_in_frame: 0,
+            msgs_in_frame: 1,
+            dest: NodeId(dest),
+            vc: VcId(vc_in),
+            out_vc: VcId(vc_out),
+            vtick: 25.0,
+            class: TrafficClass::Vbr,
+            created_at: Cycles(0),
+        })
+    }
+
+    #[test]
+    fn establish_until_vcs_exhausted() {
+        let mut net = network();
+        // 24 circuits into the same destination fill its output link.
+        for _ in 0..24 {
+            assert!(net.try_establish(NodeId(0), NodeId(1)).is_some());
+        }
+        assert!(net.try_establish(NodeId(0), NodeId(1)).is_none());
+        // A different destination still works? No: node 0's INPUT VCs are
+        // also exhausted (24 allocated).
+        assert!(net.try_establish(NodeId(0), NodeId(2)).is_none());
+        // But another source can still reach node 2.
+        assert!(net.try_establish(NodeId(3), NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn release_returns_capacity() {
+        let mut net = network();
+        let (i, o) = net.try_establish(NodeId(0), NodeId(1)).unwrap();
+        net.release(NodeId(0), NodeId(1), i, o);
+        assert!(net.try_establish(NodeId(0), NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn flits_flow_end_to_end() {
+        let mut net = network();
+        let (i, o) = net.try_establish(NodeId(0), NodeId(1)).unwrap();
+        for f in msg(0, 1, 1, i.get(), o.get(), 20) {
+            net.inject(Cycles(0), NodeId(0), f);
+        }
+        for t in 0..100u64 {
+            net.step(Cycles(t));
+        }
+        assert!(net.is_idle());
+        assert_eq!(net.delivered_msgs(), 1);
+        assert_eq!(net.delivery().summary().frames, 1);
+    }
+
+    #[test]
+    fn two_circuits_share_a_link_fairly() {
+        let mut net = network();
+        let (i1, o1) = net.try_establish(NodeId(0), NodeId(1)).unwrap();
+        let (i2, o2) = net.try_establish(NodeId(0), NodeId(1)).unwrap();
+        for f in msg(0, 1, 1, i1.get(), o1.get(), 50) {
+            net.inject(Cycles(0), NodeId(0), f);
+        }
+        for f in msg(1, 2, 1, i2.get(), o2.get(), 50) {
+            net.inject(Cycles(0), NodeId(0), f);
+        }
+        // Both circuits have equal Vticks → their delivery completes
+        // within a couple of cycles of each other.
+        let mut done = Vec::new();
+        for t in 0..400u64 {
+            net.step(Cycles(t));
+            if net.delivered_msgs() as usize > done.len() {
+                done.push(t);
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert!(done[1] - done[0] <= 3, "finish times {done:?}");
+    }
+
+    #[test]
+    fn pipe_latency_is_applied() {
+        let mut net = network();
+        let (i, o) = net.try_establish(NodeId(2), NodeId(5)).unwrap();
+        let flits = msg(0, 1, 5, i.get(), o.get(), 1);
+        net.inject(Cycles(0), NodeId(2), flits[0]);
+        let mut delivered_at = None;
+        for t in 0..50u64 {
+            net.step(Cycles(t));
+            if net.delivered_msgs() == 1 && delivered_at.is_none() {
+                delivered_at = Some(t);
+            }
+        }
+        // input link (cycle 0) + 5-cycle pipe + output link ≥ 5.
+        assert!(delivered_at.expect("delivered") >= 5);
+    }
+}

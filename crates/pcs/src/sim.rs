@@ -1,0 +1,213 @@
+//! PCS experiment driver: connection establishment, retries and jitter
+//! measurement.
+//!
+//! The offered workload is the paper's: `round(load · link / 4 Mbps)` VBR
+//! streams per node, destinations uniform. Each stream places its first
+//! connection attempt at a random instant inside the setup window; a
+//! dropped attempt retries after an exponential backoff (the paper counts
+//! attempts and drops but does not specify the retry policy — see
+//! DESIGN.md). Connections, once established, last for the whole run
+//! ("connections may be dropped only at stream set-up", §4.2.1).
+
+use flitnet::NodeId;
+use metrics::JitterSummary;
+use netsim::dist::{Distribution, Exponential};
+use netsim::{Calendar, Cycles, SimRng};
+use traffic::{RealTimeStream, StreamClass};
+
+use crate::config::PcsConfig;
+use crate::netmodel::PcsNetwork;
+
+/// Result of one PCS run.
+#[derive(Debug, Clone, Copy)]
+pub struct PcsOutcome {
+    /// Frame-delivery jitter of the established streams.
+    pub jitter: JitterSummary,
+    /// Connection attempts (first tries + retries).
+    pub attempts: u64,
+    /// Connections established.
+    pub established: u64,
+    /// Attempts that were nacked (`attempts − established`).
+    pub dropped: u64,
+    /// Streams offered (distinct connections sought).
+    pub offered: u64,
+}
+
+/// A stream waiting to connect or connected.
+#[derive(Debug)]
+enum StreamState {
+    Waiting,
+    Connected(Box<RealTimeStream>),
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Stream `i` tries to establish its circuit.
+    Attempt(usize),
+    /// Stream `i` injects its staged message.
+    Inject(usize),
+}
+
+/// Runs the PCS experiment at the given input load.
+///
+/// # Panics
+///
+/// Panics if `load` is not in `(0, 1.2]` or a window is not positive.
+pub fn run(load: f64, cfg: &PcsConfig, warmup_secs: f64, measure_secs: f64, seed: u64) -> PcsOutcome {
+    assert!(load > 0.0 && load <= 1.2, "load must be in (0, 1.2]");
+    assert!(warmup_secs > 0.0 && measure_secs > 0.0, "windows must be positive");
+    cfg.validate();
+    let tb = cfg.spec.timebase();
+    let mut rng = SimRng::seed_from(seed);
+    let mut net = PcsNetwork::new(cfg, tb);
+    let warmup = tb.cycles_from_secs(warmup_secs);
+    let end = tb.cycles_from_secs(warmup_secs + measure_secs);
+    net.set_warmup_end(warmup);
+
+    // Offered streams.
+    let per_node = (load * cfg.spec.link_bps / cfg.spec.stream_bps).round() as usize;
+    let setup_window = tb.cycles_from_ms(cfg.setup_window_ms).get().max(1);
+    let backoff = Exponential::new(tb.cycles_from_ms(cfg.retry_backoff_ms).as_f64().max(1.0));
+
+    let mut calendar: Calendar<Event> = Calendar::new();
+    let mut streams: Vec<(NodeId, NodeId, StreamState)> = Vec::new();
+    let mut staged: Vec<Option<traffic::ScheduledMessage>> = Vec::new();
+    for node in 0..cfg.nodes {
+        for _ in 0..per_node {
+            let dest = NodeId(rng.index_excluding(cfg.nodes, node) as u32);
+            let i = streams.len();
+            streams.push((NodeId(node as u32), dest, StreamState::Waiting));
+            staged.push(None);
+            calendar.schedule(Cycles(rng.range_u64(0, setup_window)), Event::Attempt(i));
+        }
+    }
+    let offered = streams.len() as u64;
+
+    let mut attempts = 0u64;
+    let mut established = 0u64;
+    let mut next_msg_id = 0u64;
+    let mut next_stream_id = 0u32;
+    // Probe + ack round trip before data may flow.
+    let rtt = Cycles(u64::from(cfg.pipe_cycles) * 2 + 2);
+
+    let mut now = Cycles::ZERO;
+    while now < end {
+        while let Some((_, ev)) = calendar.pop_due(now) {
+            match ev {
+                Event::Attempt(i) => {
+                    attempts += 1;
+                    let (src, dest, _) = streams[i];
+                    let reserved = if net.probe_blocked(src, dest) {
+                        // The probe met in-flight data on its path and was
+                        // nacked.
+                        None
+                    } else {
+                        net.try_establish(src, dest)
+                    };
+                    if let Some((in_vc, out_vc)) = reserved {
+                        established += 1;
+                        let sid = flitnet::StreamId(next_stream_id);
+                        next_stream_id += 1;
+                        let mut s = RealTimeStream::new(
+                            &cfg.spec,
+                            StreamClass::Vbr,
+                            sid,
+                            src,
+                            dest,
+                            in_vc,
+                            out_vc,
+                            now + rtt,
+                        );
+                        let msg = s.next_message(&mut rng, &mut next_msg_id);
+                        calendar.schedule(msg.at, Event::Inject(i));
+                        staged[i] = Some(msg);
+                        streams[i].2 = StreamState::Connected(Box::new(s));
+                    } else {
+                        // Nacked: retry after a randomized backoff.
+                        let delay = backoff.sample(&mut rng).max(1.0) as u64;
+                        calendar.schedule(now + Cycles(delay), Event::Attempt(i));
+                    }
+                }
+                Event::Inject(i) => {
+                    let msg = staged[i].take().expect("staged message");
+                    for flit in &msg.flits {
+                        net.inject(now, msg.src, *flit);
+                    }
+                    let StreamState::Connected(s) = &mut streams[i].2 else {
+                        unreachable!("inject for an unconnected stream");
+                    };
+                    let next = s.next_message(&mut rng, &mut next_msg_id);
+                    calendar.schedule(next.at, Event::Inject(i));
+                    staged[i] = Some(next);
+                }
+            }
+        }
+        net.step(now);
+        if net.is_idle() {
+            let next = calendar.next_at().unwrap_or(end);
+            now = next.max(now + Cycles(1));
+        } else {
+            now += Cycles(1);
+        }
+    }
+
+    PcsOutcome {
+        jitter: net.delivery().summary(),
+        attempts,
+        established,
+        dropped: attempts - established,
+        offered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_load_eventually_establishes_everything() {
+        let out = run(0.4, &PcsConfig::paper_default(), 0.05, 0.1, 1);
+        // 0.4 × 25 = 10 streams per node, well under 24 VCs both sides:
+        // every stream connects eventually, but probes that meet in-flight
+        // data are nacked first (Table 3 shows drops at every load).
+        assert_eq!(out.offered, 8 * 10);
+        assert_eq!(out.established, out.offered);
+        assert_eq!(out.attempts, out.established + out.dropped);
+    }
+
+    #[test]
+    fn low_load_is_jitter_free() {
+        let out = run(0.4, &PcsConfig::paper_default(), 0.08, 0.2, 2);
+        assert!(out.jitter.intervals > 50);
+        assert!(
+            out.jitter.is_jitter_free(33.0, 1.0),
+            "d={} σ={}",
+            out.jitter.mean_ms,
+            out.jitter.std_ms
+        );
+    }
+
+    #[test]
+    fn overload_drops_many_attempts() {
+        // 0.9 × 25 ≈ 23 streams per node offered; random destinations
+        // oversubscribe some output links beyond their 24 VCs, so those
+        // streams retry forever: attempts ≫ established (Table 3's shape).
+        let out = run(0.9, &PcsConfig::paper_default(), 0.05, 0.3, 3);
+        assert!(out.established < out.offered);
+        assert!(out.dropped > out.offered, "dropped {} vs offered {}", out.dropped, out.offered);
+    }
+
+    #[test]
+    fn established_never_exceeds_vc_capacity() {
+        let cfg = PcsConfig::paper_default();
+        let out = run(1.0, &cfg, 0.05, 0.2, 4);
+        assert!(out.established <= (cfg.nodes as u64) * u64::from(cfg.vcs_per_link));
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let out = run(0.7, &PcsConfig::paper_default(), 0.05, 0.1, 5);
+        assert_eq!(out.attempts, out.established + out.dropped);
+        assert!(out.established <= out.offered);
+    }
+}

@@ -1,0 +1,367 @@
+//! Cluster interconnect topologies for the MediaWorm study.
+//!
+//! The paper evaluates a single 8-port switch and a 2×2 *fat-mesh* — a
+//! 4-switch mesh in which each neighbouring pair of switches is connected by
+//! **two** parallel physical links ("fat pipes", §3.4), with the remaining
+//! ports attached to endpoints. This crate describes such topologies and
+//! precomputes deterministic route tables:
+//!
+//! * [`Topology::single_switch`] — one `n`-port crossbar, `n` endpoints.
+//! * [`Topology::fat_mesh`] — a `w×h` mesh with `fat` parallel links per
+//!   neighbour pair and a configurable number of endpoints per switch
+//!   (`fat_mesh(2, 2, 2, 4)` is the paper's network).
+//! * [`Topology::mesh`] — the thin (fat = 1) special case.
+//!
+//! Routing is deterministic dimension-ordered XY. Where a hop has several
+//! parallel links, [`Topology::route`] returns *all* candidate output ports
+//! and the router picks one "based on the current load", exactly as §3.4
+//! prescribes.
+
+#![warn(missing_docs)]
+
+mod builder;
+mod route;
+
+pub use builder::{PortTarget, RouterSpec};
+pub use route::RouteTable;
+
+use flitnet::{NodeId, PortId, RouterId};
+
+/// A described interconnect: routers, their port wiring, endpoint
+/// attachments and a precomputed deterministic route table.
+///
+/// # Example
+///
+/// ```
+/// use topo::Topology;
+/// use flitnet::{NodeId, RouterId};
+///
+/// // The paper's single 8-port switch…
+/// let single = Topology::single_switch(8);
+/// assert_eq!(single.router_count(), 1);
+/// assert_eq!(single.node_count(), 8);
+///
+/// // …and its 2×2 fat-mesh (two links per neighbour pair, 4 endpoints
+/// // per switch → 8 ports per router, 16 endpoints).
+/// let fat = Topology::fat_mesh(2, 2, 2, 4);
+/// assert_eq!(fat.router_count(), 4);
+/// assert_eq!(fat.node_count(), 16);
+/// assert_eq!(fat.ports_of(RouterId(0)), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    routers: Vec<RouterSpec>,
+    /// For each node: the (router, port) it attaches to.
+    attachments: Vec<(RouterId, PortId)>,
+    routes: RouteTable,
+    name: String,
+}
+
+impl Topology {
+    /// A single switch with `ports` ports, each attached to one endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0`.
+    pub fn single_switch(ports: u32) -> Topology {
+        builder::single_switch(ports)
+    }
+
+    /// A `w × h` mesh of switches with `fat` parallel links between each
+    /// neighbouring pair and `endpoints` endpoints per switch.
+    ///
+    /// Router `(x, y)` has id `y·w + x`. Ports are laid out neighbour links
+    /// first (−X, +X, −Y, +Y in that order, `fat` consecutive ports per
+    /// present neighbour), then endpoint ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, `fat == 0`, or `endpoints == 0`.
+    pub fn fat_mesh(w: u32, h: u32, fat: u32, endpoints: u32) -> Topology {
+        builder::fat_mesh(w, h, fat, endpoints)
+    }
+
+    /// A thin `w × h` mesh (one link per neighbour pair).
+    pub fn mesh(w: u32, h: u32, endpoints: u32) -> Topology {
+        builder::fat_mesh(w, h, 1, endpoints)
+    }
+
+    /// A two-level fat-tree: `leaves` leaf switches (each with
+    /// `endpoints` endpoints) fully connected to `roots` root switches —
+    /// the other "fat topology" the paper names in §3.4. Up-links are
+    /// load-balanced (any root reaches any leaf); routing is the
+    /// deadlock-free up/down scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves < 2`, `roots == 0`, or `endpoints == 0`.
+    pub fn fat_tree(leaves: u32, roots: u32, endpoints: u32) -> Topology {
+        builder::fat_tree(leaves, roots, endpoints)
+    }
+
+    /// Human-readable topology name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of routers.
+    pub fn router_count(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Number of endpoints.
+    pub fn node_count(&self) -> usize {
+        self.attachments.len()
+    }
+
+    /// Number of ports on router `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn ports_of(&self, r: RouterId) -> u32 {
+        self.routers[r.index()].ports.len() as u32
+    }
+
+    /// What router `r`'s port `p` connects to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `p` is out of range.
+    pub fn target_of(&self, r: RouterId, p: PortId) -> PortTarget {
+        self.routers[r.index()].ports[p.index()]
+    }
+
+    /// The `(router, port)` a node attaches to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn attachment(&self, node: NodeId) -> (RouterId, PortId) {
+        self.attachments[node.index()]
+    }
+
+    /// Candidate output ports at router `at` for traffic to `dest`
+    /// (deterministic XY; several ports only where parallel fat links
+    /// exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` or `dest` is out of range.
+    pub fn route(&self, at: RouterId, dest: NodeId) -> &[PortId] {
+        self.routes.candidates(at, dest)
+    }
+
+    /// Number of router-to-router hops between two endpoints.
+    pub fn hops(&self, src: NodeId, dest: NodeId) -> u32 {
+        let (mut at, _) = self.attachment(src);
+        let (goal, _) = self.attachment(dest);
+        let mut hops = 0;
+        while at != goal {
+            let port = self.route(at, dest)[0];
+            match self.target_of(at, port) {
+                PortTarget::Router { router, .. } => at = router,
+                PortTarget::Node(_) => unreachable!("route led to a node before the goal router"),
+            }
+            hops += 1;
+            assert!(hops <= self.router_count() as u32, "routing loop");
+        }
+        hops
+    }
+
+    /// Iterates over all router specs.
+    pub fn routers(&self) -> impl Iterator<Item = (RouterId, &RouterSpec)> {
+        self.routers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RouterId(i as u32), s))
+    }
+
+    pub(crate) fn from_parts(
+        name: String,
+        routers: Vec<RouterSpec>,
+        attachments: Vec<(RouterId, PortId)>,
+        routes: RouteTable,
+    ) -> Topology {
+        Topology {
+            routers,
+            attachments,
+            routes,
+            name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_wiring() {
+        let t = Topology::single_switch(8);
+        assert_eq!(t.router_count(), 1);
+        assert_eq!(t.node_count(), 8);
+        for n in 0..8 {
+            let (r, p) = t.attachment(NodeId(n));
+            assert_eq!(r, RouterId(0));
+            assert_eq!(p, PortId(n));
+            assert_eq!(t.target_of(r, p), PortTarget::Node(NodeId(n)));
+        }
+    }
+
+    #[test]
+    fn single_switch_routes_to_attachment_port() {
+        let t = Topology::single_switch(8);
+        for n in 0..8 {
+            let ports = t.route(RouterId(0), NodeId(n));
+            assert_eq!(ports, &[PortId(n)]);
+        }
+    }
+
+    #[test]
+    fn paper_fat_mesh_shape() {
+        let t = Topology::fat_mesh(2, 2, 2, 4);
+        assert_eq!(t.router_count(), 4);
+        assert_eq!(t.node_count(), 16);
+        // Each router: 2 neighbours × 2 fat links + 4 endpoints = 8 ports.
+        for r in 0..4 {
+            assert_eq!(t.ports_of(RouterId(r)), 8);
+        }
+    }
+
+    #[test]
+    fn fat_mesh_parallel_links_offer_two_candidates() {
+        let t = Topology::fat_mesh(2, 2, 2, 4);
+        // Node 8 lives on router 2 (y=1, x=0). From router 0, X is equal,
+        // so we go +Y over two parallel links.
+        let (r, _) = t.attachment(NodeId(8));
+        assert_eq!(r, RouterId(2));
+        let cands = t.route(RouterId(0), NodeId(8));
+        assert_eq!(cands.len(), 2);
+        for p in cands {
+            match t.target_of(RouterId(0), *p) {
+                PortTarget::Router { router, .. } => assert_eq!(router, RouterId(2)),
+                PortTarget::Node(_) => panic!("expected router link"),
+            }
+        }
+    }
+
+    #[test]
+    fn fat_mesh_local_delivery_uses_endpoint_port() {
+        let t = Topology::fat_mesh(2, 2, 2, 4);
+        let (r, p) = t.attachment(NodeId(5));
+        let cands = t.route(r, NodeId(5));
+        assert_eq!(cands, &[p]);
+    }
+
+    #[test]
+    fn xy_routing_goes_x_first() {
+        let t = Topology::fat_mesh(2, 2, 2, 4);
+        // Node 12 is on router 3 (x=1, y=1); from router 0 the first hop
+        // must be in X, i.e. to router 1.
+        let cands = t.route(RouterId(0), NodeId(12));
+        for p in cands {
+            match t.target_of(RouterId(0), *p) {
+                PortTarget::Router { router, .. } => assert_eq!(router, RouterId(1)),
+                PortTarget::Node(_) => panic!("expected router link"),
+            }
+        }
+    }
+
+    #[test]
+    fn hops_in_fat_mesh() {
+        let t = Topology::fat_mesh(2, 2, 2, 4);
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 0); // same router
+        assert_eq!(t.hops(NodeId(0), NodeId(4)), 1); // adjacent router
+        assert_eq!(t.hops(NodeId(0), NodeId(12)), 2); // diagonal
+    }
+
+    #[test]
+    fn links_are_bidirectional_pairs() {
+        let t = Topology::fat_mesh(2, 2, 2, 4);
+        for (rid, spec) in t.routers() {
+            for (pidx, target) in spec.ports.iter().enumerate() {
+                if let PortTarget::Router { router, port } = target {
+                    // The far end must point back at us.
+                    match t.target_of(*router, *port) {
+                        PortTarget::Router { router: back_r, port: back_p } => {
+                            assert_eq!(back_r, rid);
+                            assert_eq!(back_p, PortId(pidx as u32));
+                        }
+                        PortTarget::Node(_) => panic!("asymmetric wiring"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_mesh_routes_terminate() {
+        let t = Topology::fat_mesh(4, 3, 2, 2);
+        let n = t.node_count();
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                // hops() asserts against routing loops internally.
+                let _ = t.hops(NodeId(s as u32), NodeId(d as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_shape_and_routes() {
+        // 4 leaves × 2 roots × 2 endpoints.
+        let t = Topology::fat_tree(4, 2, 2);
+        assert_eq!(t.router_count(), 6);
+        assert_eq!(t.node_count(), 8);
+        // Leaf ports: 2 up + 2 endpoints; root ports: 4 down.
+        assert_eq!(t.ports_of(RouterId(0)), 4);
+        assert_eq!(t.ports_of(RouterId(4)), 4);
+        // Cross-leaf traffic from leaf 0 can go up via either root.
+        let cands = t.route(RouterId(0), NodeId(7)); // node 7 on leaf 3
+        assert_eq!(cands.len(), 2);
+        for p in cands {
+            match t.target_of(RouterId(0), *p) {
+                PortTarget::Router { router, .. } => assert!(router.get() >= 4),
+                PortTarget::Node(_) => panic!("expected an up-link"),
+            }
+        }
+        // At a root, exactly one down candidate.
+        let down = t.route(RouterId(4), NodeId(7));
+        assert_eq!(down.len(), 1);
+        // Local traffic stays on the leaf.
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 0);
+        assert_eq!(t.hops(NodeId(0), NodeId(7)), 2);
+    }
+
+    #[test]
+    fn fat_tree_wiring_is_symmetric() {
+        let t = Topology::fat_tree(3, 2, 1);
+        for (rid, spec) in t.routers() {
+            for (pidx, target) in spec.ports.iter().enumerate() {
+                if let PortTarget::Router { router, port } = target {
+                    match t.target_of(*router, *port) {
+                        PortTarget::Router { router: br, port: bp } => {
+                            assert_eq!(br, rid);
+                            assert_eq!(bp, PortId(pidx as u32));
+                        }
+                        PortTarget::Node(_) => panic!("asymmetric wiring"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thin_mesh_offers_single_candidates() {
+        let t = Topology::mesh(3, 3, 1);
+        for (rid, _) in t.routers() {
+            for d in 0..t.node_count() {
+                let c = t.route(rid, NodeId(d as u32));
+                assert_eq!(c.len(), 1);
+            }
+        }
+    }
+}

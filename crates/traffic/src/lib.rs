@@ -1,0 +1,45 @@
+//! Workload generators for the MediaWorm study (paper §4.2).
+//!
+//! Three kinds of traffic, mixed per the experiment's `x:y` ratio:
+//!
+//! * **VBR** — MPEG-2-like streams: frame sizes drawn from
+//!   N(16 666 B, 3 333 B), one frame every 33 ms (≈ 4 Mbps mean), each
+//!   frame segmented into fixed-size messages injected evenly across the
+//!   frame interval.
+//! * **CBR** — identical, but with a constant 16 666 B frame size.
+//! * **Best-effort** — constant-rate 20-flit messages, destination and
+//!   virtual channels drawn uniformly per message.
+//!
+//! [`WorkloadBuilder`] turns a load level, mix ratio and VC partition into
+//! a concrete set of [`Source`]s; the router simulators pull
+//! [`ScheduledMessage`]s from a [`Workload`] and inject the flits.
+//!
+//! # Example
+//!
+//! ```
+//! use traffic::{WorkloadBuilder, StreamClass};
+//! use flitnet::VcPartition;
+//!
+//! // The paper's Fig. 3 workload: 8 nodes, 16 VCs, 80:20 VBR:best-effort
+//! // at 90 % input load.
+//! let partition = VcPartition::from_mix(16, 80.0, 20.0);
+//! let wl = WorkloadBuilder::new(8, partition)
+//!     .load(0.9)
+//!     .mix(80.0, 20.0)
+//!     .real_time_class(StreamClass::Vbr)
+//!     .seed(1)
+//!     .build();
+//! assert!(wl.real_time_stream_count() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod besteffort;
+pub mod spec;
+pub mod stream;
+pub mod workload;
+
+pub use besteffort::BestEffortSource;
+pub use spec::{ArrivalProcess, FrameModel, StreamClass, WorkloadSpec};
+pub use stream::RealTimeStream;
+pub use workload::{ScheduledMessage, Source, StreamInfo, Workload, WorkloadBuilder};

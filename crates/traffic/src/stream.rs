@@ -1,0 +1,424 @@
+//! Real-time (VBR/CBR) stream sources.
+
+use flitnet::{Flit, FlitKind, FrameId, MsgId, NodeId, StreamId, TrafficClass, VcId};
+use netsim::dist::{Constant, Distribution, Normal};
+use netsim::{Cycles, SimRng, TimeBase};
+
+use crate::spec::{FrameModel, StreamClass, WorkloadSpec};
+use crate::workload::ScheduledMessage;
+
+/// One VBR or CBR stream between a fixed source/destination pair.
+///
+/// Frames are generated every `frame_interval`; each frame is segmented
+/// into `msg_flits`-flit messages injected evenly across the interval
+/// (paper §4.2.1). Each message's head flit carries the stream's `Vtick`.
+///
+/// # Example
+///
+/// ```
+/// use traffic::{RealTimeStream, StreamClass, WorkloadSpec};
+/// use flitnet::{NodeId, StreamId, VcId};
+/// use netsim::{Cycles, SimRng};
+///
+/// let spec = WorkloadSpec::paper_default();
+/// let mut rng = SimRng::seed_from(3);
+/// let mut s = RealTimeStream::new(
+///     &spec, StreamClass::Vbr, StreamId(0),
+///     NodeId(0), NodeId(5), VcId(1), VcId(2),
+///     Cycles(0),
+/// );
+/// let mut next_msg_id = 0u64;
+/// let m = s.next_message(&mut rng, &mut next_msg_id);
+/// assert_eq!(m.src, NodeId(0));
+/// assert!(!m.flits.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct RealTimeStream {
+    id: StreamId,
+    class: TrafficClass,
+    src: NodeId,
+    dest: NodeId,
+    /// VC used on the source's injection link.
+    vc_in: VcId,
+    /// VC requested on every subsequent hop (drawn at setup, §4.2.1).
+    vc_out: VcId,
+    vtick: f64,
+    msg_flits: u32,
+    frame_interval: Cycles,
+    frame_sizer: FrameSizer,
+    timebase: TimeBase,
+    flit_bytes: u32,
+    // --- generation state ---
+    frame_idx: u32,
+    frame_start: Cycles,
+    /// Remaining message lengths for the current frame, reversed (pop from
+    /// the back); empty means "start the next frame".
+    pending: Vec<u32>,
+    msgs_in_frame: u32,
+    msg_gap: Cycles,
+    next_msg_seq: u32,
+}
+
+/// The classic 12-frame MPEG-2 group-of-pictures pattern.
+const GOP_PATTERN: [char; 12] = ['I', 'B', 'B', 'P', 'B', 'B', 'P', 'B', 'B', 'P', 'B', 'B'];
+
+/// Per-type size multipliers for a 5:3:1 I:P:B ratio, normalised so the
+/// pattern (1×I, 3×P, 8×B) averages to 1.0.
+fn gop_scale(kind: char) -> f64 {
+    // mean = (1·5 + 3·3 + 8·1) / 12 = 22/12.
+    let unit = 12.0 / 22.0;
+    match kind {
+        'I' => 5.0 * unit,
+        'P' => 3.0 * unit,
+        _ => unit,
+    }
+}
+
+/// Frame-size model: VBR draws from a normal (the paper) or follows a
+/// GOP pattern (extension), CBR is constant.
+#[derive(Debug)]
+enum FrameSizer {
+    Vbr(Normal),
+    /// GOP-structured: deterministic per-type means plus normal noise,
+    /// advancing through [`GOP_PATTERN`] frame by frame.
+    Gop { mean: f64, noise: Normal, idx: usize },
+    Cbr(Constant),
+}
+
+impl FrameSizer {
+    fn sample_bytes(&mut self, rng: &mut SimRng, floor: f64) -> f64 {
+        let raw = match self {
+            FrameSizer::Vbr(n) => n.sample(rng),
+            FrameSizer::Gop { mean, noise, idx } => {
+                let kind = GOP_PATTERN[*idx % GOP_PATTERN.len()];
+                *idx += 1;
+                *mean * gop_scale(kind) + noise.sample(rng) * gop_scale(kind)
+            }
+            FrameSizer::Cbr(c) => c.sample(rng),
+        };
+        raw.max(floor)
+    }
+}
+
+impl RealTimeStream {
+    /// Creates a stream starting its first frame at `start`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        spec: &WorkloadSpec,
+        class: StreamClass,
+        id: StreamId,
+        src: NodeId,
+        dest: NodeId,
+        vc_in: VcId,
+        vc_out: VcId,
+        start: Cycles,
+    ) -> RealTimeStream {
+        spec.validate();
+        let tb = spec.timebase();
+        let sizer = match (class, spec.frame_model) {
+            (StreamClass::Vbr, FrameModel::Normal) => {
+                FrameSizer::Vbr(Normal::new(spec.frame_mean_bytes, spec.frame_std_bytes))
+            }
+            (StreamClass::Vbr, FrameModel::Gop) => FrameSizer::Gop {
+                mean: spec.frame_mean_bytes,
+                noise: Normal::new(0.0, spec.frame_std_bytes),
+                idx: 0,
+            },
+            (StreamClass::Cbr, _) => FrameSizer::Cbr(Constant(spec.frame_mean_bytes)),
+        };
+        RealTimeStream {
+            id,
+            class: class.traffic_class(),
+            src,
+            dest,
+            vc_in,
+            vc_out,
+            vtick: spec.stream_vtick_cycles(),
+            msg_flits: spec.msg_flits,
+            frame_interval: tb.cycles_from_ms(spec.frame_interval_ms),
+            frame_sizer: sizer,
+            timebase: tb,
+            flit_bytes: spec.flit_bytes,
+            frame_idx: 0,
+            frame_start: start,
+            pending: Vec::new(),
+            msgs_in_frame: 0,
+            msg_gap: Cycles::ZERO,
+            next_msg_seq: 0,
+        }
+    }
+
+    /// Stream id.
+    pub fn id(&self) -> StreamId {
+        self.id
+    }
+
+    /// Source endpoint.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Destination endpoint.
+    pub fn dest(&self) -> NodeId {
+        self.dest
+    }
+
+    /// Injection-link VC.
+    pub fn vc_in(&self) -> VcId {
+        self.vc_in
+    }
+
+    /// Requested downstream VC.
+    pub fn vc_out(&self) -> VcId {
+        self.vc_out
+    }
+
+    /// Traffic class (VBR or CBR).
+    pub fn class(&self) -> TrafficClass {
+        self.class
+    }
+
+    /// The stream's negotiated Vtick in cycles/flit.
+    pub fn vtick(&self) -> f64 {
+        self.vtick
+    }
+
+    fn begin_frame(&mut self, rng: &mut SimRng) {
+        let bytes = self
+            .frame_sizer
+            .sample_bytes(rng, f64::from(self.flit_bytes));
+        let flits = (bytes / f64::from(self.flit_bytes)).ceil().max(1.0) as u32;
+        let msgs = flits.div_ceil(self.msg_flits);
+        // Message lengths: full messages plus a possibly-short last one,
+        // stored reversed so pop() yields them in order.
+        let mut lens = Vec::with_capacity(msgs as usize);
+        let mut remaining = flits;
+        for _ in 0..msgs {
+            let len = remaining.min(self.msg_flits);
+            lens.push(len);
+            remaining -= len;
+        }
+        lens.reverse();
+        self.pending = lens;
+        self.msgs_in_frame = msgs;
+        self.msg_gap = Cycles(self.frame_interval.get() / u64::from(msgs));
+        self.next_msg_seq = 0;
+    }
+
+    /// Produces the stream's next message (monotonically increasing
+    /// injection times). `next_msg_id` is a global message-id counter.
+    pub fn next_message(&mut self, rng: &mut SimRng, next_msg_id: &mut u64) -> ScheduledMessage {
+        if self.pending.is_empty() {
+            if self.msgs_in_frame > 0 {
+                // Finished a frame: advance to the next interval boundary.
+                self.frame_idx += 1;
+                self.frame_start += self.frame_interval;
+            }
+            self.begin_frame(rng);
+        }
+        let len = self.pending.pop().expect("begin_frame produced messages");
+        let seq = self.next_msg_seq;
+        self.next_msg_seq += 1;
+        let at = self.frame_start + Cycles(u64::from(seq) * self.msg_gap.get());
+        let msg_id = MsgId(*next_msg_id);
+        *next_msg_id += 1;
+        let template = Flit {
+            kind: FlitKind::Head,
+            stream: self.id,
+            msg: msg_id,
+            frame: FrameId(self.frame_idx),
+            seq_in_msg: 0,
+            msg_len: len,
+            msg_seq_in_frame: seq,
+            msgs_in_frame: self.msgs_in_frame,
+            dest: self.dest,
+            vc: self.vc_in,
+            out_vc: self.vc_out,
+            vtick: self.vtick,
+            class: self.class,
+            created_at: at,
+        };
+        ScheduledMessage {
+            at,
+            src: self.src,
+            vc_in: self.vc_in,
+            flits: Flit::flitify(template),
+        }
+    }
+
+    /// The time base used for cycle conversions (handy for tests).
+    pub fn timebase(&self) -> TimeBase {
+        self.timebase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(class: StreamClass) -> RealTimeStream {
+        RealTimeStream::new(
+            &WorkloadSpec::paper_default(),
+            class,
+            StreamId(7),
+            NodeId(1),
+            NodeId(2),
+            VcId(0),
+            VcId(3),
+            Cycles(1000),
+        )
+    }
+
+    #[test]
+    fn messages_cover_whole_frames_in_order() {
+        let mut s = stream(StreamClass::Cbr);
+        let mut rng = SimRng::seed_from(1);
+        let mut id = 0u64;
+        // CBR frame: 16_666 B = 4167 flits = 209 messages.
+        let mut total = 0u32;
+        let mut last_at = Cycles::ZERO;
+        for k in 0..209 {
+            let m = s.next_message(&mut rng, &mut id);
+            assert!(m.at >= last_at, "injections must be monotonic");
+            last_at = m.at;
+            let head = m.flits[0];
+            assert_eq!(head.msg_seq_in_frame, k);
+            assert_eq!(head.msgs_in_frame, 209);
+            assert_eq!(head.frame, FrameId(0));
+            total += head.msg_len;
+        }
+        assert_eq!(total, 4167);
+        // Next message starts frame 1, one interval later.
+        let m = s.next_message(&mut rng, &mut id);
+        assert_eq!(m.flits[0].frame, FrameId(1));
+        let tb = s.timebase();
+        let frame_cycles = tb.cycles_from_ms(33.0);
+        assert_eq!(m.at, Cycles(1000) + frame_cycles);
+    }
+
+    #[test]
+    fn last_message_of_cbr_frame_is_short() {
+        let mut s = stream(StreamClass::Cbr);
+        let mut rng = SimRng::seed_from(1);
+        let mut id = 0u64;
+        let mut lens = Vec::new();
+        for _ in 0..209 {
+            lens.push(s.next_message(&mut rng, &mut id).flits[0].msg_len);
+        }
+        // 209 messages: 208 full (20 flits) + 7-flit remainder.
+        assert!(lens[..208].iter().all(|&l| l == 20));
+        assert_eq!(lens[208], 7);
+    }
+
+    #[test]
+    fn vbr_frame_sizes_vary() {
+        let mut s = stream(StreamClass::Vbr);
+        let mut rng = SimRng::seed_from(2);
+        let mut id = 0u64;
+        let mut frames = std::collections::HashSet::new();
+        // Gather msgs_in_frame for 10 frames.
+        for _ in 0..10 {
+            let m = s.next_message(&mut rng, &mut id);
+            let head = m.flits[0];
+            frames.insert(head.msgs_in_frame);
+            // Skip the rest of the frame.
+            for _ in 1..head.msgs_in_frame {
+                let _ = s.next_message(&mut rng, &mut id);
+            }
+        }
+        assert!(frames.len() > 1, "VBR frames should vary in size");
+    }
+
+    #[test]
+    fn gop_pattern_produces_large_i_frames() {
+        let spec = WorkloadSpec {
+            frame_model: FrameModel::Gop,
+            frame_std_bytes: 0.0,
+            ..WorkloadSpec::paper_default()
+        };
+        let mut s = RealTimeStream::new(
+            &spec,
+            StreamClass::Vbr,
+            StreamId(0),
+            NodeId(0),
+            NodeId(1),
+            VcId(0),
+            VcId(1),
+            Cycles(0),
+        );
+        let mut rng = SimRng::seed_from(8);
+        let mut id = 0u64;
+        // Collect the flit totals of 12 consecutive frames.
+        let mut frame_flits = Vec::new();
+        for _ in 0..12 {
+            let m = s.next_message(&mut rng, &mut id);
+            let msgs = m.flits[0].msgs_in_frame;
+            let mut total = m.flits.len() as u32;
+            for _ in 1..msgs {
+                total += s.next_message(&mut rng, &mut id).flits.len() as u32;
+            }
+            frame_flits.push(total);
+        }
+        // I frame ≈ 5× a B frame.
+        let i = frame_flits[0] as f64;
+        let b = frame_flits[1] as f64;
+        assert!((i / b - 5.0).abs() < 0.1, "I/B ratio {}", i / b);
+        // Pattern mean ≈ the configured mean frame size in flits.
+        let mean: f64 = frame_flits.iter().map(|&f| f as f64).sum::<f64>() / 12.0;
+        assert!((mean - 4167.0).abs() < 30.0, "GOP mean {mean}");
+        // The pattern repeats: frame 12 is an I frame again.
+        let m = s.next_message(&mut rng, &mut id);
+        let msgs = m.flits[0].msgs_in_frame;
+        let mut total = m.flits.len() as u32;
+        for _ in 1..msgs {
+            total += s.next_message(&mut rng, &mut id).flits.len() as u32;
+        }
+        assert_eq!(total, frame_flits[0]);
+    }
+
+    #[test]
+    fn mean_rate_tracks_4mbps() {
+        let mut s = stream(StreamClass::Vbr);
+        let mut rng = SimRng::seed_from(3);
+        let mut id = 0u64;
+        let mut flits = 0u64;
+        let mut last = Cycles::ZERO;
+        for _ in 0..50_000 {
+            let m = s.next_message(&mut rng, &mut id);
+            flits += m.flits.len() as u64;
+            last = m.at;
+        }
+        let secs = s.timebase().cycles_to_secs(last - Cycles(1000));
+        let bps = flits as f64 * 32.0 / secs;
+        assert!((bps - 4e6).abs() < 0.1e6, "rate {bps}");
+    }
+
+    #[test]
+    fn flits_carry_stream_metadata() {
+        let mut s = stream(StreamClass::Vbr);
+        let mut rng = SimRng::seed_from(4);
+        let mut id = 5u64;
+        let m = s.next_message(&mut rng, &mut id);
+        assert_eq!(id, 6);
+        for f in &m.flits {
+            assert_eq!(f.stream, StreamId(7));
+            assert_eq!(f.dest, NodeId(2));
+            assert_eq!(f.vc, VcId(0), "current-hop VC starts as vc_in");
+            assert_eq!(f.out_vc, VcId(3), "requested downstream VC");
+            assert_eq!(f.class, TrafficClass::Vbr);
+            assert!((f.vtick - 100.0).abs() < 1e-9);
+        }
+        assert_eq!(m.vc_in, VcId(0));
+    }
+
+    #[test]
+    fn msg_ids_are_unique_and_sequential() {
+        let mut s = stream(StreamClass::Cbr);
+        let mut rng = SimRng::seed_from(5);
+        let mut id = 0u64;
+        let a = s.next_message(&mut rng, &mut id).flits[0].msg;
+        let b = s.next_message(&mut rng, &mut id).flits[0].msg;
+        assert_eq!(a, MsgId(0));
+        assert_eq!(b, MsgId(1));
+    }
+}

@@ -1,0 +1,55 @@
+//! Fat links versus thin links: why cluster interconnects use "fat"
+//! topologies (paper §3.4, §5.7).
+//!
+//! A mesh with several endpoints per switch concentrates traffic on the
+//! inter-switch links. This example runs the same mixed workload over a
+//! thin 2×2 mesh (one link per neighbour pair) and the paper's fat 2×2
+//! mesh (two parallel links), showing how the fat pipes restore the
+//! bandwidth balance.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fat_mesh_cluster
+//! ```
+
+use flitnet::VcPartition;
+use mediaworm::{sim, RouterConfig};
+use topo::Topology;
+use traffic::{StreamClass, WorkloadBuilder};
+
+fn run(topology: &Topology, load: f64) -> (f64, f64, f64) {
+    let partition = VcPartition::from_mix(16, 60.0, 40.0);
+    let workload = WorkloadBuilder::new(topology.node_count(), partition)
+        .load(load)
+        .mix(60.0, 40.0)
+        .real_time_class(StreamClass::Vbr)
+        .seed(5)
+        .build();
+    let out = sim::run(topology, workload, &RouterConfig::default(), 0.05, 0.15);
+    (out.jitter.mean_ms, out.jitter.std_ms, out.be_mean_latency_us)
+}
+
+fn main() {
+    // Thin: 4 endpoints per switch but only ONE link per neighbour pair.
+    let thin = Topology::mesh(2, 2, 4);
+    // Fat: the paper's topology — two parallel links per neighbour pair.
+    let fat = Topology::fat_mesh(2, 2, 2, 4);
+
+    println!("60:40 VBR:best-effort mix on a 2x2 mesh, 4 endpoints per switch\n");
+    println!(
+        "{:>6}  {:>26}  {:>26}",
+        "load", "thin mesh (d̄/σ_d ms, BE µs)", "fat mesh (d̄/σ_d ms, BE µs)"
+    );
+    for &load in &[0.3, 0.5, 0.7] {
+        let (td, ts, tb) = run(&thin, load);
+        let (fd, fs, fb) = run(&fat, load);
+        println!(
+            "{load:>6.2}  {td:>8.2} {ts:>6.2} {tb:>9.1}  {fd:>8.2} {fs:>6.2} {fb:>9.1}"
+        );
+    }
+    println!();
+    println!("the thin mesh's shared inter-switch links saturate first; the fat");
+    println!("pipes keep the real-time class jitter-free at loads where the thin");
+    println!("topology has already collapsed.");
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from repro_report.txt.
+
+Maps each `<<KEY>>` placeholder to the corresponding experiment section of
+the combined report produced by `repro_all`, inserting its table as a
+fenced code block. Idempotent: run after every `repro_all` refresh.
+"""
+import re
+import sys
+
+REPORT = sys.argv[1] if len(sys.argv) > 1 else "repro_report.txt"
+DOC = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+
+SECTIONS = {
+    "FIG3": "## Fig 3",
+    "FIG4": "## Fig 4",
+    "FIG5": "## Fig 5",
+    "TABLE2": "## Table 2",
+    "FIG6": "## Fig 6",
+    "FIG7": "## Fig 7",
+    "FIG8": "## Fig 8",
+    "TABLE3": "## Table 3",
+    "FIG9": "## Fig 9",
+    "ABL_SCHED": "## Ablation: scheduler",
+    "ABL_POINT": "## Ablation: sched point",
+    "ABL_BORROW": "## Ablation: VC borrowing",
+    "GOP": "## Extension: GOP frames",
+}
+
+
+def extract(report: str, header: str) -> str:
+    start = report.index(header)
+    body = report[start:]
+    # Section body runs until the next "## " header (or EOF).
+    m = re.search(r"\n## ", body[3:])
+    if m:
+        body = body[: m.start() + 3]
+    # Drop the header line itself; keep the table.
+    lines = body.splitlines()[1:]
+    table = "\n".join(l for l in lines).strip("\n")
+    return f"```text\n{table}\n```"
+
+
+def main() -> None:
+    report = open(REPORT).read()
+    doc = open(DOC).read()
+    for key, header in SECTIONS.items():
+        placeholder = f"<<{key}>>"
+        if placeholder not in doc:
+            continue
+        try:
+            doc = doc.replace(placeholder, extract(report, header))
+        except ValueError:
+            print(f"warning: section {header!r} not found in {REPORT}")
+    open(DOC, "w").write(doc)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+//! Umbrella crate for the MediaWorm reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the actual library
+//! surface lives in the member crates:
+//!
+//! * [`mediaworm`] — the MediaWorm router and network simulator (the
+//!   paper's contribution),
+//! * [`pcs_router`] — the pipelined circuit-switched baseline,
+//! * [`topo`] — topologies (single switch, meshes, fat-meshes),
+//! * [`traffic`] — VBR/CBR/best-effort workload generation,
+//! * [`metrics`] — jitter and latency trackers,
+//! * [`netsim`] / [`flitnet`] — the simulation and network substrates.
+//!
+//! See the repository README for a tour and `DESIGN.md` for the system
+//! inventory.
+
+#![warn(missing_docs)]
+
+pub use flitnet;
+pub use mediaworm;
+pub use metrics;
+pub use netsim;
+pub use pcs_router;
+pub use topo;
+pub use traffic;

@@ -1,0 +1,98 @@
+//! Integration tests for multi-switch (fat-mesh) operation.
+
+use flitnet::VcPartition;
+use mediaworm::{sim, RouterConfig};
+use topo::Topology;
+use traffic::{StreamClass, WorkloadBuilder};
+
+fn run(topology: &Topology, load: f64, x: f64, y: f64, seed: u64) -> mediaworm::SimOutcome {
+    let partition = if y == 0.0 {
+        VcPartition::all_real_time(16)
+    } else {
+        VcPartition::from_mix(16, x, y)
+    };
+    let wl = WorkloadBuilder::new(topology.node_count(), partition)
+        .load(load)
+        .mix(x, y)
+        .real_time_class(StreamClass::Vbr)
+        .seed(seed)
+        .build();
+    sim::run(topology, wl, &RouterConfig::default(), 0.05, 0.2)
+}
+
+#[test]
+fn fat_mesh_is_jitter_free_at_moderate_mixed_load() {
+    let topology = Topology::fat_mesh(2, 2, 2, 4);
+    let out = run(&topology, 0.7, 60.0, 40.0, 1);
+    assert!(
+        out.is_jitter_free(33.0, 1.0),
+        "d={} σ={}",
+        out.jitter.mean_ms,
+        out.jitter.std_ms
+    );
+    assert!(out.be_msgs > 1000);
+}
+
+#[test]
+fn fat_mesh_saturates_no_later_than_single_switch_claims() {
+    // Paper §5.7: the fat mesh's jitter-free ceiling is lower than the
+    // single switch's — at 0.9/80:20 the single switch is still fine while
+    // the fat mesh degrades.
+    let single = run(&Topology::single_switch(8), 0.9, 80.0, 20.0, 2);
+    let mesh = run(&Topology::fat_mesh(2, 2, 2, 4), 0.9, 80.0, 20.0, 2);
+    assert!(
+        mesh.jitter.std_ms >= single.jitter.std_ms - 0.05,
+        "mesh σ={} single σ={}",
+        mesh.jitter.std_ms,
+        single.jitter.std_ms
+    );
+}
+
+#[test]
+fn fat_links_outperform_thin_links() {
+    // Same endpoints and load; the fat topology has twice the
+    // inter-switch bandwidth and must deliver no worse jitter.
+    let thin = run(&Topology::mesh(2, 2, 4), 0.6, 60.0, 40.0, 3);
+    let fat = run(&Topology::fat_mesh(2, 2, 2, 4), 0.6, 60.0, 40.0, 3);
+    assert!(
+        fat.jitter.std_ms <= thin.jitter.std_ms + 0.05,
+        "fat σ={} thin σ={}",
+        fat.jitter.std_ms,
+        thin.jitter.std_ms
+    );
+    // The thin mesh's inter-switch links carry ~4 nodes' worth of transit
+    // traffic; at this load they are already past their ceiling.
+    assert!(
+        thin.jitter.std_ms > 1.0,
+        "expected the thin mesh to be jittery here, σ={}",
+        thin.jitter.std_ms
+    );
+}
+
+#[test]
+fn larger_fat_mesh_also_works() {
+    // Beyond the paper: a 3×2 fat-mesh at light load must stay
+    // jitter-free (exercises multi-hop XY routes with >2 hops).
+    let topology = Topology::fat_mesh(3, 2, 2, 2);
+    let out = run(&topology, 0.3, 100.0, 0.0, 4);
+    assert!(
+        out.is_jitter_free(33.0, 1.0),
+        "d={} σ={}",
+        out.jitter.mean_ms,
+        out.jitter.std_ms
+    );
+}
+
+#[test]
+fn best_effort_latency_grows_with_real_time_share() {
+    // Fig. 9(c): at a fixed load, more VBR means slower best-effort.
+    let topology = Topology::fat_mesh(2, 2, 2, 4);
+    let lo = run(&topology, 0.7, 40.0, 60.0, 5);
+    let hi = run(&topology, 0.7, 80.0, 20.0, 5);
+    assert!(
+        hi.be_mean_latency_us > lo.be_mean_latency_us * 0.8,
+        "hi-share BE latency {} should not be far below lo-share {}",
+        hi.be_mean_latency_us,
+        lo.be_mean_latency_us
+    );
+}

@@ -1,0 +1,73 @@
+//! Integration tests for the fat-tree topology (the second "fat"
+//! topology the paper names in §3.4).
+
+use flitnet::VcPartition;
+use mediaworm::{sim, RouterConfig};
+use topo::Topology;
+use traffic::{StreamClass, WorkloadBuilder};
+
+fn run(topology: &Topology, load: f64, seed: u64) -> mediaworm::SimOutcome {
+    let wl = WorkloadBuilder::new(topology.node_count(), VcPartition::all_real_time(16))
+        .load(load)
+        .mix(100.0, 0.0)
+        .real_time_class(StreamClass::Vbr)
+        .seed(seed)
+        .build();
+    sim::run(topology, wl, &RouterConfig::default(), 0.05, 0.15)
+}
+
+#[test]
+fn fat_tree_delivers_jitter_free_at_light_load() {
+    // 4 leaves × 2 roots × 2 endpoints per leaf.
+    let t = Topology::fat_tree(4, 2, 2);
+    let out = run(&t, 0.3, 1);
+    assert!(
+        out.is_jitter_free(33.0, 1.0),
+        "d={} σ={}",
+        out.jitter.mean_ms,
+        out.jitter.std_ms
+    );
+}
+
+#[test]
+fn more_roots_tolerate_more_load() {
+    // With 4 endpoints per leaf and only one root, the single up-link of
+    // each leaf carries up to 4 nodes' worth of cross-leaf traffic; two
+    // roots double that headroom. Compare jitter at a load the thin
+    // configuration cannot sustain.
+    let thin = run(&Topology::fat_tree(4, 1, 4), 0.5, 2);
+    let fat = run(&Topology::fat_tree(4, 4, 4), 0.5, 2);
+    assert!(
+        fat.jitter.std_ms <= thin.jitter.std_ms + 0.05,
+        "fat σ={} thin σ={}",
+        fat.jitter.std_ms,
+        thin.jitter.std_ms
+    );
+    assert!(
+        thin.jitter.std_ms > 1.0,
+        "single-root tree should be saturated here: σ={}",
+        thin.jitter.std_ms
+    );
+    assert!(
+        fat.is_jitter_free(33.0, 1.0),
+        "four roots should carry the load: d={} σ={}",
+        fat.jitter.mean_ms,
+        fat.jitter.std_ms
+    );
+}
+
+#[test]
+fn leaf_local_traffic_never_uses_roots() {
+    let t = Topology::fat_tree(2, 2, 4);
+    // All nodes 0..4 share leaf 0; their pairwise routes terminate at the
+    // leaf (0 hops).
+    for a in 0..4u32 {
+        for b in 0..4u32 {
+            if a != b {
+                assert_eq!(t.hops(flitnet::NodeId(a), flitnet::NodeId(b)), 0);
+            }
+        }
+    }
+    // Cross-leaf traffic takes exactly two hops (up, down).
+    assert_eq!(t.hops(flitnet::NodeId(0), flitnet::NodeId(5)), 2);
+}

@@ -1,0 +1,273 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the reproduction.
+
+use flitnet::{
+    Flit, FlitKind, FrameId, MsgId, NodeId, StreamId, TrafficClass, VcId, VcPartition,
+};
+use mediaworm::{MuxScheduler, SchedulerKind};
+use netsim::dist::{Distribution, Normal};
+use netsim::{Calendar, Cycles, RunningStats, SimRng, TimeBase};
+use proptest::prelude::*;
+
+fn flit(kind: FlitKind, vtick: f64, stream: u32) -> Flit {
+    Flit {
+        kind,
+        stream: StreamId(stream),
+        msg: MsgId(u64::from(stream)),
+        frame: FrameId(0),
+        seq_in_msg: 0,
+        msg_len: 4,
+        msg_seq_in_frame: 0,
+        msgs_in_frame: 1,
+        dest: NodeId(0),
+        vc: VcId(0),
+        out_vc: VcId(0),
+        vtick,
+        class: TrafficClass::Vbr,
+        created_at: Cycles(0),
+    }
+}
+
+proptest! {
+    /// The VC partition always covers all VCs, with both classes disjoint,
+    /// and any class with a positive share keeps at least one VC.
+    #[test]
+    fn partition_covers_and_respects_shares(
+        total in 1u32..64,
+        x in 0.0f64..100.0,
+        y in 0.0f64..100.0,
+    ) {
+        prop_assume!(x + y > 0.0);
+        let p = VcPartition::from_mix(total, x, y);
+        prop_assert_eq!(p.real_time_count() + p.best_effort_count(), total);
+        if x > 0.0 && total >= 2 {
+            prop_assert!(p.real_time_count() >= 1);
+        }
+        if y > 0.0 && total >= 2 {
+            prop_assert!(p.best_effort_count() >= 1);
+        }
+        let rt: Vec<VcId> = p.vcs_for(TrafficClass::Vbr).collect();
+        let be: Vec<VcId> = p.vcs_for(TrafficClass::BestEffort).collect();
+        for vc in &rt {
+            prop_assert!(p.class_of(*vc).is_real_time());
+        }
+        for vc in &be {
+            prop_assert!(!p.class_of(*vc).is_real_time());
+        }
+    }
+
+    /// Flitify always produces exactly one head and one tail, in order,
+    /// covering `msg_len` flits.
+    #[test]
+    fn flitify_is_well_formed(len in 1u32..500) {
+        let mut template = flit(FlitKind::Head, 10.0, 0);
+        template.msg_len = len;
+        let flits = Flit::flitify(template);
+        prop_assert_eq!(flits.len(), len as usize);
+        prop_assert!(flits[0].kind.is_head());
+        prop_assert!(flits[len as usize - 1].kind.is_tail());
+        let heads = flits.iter().filter(|f| f.kind.is_head()).count();
+        let tails = flits.iter().filter(|f| f.kind.is_tail()).count();
+        prop_assert_eq!(heads, 1);
+        prop_assert_eq!(tails, 1);
+        for (i, f) in flits.iter().enumerate() {
+            prop_assert_eq!(f.seq_in_msg as usize, i);
+        }
+    }
+
+    /// The Virtual Clock scheduler is work-conserving: whenever any VC is
+    /// eligible, it serves one — and it never serves an empty VC.
+    #[test]
+    fn virtual_clock_is_work_conserving(
+        arrivals in proptest::collection::vec((0usize..4, 1.0f64..1000.0), 1..200),
+    ) {
+        let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 4);
+        let mut queued = [0u32; 4];
+        for (vc, vtick) in &arrivals {
+            s.on_arrival(*vc, Cycles(0), &flit(FlitKind::HeadTail, *vtick, *vc as u32));
+            queued[*vc] += 1;
+        }
+        let total: u32 = queued.iter().sum();
+        for _ in 0..total {
+            let eligible: Vec<bool> = queued.iter().map(|&q| q > 0).collect();
+            let vc = s.choose(&eligible).expect("work conservation");
+            prop_assert!(queued[vc] > 0);
+            queued[vc] -= 1;
+            s.on_service(vc);
+        }
+        prop_assert!(queued.iter().all(|&q| q == 0));
+    }
+
+    /// Under persistent backlog, Virtual Clock shares bandwidth in
+    /// proportion to the configured rates (the paper's soft guarantee).
+    #[test]
+    fn virtual_clock_shares_by_rate(ratio in 2u32..8) {
+        let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 2);
+        let slow_tick = 1000.0;
+        let fast_tick = slow_tick / f64::from(ratio);
+        let n = 2000u32;
+        s.on_arrival(0, Cycles(0), &flit(FlitKind::Head, slow_tick, 0));
+        s.on_arrival(1, Cycles(0), &flit(FlitKind::Head, fast_tick, 1));
+        for _ in 1..n {
+            s.on_arrival(0, Cycles(0), &flit(FlitKind::Body, slow_tick, 0));
+            s.on_arrival(1, Cycles(0), &flit(FlitKind::Body, fast_tick, 1));
+        }
+        let mut served = [0u32; 2];
+        for _ in 0..n {
+            let vc = s.choose(&[true, true]).expect("backlogged");
+            served[vc] += 1;
+            s.on_service(vc);
+        }
+        let measured = f64::from(served[1]) / f64::from(served[0]);
+        prop_assert!(
+            (measured - f64::from(ratio)).abs() / f64::from(ratio) < 0.25,
+            "expected ratio {ratio}, measured {measured:.2} ({served:?})"
+        );
+    }
+
+    /// The calendar pops events in non-decreasing time order, FIFO within
+    /// a cycle.
+    #[test]
+    fn calendar_orders_events(times in proptest::collection::vec(0u64..10_000, 1..300)) {
+        let mut cal = Calendar::new();
+        for (i, t) in times.iter().enumerate() {
+            cal.schedule(Cycles(*t), i);
+        }
+        let mut last: Option<(Cycles, usize)> = None;
+        while let Some((at, idx)) = cal.pop() {
+            if let Some((lat, lidx)) = last {
+                prop_assert!(at >= lat);
+                if at == lat {
+                    prop_assert!(idx > lidx, "FIFO within a cycle");
+                }
+            }
+            last = Some((at, idx));
+        }
+    }
+
+    /// Welford statistics agree with the two-pass computation on random
+    /// samples.
+    #[test]
+    fn running_stats_match_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..500)) {
+        let s: RunningStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() <= 1e-6 * var.abs().max(1.0));
+    }
+
+    /// Time base round trips cycles ↔ wall clock within rounding error.
+    #[test]
+    fn timebase_roundtrip(ms in 0.001f64..10_000.0) {
+        let tb = TimeBase::from_link(400e6, 32);
+        let c = tb.cycles_from_ms(ms);
+        let back = tb.cycles_to_ms(c);
+        // Half a cycle of rounding is 40 ns.
+        prop_assert!((back - ms).abs() <= tb.ns_per_cycle() * 1e-6);
+    }
+
+    /// Normal samples have the right first two moments for arbitrary
+    /// parameters.
+    #[test]
+    fn normal_moments(mean in -1e4f64..1e4, sd in 0.1f64..1e3, seed in 0u64..1000) {
+        let d = Normal::new(mean, sd);
+        let mut rng = SimRng::seed_from(seed);
+        let n = 20_000;
+        let mut stats = RunningStats::new();
+        for _ in 0..n {
+            stats.push(d.sample(&mut rng));
+        }
+        prop_assert!((stats.mean() - mean).abs() < 5.0 * sd / (n as f64).sqrt() + 1e-9);
+        prop_assert!((stats.std_dev() - sd).abs() / sd < 0.1);
+    }
+
+    /// Fat-tree routes always terminate and respect the two-hop bound.
+    #[test]
+    fn fat_tree_routes_terminate(
+        leaves in 2u32..6,
+        roots in 1u32..4,
+        endpoints in 1u32..4,
+    ) {
+        use topo::Topology;
+        let t = Topology::fat_tree(leaves, roots, endpoints);
+        let n = t.node_count() as u32;
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let hops = t.hops(NodeId(s), NodeId(d));
+                prop_assert!(hops == 0 || hops == 2, "fat-tree hop count {hops}");
+            }
+        }
+    }
+
+    /// Fat-mesh routes terminate for arbitrary grid shapes.
+    #[test]
+    fn fat_mesh_routes_terminate(
+        w in 1u32..5,
+        h in 1u32..5,
+        fat in 1u32..3,
+        endpoints in 1u32..3,
+    ) {
+        prop_assume!(w * h >= 2);
+        use topo::Topology;
+        let t = Topology::fat_mesh(w, h, fat, endpoints);
+        let n = t.node_count() as u32;
+        let max_hops = (w - 1) + (h - 1);
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                prop_assert!(t.hops(NodeId(s), NodeId(d)) <= max_hops);
+            }
+        }
+    }
+
+    /// FIFO ties (equal stamps) resolve to the lowest VC index,
+    /// deterministically.
+    #[test]
+    fn fifo_tie_break_is_deterministic(n_vcs in 2usize..8) {
+        let mut s = MuxScheduler::new(SchedulerKind::Fifo, n_vcs);
+        for vc in 0..n_vcs {
+            s.on_arrival(vc, Cycles(7), &flit(FlitKind::HeadTail, 1.0, vc as u32));
+        }
+        let eligible = vec![true; n_vcs];
+        prop_assert_eq!(s.choose(&eligible), Some(0));
+    }
+
+    /// Stream workloads conserve frame bytes: the flits of each frame's
+    /// messages sum to the frame size in flits.
+    #[test]
+    fn stream_messages_cover_frames(seed in 0u64..500) {
+        use traffic::{RealTimeStream, StreamClass, WorkloadSpec};
+        let spec = WorkloadSpec::paper_default();
+        let mut s = RealTimeStream::new(
+            &spec,
+            StreamClass::Vbr,
+            StreamId(0),
+            NodeId(0),
+            NodeId(1),
+            VcId(0),
+            VcId(1),
+            Cycles(0),
+        );
+        let mut rng = SimRng::seed_from(seed);
+        let mut next_id = 0u64;
+        // Walk two full frames.
+        for _ in 0..2 {
+            let first = s.next_message(&mut rng, &mut next_id);
+            let msgs = first.flits[0].msgs_in_frame;
+            let mut flits = first.flits.len() as u32;
+            for k in 1..msgs {
+                let m = s.next_message(&mut rng, &mut next_id);
+                prop_assert_eq!(m.flits[0].msg_seq_in_frame, k);
+                flits += m.flits.len() as u32;
+            }
+            // Full messages except possibly the last.
+            prop_assert!(flits > (msgs - 1) * spec.msg_flits);
+            prop_assert!(flits <= msgs * spec.msg_flits);
+        }
+    }
+}
