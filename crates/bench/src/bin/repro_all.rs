@@ -7,7 +7,8 @@ use mediaworm_bench::{experiments, RunArgs};
 
 fn main() {
     let args = RunArgs::from_env();
-    let runs: Vec<(&str, fn(&RunArgs) -> metrics::Table)> = vec![
+    type Experiment = fn(&RunArgs) -> metrics::Table;
+    let runs: Vec<(&str, Experiment)> = vec![
         ("Fig 3", experiments::fig3),
         ("Fig 4", experiments::fig4),
         ("Fig 5", experiments::fig5),

@@ -3,13 +3,19 @@
 //! Every function prints its result table and returns it, so `repro-all`
 //! can collect everything into one report. Parameter values mirror the
 //! paper exactly; see EXPERIMENTS.md for paper-vs-measured notes.
+//!
+//! Each experiment is a sweep: it builds its full point list up front,
+//! fans the points across a [`SweepRunner`] (capped by `--jobs` /
+//! `MEDIAWORM_JOBS`), and assembles the table rows from the ordered
+//! results — so the printed output is bit-identical at any job count.
 
-use mediaworm::{CrossbarKind, RouterConfig, SchedPoint, SchedulerKind};
+use mediaworm::{CrossbarKind, RouterConfig, SchedPoint, SchedulerKind, SimOutcome};
 use metrics::Table;
 use pcs_router::PcsConfig;
 use traffic::{FrameModel, StreamClass, WorkloadSpec};
 
-use crate::{banner, run_fat_mesh, run_single_switch, Point, RunArgs};
+use crate::sweep::SweepRunner;
+use crate::{banner, run_fat_mesh_seeded, run_single_switch_seeded, Point, RunArgs};
 
 /// The load axis used by the single-switch sweeps (Figs. 3–6).
 pub const LOADS: [f64; 5] = [0.6, 0.7, 0.8, 0.9, 0.96];
@@ -26,23 +32,36 @@ fn be_cell(us: f64) -> String {
     }
 }
 
+/// Fans `points` across the sweep workers on the single switch; results
+/// come back in point order.
+fn sweep_single_switch(points: &[Point], args: &RunArgs) -> Vec<SimOutcome> {
+    SweepRunner::from_args(args).map(points.len(), |task| {
+        run_single_switch_seeded(&points[task.index], args, task.seed)
+    })
+}
+
 /// Fig. 3 — Virtual Clock vs FIFO (16 VCs, 80:20 mix): d̄ and σ_d vs load.
 pub fn fig3(args: &RunArgs) -> Table {
     banner("Fig 3: Virtual Clock vs FIFO (16 VCs, mix 80:20)", args);
     let mut t = Table::new(["load", "scheduler", "d (ms)", "sigma_d (ms)"])
         .with_title("Fig 3 — mean delivery interval and deviation, VBR 80:20");
+    let mut cells = Vec::new();
+    let mut points = Vec::new();
     for &load in &LOADS {
         for kind in [SchedulerKind::VirtualClock, SchedulerKind::Fifo] {
             let mut p = Point::new(load, 80.0, 20.0);
             p.router = RouterConfig::default().scheduler(kind);
-            let out = run_single_switch(&p, args);
-            t.row([
-                format!("{load:.2}"),
-                format!("{kind:?}"),
-                format!("{:.2}", out.jitter.mean_ms),
-                format!("{:.2}", out.jitter.std_ms),
-            ]);
+            cells.push([format!("{load:.2}"), format!("{kind:?}")]);
+            points.push(p);
         }
+    }
+    for ([load, kind], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+        t.row([
+            load,
+            kind,
+            format!("{:.2}", out.jitter.mean_ms),
+            format!("{:.2}", out.jitter.std_ms),
+        ]);
     }
     println!("{t}");
     t
@@ -53,41 +72,57 @@ pub fn fig4(args: &RunArgs) -> Table {
     banner("Fig 4: CBR vs VBR traffic (16 VCs, 400 Mbps)", args);
     let mut t = Table::new(["load", "class", "d (ms)", "sigma_d (ms)"])
         .with_title("Fig 4 — pure real-time traffic, no best-effort");
+    let mut cells = Vec::new();
+    let mut points = Vec::new();
     for &load in &LOADS {
         for class in [StreamClass::Cbr, StreamClass::Vbr] {
             let mut p = Point::new(load, 100.0, 0.0);
             p.class = class;
-            let out = run_single_switch(&p, args);
-            t.row([
-                format!("{load:.2}"),
-                format!("{class:?}"),
-                format!("{:.2}", out.jitter.mean_ms),
-                format!("{:.2}", out.jitter.std_ms),
-            ]);
+            cells.push([format!("{load:.2}"), format!("{class:?}")]);
+            points.push(p);
         }
+    }
+    for ([load, class], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+        t.row([
+            load,
+            class,
+            format!("{:.2}", out.jitter.mean_ms),
+            format!("{:.2}", out.jitter.std_ms),
+        ]);
     }
     println!("{t}");
     t
 }
 
 /// The paper's traffic mixes for Fig. 5 / Table 2.
-pub const MIXES: [(f64, f64); 5] = [(20.0, 80.0), (50.0, 50.0), (80.0, 20.0), (90.0, 10.0), (100.0, 0.0)];
+pub const MIXES: [(f64, f64); 5] = [
+    (20.0, 80.0),
+    (50.0, 50.0),
+    (80.0, 20.0),
+    (90.0, 10.0),
+    (100.0, 0.0),
+];
 
 /// Fig. 5 — mixed traffic: d̄ and σ_d over mix × load (16 VCs).
 pub fn fig5(args: &RunArgs) -> Table {
     banner("Fig 5: mixed VBR/best-effort traffic (16 VCs)", args);
     let mut t = Table::new(["mix (x:y)", "load", "d (ms)", "sigma_d (ms)"])
         .with_title("Fig 5 — jitter across traffic mixes");
+    let mut cells = Vec::new();
+    let mut points = Vec::new();
     for &(x, y) in &MIXES {
         for &load in &LOADS {
-            let out = run_single_switch(&Point::new(load, x, y), args);
-            t.row([
-                format!("{x:.0}:{y:.0}"),
-                format!("{load:.2}"),
-                format!("{:.2}", out.jitter.mean_ms),
-                format!("{:.2}", out.jitter.std_ms),
-            ]);
+            cells.push([format!("{x:.0}:{y:.0}"), format!("{load:.2}")]);
+            points.push(Point::new(load, x, y));
         }
+    }
+    for ([mix, load], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+        t.row([
+            mix,
+            load,
+            format!("{:.2}", out.jitter.mean_ms),
+            format!("{:.2}", out.jitter.std_ms),
+        ]);
     }
     println!("{t}");
     t
@@ -95,14 +130,24 @@ pub fn fig5(args: &RunArgs) -> Table {
 
 /// Table 2 — average best-effort latency (µs) over mix × load.
 pub fn table2(args: &RunArgs) -> Table {
-    banner("Table 2: average best-effort latency (8x8, 16 VCs, 400 Mbps)", args);
+    banner(
+        "Table 2: average best-effort latency (8x8, 16 VCs, 400 Mbps)",
+        args,
+    );
     let mut t = Table::new(["mix (x:y)", "0.60", "0.70", "0.80", "0.90", "0.96"])
         .with_title("Table 2 — best-effort latency in microseconds");
-    for &(x, y) in MIXES.iter().filter(|(_, y)| *y > 0.0) {
-        let mut cells = vec![format!("{x:.0}:{y:.0}")];
+    let mixes: Vec<(f64, f64)> = MIXES.iter().copied().filter(|(_, y)| *y > 0.0).collect();
+    let mut points = Vec::new();
+    for &(x, y) in &mixes {
         for &load in &LOADS {
-            let out = run_single_switch(&Point::new(load, x, y), args);
-            cells.push(be_cell(out.be_mean_latency_us));
+            points.push(Point::new(load, x, y));
+        }
+    }
+    let outs = sweep_single_switch(&points, args);
+    for (row, &(x, y)) in mixes.iter().enumerate() {
+        let mut cells = vec![format!("{x:.0}:{y:.0}")];
+        for col in 0..LOADS.len() {
+            cells.push(be_cell(outs[row * LOADS.len() + col].be_mean_latency_us));
         }
         t.row(cells);
     }
@@ -112,7 +157,10 @@ pub fn table2(args: &RunArgs) -> Table {
 
 /// Fig. 6 — impact of VC count and crossbar style (100:0 VBR).
 pub fn fig6(args: &RunArgs) -> Table {
-    banner("Fig 6: VCs and crossbar capabilities (400 Mbps, 100:0)", args);
+    banner(
+        "Fig 6: VCs and crossbar capabilities (400 Mbps, 100:0)",
+        args,
+    );
     let configs: [(&str, RouterConfig); 4] = [
         ("16 VC muxed", RouterConfig::new(16)),
         ("8 VC muxed", RouterConfig::new(8)),
@@ -124,18 +172,23 @@ pub fn fig6(args: &RunArgs) -> Table {
     ];
     let mut t = Table::new(["config", "load", "d (ms)", "sigma_d (ms)"])
         .with_title("Fig 6 — jitter vs VC count / crossbar style");
+    let mut cells = Vec::new();
+    let mut points = Vec::new();
     for (name, cfg) in &configs {
         for &load in &[0.5, 0.6, 0.7, 0.8, 0.9, 0.96] {
             let mut p = Point::new(load, 100.0, 0.0);
             p.router = cfg.clone();
-            let out = run_single_switch(&p, args);
-            t.row([
-                (*name).to_string(),
-                format!("{load:.2}"),
-                format!("{:.2}", out.jitter.mean_ms),
-                format!("{:.2}", out.jitter.std_ms),
-            ]);
+            cells.push([(*name).to_string(), format!("{load:.2}")]);
+            points.push(p);
         }
+    }
+    for ([name, load], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+        t.row([
+            name,
+            load,
+            format!("{:.2}", out.jitter.mean_ms),
+            format!("{:.2}", out.jitter.std_ms),
+        ]);
     }
     println!("{t}");
     t
@@ -146,6 +199,8 @@ pub fn fig7(args: &RunArgs) -> Table {
     banner("Fig 7: message size vs jitter (16 VCs)", args);
     let mut t = Table::new(["msg (flits)", "load", "d (ms)", "sigma_d (ms)"])
         .with_title("Fig 7 — jitter vs message size");
+    let mut cells = Vec::new();
+    let mut points = Vec::new();
     for &size in &[20u32, 40, 80, 160, 2560] {
         for &load in &[0.64, 0.80] {
             let mut p = Point::new(load, 100.0, 0.0);
@@ -153,14 +208,17 @@ pub fn fig7(args: &RunArgs) -> Table {
                 msg_flits: size,
                 ..WorkloadSpec::paper_default()
             };
-            let out = run_single_switch(&p, args);
-            t.row([
-                format!("{size}"),
-                format!("{load:.2}"),
-                format!("{:.2}", out.jitter.mean_ms),
-                format!("{:.2}", out.jitter.std_ms),
-            ]);
+            cells.push([format!("{size}"), format!("{load:.2}")]);
+            points.push(p);
         }
+    }
+    for ([size, load], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+        t.row([
+            size,
+            load,
+            format!("{:.2}", out.jitter.mean_ms),
+            format!("{:.2}", out.jitter.std_ms),
+        ]);
     }
     println!("{t}");
     t
@@ -171,26 +229,32 @@ pub fn fig8(args: &RunArgs) -> Table {
     banner("Fig 8: MediaWorm vs PCS (8x8, 100 Mbps, 24 VCs)", args);
     let mut t = Table::new(["load", "router", "d (ms)", "sigma_d (ms)"])
         .with_title("Fig 8 — wormhole vs pipelined circuit switching");
-    let (w, m) = args.windows();
-    for &load in &[0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
-        // MediaWorm at 100 Mbps with 24 VCs.
-        let mut p = Point::new(load, 100.0, 0.0);
-        p.router = RouterConfig::new(24);
-        p.spec = WorkloadSpec::paper_100mbps();
-        let worm = run_single_switch(&p, args);
-        t.row([
-            format!("{load:.2}"),
-            "MediaWorm".to_string(),
-            format!("{:.2}", worm.jitter.mean_ms),
-            format!("{:.2}", worm.jitter.std_ms),
-        ]);
-        let pcs = pcs_router::sim::run(load, &PcsConfig::paper_default(), w, m, args.seed);
-        t.row([
-            format!("{load:.2}"),
-            "PCS".to_string(),
-            format!("{:.2}", pcs.jitter.mean_ms),
-            format!("{:.2}", pcs.jitter.std_ms),
-        ]);
+    let loads = [0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    // Task 2i runs MediaWorm at loads[i]; task 2i+1 runs PCS at loads[i].
+    let jitter = SweepRunner::from_args(args).map(loads.len() * 2, |task| {
+        let load = loads[task.index / 2];
+        if task.index % 2 == 0 {
+            // MediaWorm at 100 Mbps with 24 VCs.
+            let mut p = Point::new(load, 100.0, 0.0);
+            p.router = RouterConfig::new(24);
+            p.spec = WorkloadSpec::paper_100mbps();
+            let worm = run_single_switch_seeded(&p, args, task.seed);
+            (worm.jitter.mean_ms, worm.jitter.std_ms)
+        } else {
+            let (w, m) = args.windows();
+            let pcs = pcs_router::sim::run(load, &PcsConfig::paper_default(), w, m, task.seed);
+            (pcs.jitter.mean_ms, pcs.jitter.std_ms)
+        }
+    });
+    for (i, &load) in loads.iter().enumerate() {
+        for (router, (mean, std)) in [("MediaWorm", jitter[2 * i]), ("PCS", jitter[2 * i + 1])] {
+            t.row([
+                format!("{load:.2}"),
+                router.to_string(),
+                format!("{mean:.2}"),
+                format!("{std:.2}"),
+            ]);
+        }
     }
     println!("{t}");
     t
@@ -198,18 +262,31 @@ pub fn fig8(args: &RunArgs) -> Table {
 
 /// Table 3 — PCS connection attempts / establishments / drops vs load.
 pub fn table3(args: &RunArgs) -> Table {
-    banner("Table 3: PCS connection accounting (8x8, 100 Mbps, 24 VCs)", args);
+    banner(
+        "Table 3: PCS connection accounting (8x8, 100 Mbps, 24 VCs)",
+        args,
+    );
     let mut t = Table::new(["load", "offered", "attempts", "established", "dropped"])
         .with_title("Table 3 — attempted, established and dropped connections");
-    let (w, m) = args.windows();
-    for &load in &[0.37, 0.42, 0.64, 0.67, 0.74, 0.80, 0.87, 0.91] {
-        let out = pcs_router::sim::run(load, &PcsConfig::paper_default(), w, m, args.seed);
+    let loads = [0.37, 0.42, 0.64, 0.67, 0.74, 0.80, 0.87, 0.91];
+    let outs = SweepRunner::from_args(args).map(loads.len(), |task| {
+        let (w, m) = args.windows();
+        let out = pcs_router::sim::run(
+            loads[task.index],
+            &PcsConfig::paper_default(),
+            w,
+            m,
+            task.seed,
+        );
+        (out.offered, out.attempts, out.established, out.dropped)
+    });
+    for (&load, (offered, attempts, established, dropped)) in loads.iter().zip(outs) {
         t.row([
             format!("{load:.2}"),
-            format!("{}", out.offered),
-            format!("{}", out.attempts),
-            format!("{}", out.established),
-            format!("{}", out.dropped),
+            format!("{offered}"),
+            format!("{attempts}"),
+            format!("{established}"),
+            format!("{dropped}"),
         ]);
     }
     println!("{t}");
@@ -222,17 +299,25 @@ pub fn fig9(args: &RunArgs) -> Table {
     banner("Fig 9: 2x2 fat-mesh (two links per neighbour pair)", args);
     let mut t = Table::new(["mix (x:y)", "load", "d (ms)", "sigma_d (ms)", "BE lat (us)"])
         .with_title("Fig 9 — fat-mesh jitter and best-effort latency");
+    let mut cells = Vec::new();
+    let mut points = Vec::new();
     for &(x, y) in &[(40.0, 60.0), (60.0, 40.0), (80.0, 20.0)] {
         for &load in &[0.7, 0.8, 0.9] {
-            let out = run_fat_mesh(&Point::new(load, x, y), args);
-            t.row([
-                format!("{x:.0}:{y:.0}"),
-                format!("{load:.2}"),
-                format!("{:.2}", out.jitter.mean_ms),
-                format!("{:.2}", out.jitter.std_ms),
-                be_cell(out.be_mean_latency_us),
-            ]);
+            cells.push([format!("{x:.0}:{y:.0}"), format!("{load:.2}")]);
+            points.push(Point::new(load, x, y));
         }
+    }
+    let outs = SweepRunner::from_args(args).map(points.len(), |task| {
+        run_fat_mesh_seeded(&points[task.index], args, task.seed)
+    });
+    for ([mix, load], out) in cells.into_iter().zip(outs) {
+        t.row([
+            mix,
+            load,
+            format!("{:.2}", out.jitter.mean_ms),
+            format!("{:.2}", out.jitter.std_ms),
+            be_cell(out.be_mean_latency_us),
+        ]);
     }
     println!("{t}");
     t
@@ -244,6 +329,8 @@ pub fn ablation_sched(args: &RunArgs) -> Table {
     banner("Ablation: scheduler disciplines (16 VCs, mix 80:20)", args);
     let mut t = Table::new(["load", "scheduler", "d (ms)", "sigma_d (ms)", "BE lat (us)"])
         .with_title("Ablation — VirtualClock vs FIFO vs RoundRobin");
+    let mut cells = Vec::new();
+    let mut points = Vec::new();
     for &load in &[0.7, 0.8, 0.9, 0.96] {
         for kind in [
             SchedulerKind::VirtualClock,
@@ -252,15 +339,18 @@ pub fn ablation_sched(args: &RunArgs) -> Table {
         ] {
             let mut p = Point::new(load, 80.0, 20.0);
             p.router = RouterConfig::default().scheduler(kind);
-            let out = run_single_switch(&p, args);
-            t.row([
-                format!("{load:.2}"),
-                format!("{kind:?}"),
-                format!("{:.2}", out.jitter.mean_ms),
-                format!("{:.2}", out.jitter.std_ms),
-                be_cell(out.be_mean_latency_us),
-            ]);
+            cells.push([format!("{load:.2}"), format!("{kind:?}")]);
+            points.push(p);
         }
+    }
+    for ([load, kind], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+        t.row([
+            load,
+            kind,
+            format!("{:.2}", out.jitter.mean_ms),
+            format!("{:.2}", out.jitter.std_ms),
+            be_cell(out.be_mean_latency_us),
+        ]);
     }
     println!("{t}");
     t
@@ -270,21 +360,32 @@ pub fn ablation_sched(args: &RunArgs) -> Table {
 /// (the paper's point A) vs at the VC output multiplexer (point C), both
 /// on the multiplexed crossbar. Quantifies the paper's §3.3 argument.
 pub fn ablation_point(args: &RunArgs) -> Table {
-    banner("Ablation: Virtual Clock at point A vs point C (muxed xbar)", args);
+    banner(
+        "Ablation: Virtual Clock at point A vs point C (muxed xbar)",
+        args,
+    );
     let mut t = Table::new(["load", "point", "d (ms)", "sigma_d (ms)"])
         .with_title("Ablation — QoS scheduling point");
+    let mut cells = Vec::new();
+    let mut points = Vec::new();
     for &load in &[0.7, 0.8, 0.9, 0.96] {
-        for (name, point) in [("A (xbar input)", SchedPoint::CrossbarInput), ("C (VC mux)", SchedPoint::VcMux)] {
+        for (name, point) in [
+            ("A (xbar input)", SchedPoint::CrossbarInput),
+            ("C (VC mux)", SchedPoint::VcMux),
+        ] {
             let mut p = Point::new(load, 80.0, 20.0);
             p.router = RouterConfig::default().sched_point(point);
-            let out = run_single_switch(&p, args);
-            t.row([
-                format!("{load:.2}"),
-                name.to_string(),
-                format!("{:.2}", out.jitter.mean_ms),
-                format!("{:.2}", out.jitter.std_ms),
-            ]);
+            cells.push([format!("{load:.2}"), name.to_string()]);
+            points.push(p);
         }
+    }
+    for ([load, name], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+        t.row([
+            load,
+            name,
+            format!("{:.2}", out.jitter.mean_ms),
+            format!("{:.2}", out.jitter.std_ms),
+        ]);
     }
     println!("{t}");
     t
@@ -299,19 +400,27 @@ pub fn ablation_borrowing(args: &RunArgs) -> Table {
     banner("Ablation: dynamic VC borrowing (mix 90:10)", args);
     let mut t = Table::new(["load", "borrowing", "d (ms)", "sigma_d (ms)", "BE lat (us)"])
         .with_title("Ablation — static partition vs VC borrowing");
+    let mut cells = Vec::new();
+    let mut points = Vec::new();
     for &load in &[0.6, 0.7, 0.8, 0.9] {
         for borrowing in [false, true] {
             let mut p = Point::new(load, 90.0, 10.0);
             p.router = RouterConfig::default().vc_borrowing(borrowing);
-            let out = run_single_switch(&p, args);
-            t.row([
+            cells.push([
                 format!("{load:.2}"),
                 if borrowing { "on" } else { "off" }.to_string(),
-                format!("{:.2}", out.jitter.mean_ms),
-                format!("{:.2}", out.jitter.std_ms),
-                be_cell(out.be_mean_latency_us),
             ]);
+            points.push(p);
         }
+    }
+    for ([load, borrowing], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+        t.row([
+            load,
+            borrowing,
+            format!("{:.2}", out.jitter.mean_ms),
+            format!("{:.2}", out.jitter.std_ms),
+            be_cell(out.be_mean_latency_us),
+        ]);
     }
     println!("{t}");
     t
@@ -325,6 +434,8 @@ pub fn gop_sensitivity(args: &RunArgs) -> Table {
     banner("Extension: GOP-structured VBR vs normal frame sizes", args);
     let mut t = Table::new(["load", "frame model", "d (ms)", "sigma_d (ms)"])
         .with_title("Extension — frame-size model sensitivity (100:0 VBR)");
+    let mut cells = Vec::new();
+    let mut points = Vec::new();
     for &load in &[0.6, 0.7, 0.8, 0.9] {
         for model in [FrameModel::Normal, FrameModel::Gop] {
             let mut p = Point::new(load, 100.0, 0.0);
@@ -332,14 +443,17 @@ pub fn gop_sensitivity(args: &RunArgs) -> Table {
                 frame_model: model,
                 ..WorkloadSpec::paper_default()
             };
-            let out = run_single_switch(&p, args);
-            t.row([
-                format!("{load:.2}"),
-                format!("{model:?}"),
-                format!("{:.2}", out.jitter.mean_ms),
-                format!("{:.2}", out.jitter.std_ms),
-            ]);
+            cells.push([format!("{load:.2}"), format!("{model:?}")]);
+            points.push(p);
         }
+    }
+    for ([load, model], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+        t.row([
+            load,
+            model,
+            format!("{:.2}", out.jitter.mean_ms),
+            format!("{:.2}", out.jitter.std_ms),
+        ]);
     }
     println!("{t}");
     t
@@ -355,6 +469,7 @@ mod tests {
             seed: 11,
             warmup_secs: 0.02,
             measure_secs: 0.04,
+            jobs: Some(2),
         }
     }
 

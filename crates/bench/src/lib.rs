@@ -10,13 +10,18 @@
 //! # Conventions
 //!
 //! * All binaries accept `--quick` (shorter measurement window for smoke
-//!   runs), `--seed <u64>`, `--warmup <secs>` and `--measure <secs>`.
+//!   runs), `--seed <u64>`, `--warmup <secs>`, `--measure <secs>` and
+//!   `--jobs <N>` (worker threads for the sweep; also settable via the
+//!   `MEDIAWORM_JOBS` environment variable, default: all available
+//!   cores). Results are bit-identical at any job count — see
+//!   [`sweep`].
 //! * Results print as plain-text tables; `EXPERIMENTS.md` records the
 //!   paper-vs-measured comparison.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod sweep;
 
 use flitnet::VcPartition;
 use mediaworm::{sim, RouterConfig, SimOutcome};
@@ -34,6 +39,9 @@ pub struct RunArgs {
     pub warmup_secs: f64,
     /// Measurement window in simulated seconds.
     pub measure_secs: f64,
+    /// Worker-thread cap for sweeps (`--jobs`); `None` falls back to
+    /// `MEDIAWORM_JOBS`, then to the machine's available parallelism.
+    pub jobs: Option<usize>,
 }
 
 impl RunArgs {
@@ -66,6 +74,16 @@ impl RunArgs {
                         .unwrap_or_else(|| usage("--measure needs seconds"));
                     explicit_windows = true;
                 }
+                "--jobs" => {
+                    let n: usize = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--jobs needs a positive count"));
+                    if n == 0 {
+                        usage("--jobs needs a positive count");
+                    }
+                    args.jobs = Some(n);
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -81,6 +99,22 @@ impl RunArgs {
     pub fn windows(&self) -> (f64, f64) {
         (self.warmup_secs, self.measure_secs)
     }
+
+    /// The sweep worker count: `--jobs`, else `MEDIAWORM_JOBS`, else the
+    /// machine's available parallelism (at least 1).
+    pub fn effective_jobs(&self) -> usize {
+        if let Some(n) = self.jobs {
+            return n.max(1);
+        }
+        if let Some(n) = std::env::var("MEDIAWORM_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
 }
 
 impl Default for RunArgs {
@@ -90,6 +124,7 @@ impl Default for RunArgs {
             seed: 42,
             warmup_secs: 0.1,
             measure_secs: 0.4,
+            jobs: None,
         }
     }
 }
@@ -98,7 +133,9 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <experiment> [--quick] [--seed N] [--warmup SECS] [--measure SECS]");
+    eprintln!(
+        "usage: <experiment> [--quick] [--seed N] [--warmup SECS] [--measure SECS] [--jobs N]"
+    );
     std::process::exit(2);
 }
 
@@ -142,14 +179,20 @@ impl Point {
         }
     }
 
-    /// Runs this point over `topology`.
+    /// Runs this point over `topology` with the args' base seed.
     pub fn run_on(&self, topology: &Topology, args: &RunArgs) -> SimOutcome {
+        self.run_on_seeded(topology, args, args.seed)
+    }
+
+    /// Runs this point over `topology` with an explicit workload seed
+    /// (sweeps derive one per task; see [`sweep`]).
+    pub fn run_on_seeded(&self, topology: &Topology, args: &RunArgs, seed: u64) -> SimOutcome {
         let workload = WorkloadBuilder::new(topology.node_count(), self.partition())
             .spec(self.spec.clone())
             .load(self.load)
             .mix(self.mix_x, self.mix_y)
             .real_time_class(self.class)
-            .seed(args.seed)
+            .seed(seed)
             .build();
         let (w, m) = args.windows();
         sim::run(topology, workload, &self.router, w, m)
@@ -161,10 +204,20 @@ pub fn run_single_switch(point: &Point, args: &RunArgs) -> SimOutcome {
     point.run_on(&Topology::single_switch(8), args)
 }
 
+/// [`run_single_switch`] with an explicit workload seed.
+pub fn run_single_switch_seeded(point: &Point, args: &RunArgs, seed: u64) -> SimOutcome {
+    point.run_on_seeded(&Topology::single_switch(8), args, seed)
+}
+
 /// Runs one point on the paper's 2×2 fat-mesh (two parallel links per
 /// neighbour pair, 4 endpoints per switch).
 pub fn run_fat_mesh(point: &Point, args: &RunArgs) -> SimOutcome {
     point.run_on(&Topology::fat_mesh(2, 2, 2, 4), args)
+}
+
+/// [`run_fat_mesh`] with an explicit workload seed.
+pub fn run_fat_mesh_seeded(point: &Point, args: &RunArgs, seed: u64) -> SimOutcome {
+    point.run_on_seeded(&Topology::fat_mesh(2, 2, 2, 4), args, seed)
 }
 
 /// Formats a jitter pair `(d̄, σ_d)` in milliseconds.
@@ -214,6 +267,7 @@ mod tests {
             seed: 7,
             warmup_secs: 0.02,
             measure_secs: 0.05,
+            jobs: Some(1),
         };
         let out = run_single_switch(&Point::new(0.4, 100.0, 0.0), &args);
         assert!(out.jitter.intervals > 0);

@@ -1,0 +1,225 @@
+//! Parallel sweep execution for the experiment binaries.
+//!
+//! Every figure/table of the paper is a *sweep*: a list of independent
+//! simulation points (load × mix × router config) whose results fill a
+//! table. [`SweepRunner`] fans such a list across a pool of scoped
+//! threads, capped by `--jobs N` / the `MEDIAWORM_JOBS` environment
+//! variable (default: all available cores).
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical at any job count**:
+//!
+//! * each task's RNG seed is derived from `(base_seed, task_index)` alone
+//!   via [`derive_seed`] — never from which worker ran it or when;
+//! * results land in a slot indexed by the task, so output order equals
+//!   input order regardless of completion order;
+//! * replicated runs reduce through [`RunningStats::merge`] in replica
+//!   index order (parallel Welford is deterministic for a fixed merge
+//!   order, not for an arbitrary one).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use netsim::RunningStats;
+
+use crate::RunArgs;
+
+/// Derives the RNG seed for sweep task `index` from the sweep's base
+/// seed. A fixed-key splitmix64 finalizer over the pair: adjacent indices
+/// give statistically independent streams, and the result depends only on
+/// `(base_seed, index)` — not on scheduling.
+pub fn derive_seed(base_seed: u64, index: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One unit of sweep work: which point, and the seed to run it with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepTask {
+    /// Position in the sweep's task list (also the result slot).
+    pub index: usize,
+    /// Seed derived from `(base_seed, index)`; see [`derive_seed`].
+    pub seed: u64,
+}
+
+/// Fans independent simulation points across worker threads.
+///
+/// # Example
+///
+/// ```
+/// use mediaworm_bench::sweep::SweepRunner;
+///
+/// let runner = SweepRunner::new(4, 42);
+/// let squares = runner.map(8, |task| (task.index * task.index, task.seed));
+/// // Input order is preserved and seeds depend only on the index, so the
+/// // same call with 1 job gives the identical vector.
+/// assert_eq!(squares, SweepRunner::new(1, 42).map(8, |t| (t.index * t.index, t.seed)));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    jobs: usize,
+    base_seed: u64,
+}
+
+impl SweepRunner {
+    /// A runner using at most `jobs` worker threads and deriving task
+    /// seeds from `base_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn new(jobs: usize, base_seed: u64) -> SweepRunner {
+        assert!(jobs >= 1, "a sweep needs at least one worker");
+        SweepRunner { jobs, base_seed }
+    }
+
+    /// A runner configured from the command-line arguments: job count
+    /// from `--jobs` / `MEDIAWORM_JOBS` / available parallelism, base
+    /// seed from `--seed`.
+    pub fn from_args(args: &RunArgs) -> SweepRunner {
+        SweepRunner::new(args.effective_jobs(), args.seed)
+    }
+
+    /// The worker-thread cap.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The base seed task seeds are derived from.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Runs `count` tasks through `f`, at most [`jobs`](Self::jobs) at a
+    /// time, and returns the results in task order.
+    ///
+    /// Workers self-schedule off a shared atomic counter, so an expensive
+    /// point does not hold up the queue behind it. `f` must not rely on
+    /// execution order — only on its [`SweepTask`].
+    pub fn map<T, F>(&self, count: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(SweepTask) -> T + Sync,
+    {
+        let task = |index: usize| SweepTask {
+            index,
+            seed: derive_seed(self.base_seed, index as u64),
+        };
+        let workers = self.jobs.min(count);
+        if workers <= 1 {
+            return (0..count).map(|i| f(task(i))).collect();
+        }
+        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let value = f(task(i));
+                    slots.lock().expect("sweep slots poisoned")[i] = Some(value);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("sweep slots poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every sweep task stores its result"))
+            .collect()
+    }
+
+    /// Runs `points × replicas` tasks through `f` and merges each point's
+    /// replica statistics with [`RunningStats::merge`], always in replica
+    /// index order. `f` receives `(point, replica, seed)`; the seed is
+    /// derived from the flat task index `point * replicas + replica`.
+    pub fn run_stats<F>(&self, points: usize, replicas: usize, f: F) -> Vec<RunningStats>
+    where
+        F: Fn(usize, usize, u64) -> RunningStats + Sync,
+    {
+        assert!(replicas >= 1, "each point needs at least one replica");
+        let per_task = self.map(points * replicas, |t| {
+            f(t.index / replicas, t.index % replicas, t.seed)
+        });
+        per_task
+            .chunks(replicas)
+            .map(|chunk| {
+                let mut acc = RunningStats::new();
+                for s in chunk {
+                    acc.merge(s);
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let r = SweepRunner::new(8, 7);
+        let out = r.map(100, |t| t.index * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeds_depend_only_on_index() {
+        let a = SweepRunner::new(1, 42).map(16, |t| t.seed);
+        let b = SweepRunner::new(8, 42).map(16, |t| t.seed);
+        assert_eq!(a, b);
+        // All distinct (splitmix64 is a bijection, but check the mix too).
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), a.len());
+    }
+
+    #[test]
+    fn different_base_seeds_give_different_streams() {
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+        assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let r = SweepRunner::new(4, 0);
+        let out: Vec<u64> = r.map(0, |t| t.seed);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_stats_merges_in_replica_order_bit_identically() {
+        // Irrational-ish samples so float merge order would show up.
+        let sample = |p: usize, rep: usize, seed: u64| {
+            let mut s = RunningStats::new();
+            for k in 0..50 {
+                let x = ((seed % 1000) as f64).sqrt()
+                    + (p as f64 * 0.37 + rep as f64 * 0.11 + k as f64).sin();
+                s.push(x);
+            }
+            s
+        };
+        let seq = SweepRunner::new(1, 99).run_stats(6, 4, sample);
+        let par = SweepRunner::new(8, 99).run_stats(6, 4, sample);
+        assert_eq!(seq.len(), 6);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.count(), b.count());
+            assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+            assert_eq!(a.variance().to_bits(), b.variance().to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_jobs_panics() {
+        let _ = SweepRunner::new(0, 0);
+    }
+}

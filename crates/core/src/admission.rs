@@ -205,7 +205,9 @@ mod tests {
         for k in 0..70 {
             ac.admit(StreamId(k), NodeId(0), NodeId(1), 4e6).unwrap();
         }
-        let err = ac.admit(StreamId(70), NodeId(0), NodeId(1), 4e6).unwrap_err();
+        let err = ac
+            .admit(StreamId(70), NodeId(0), NodeId(1), 4e6)
+            .unwrap_err();
         assert!(err.would_be_utilisation > 0.7);
         assert_eq!(ac.admitted(), 70);
     }
@@ -243,9 +245,7 @@ mod tests {
         // Node 0 (router 0) → node 12 (router 3): two hops.
         ac.admit(StreamId(0), NodeId(0), NodeId(12), 4e6).unwrap();
         // Some inter-router link on router 0 carries the reservation.
-        let used: f64 = (0..8)
-            .map(|p| ac.utilisation(RouterId(0), PortId(p)))
-            .sum();
+        let used: f64 = (0..8).map(|p| ac.utilisation(RouterId(0), PortId(p))).sum();
         assert!(used > 0.0, "route must reserve a router-0 output");
     }
 

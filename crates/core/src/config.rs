@@ -215,7 +215,10 @@ impl fmt::Display for RouterConfig {
         write!(
             f,
             "{:?} crossbar, {} VCs/PC, {:?} scheduling at {:?}",
-            self.crossbar, self.vcs_per_pc, self.scheduler, self.effective_sched_point()
+            self.crossbar,
+            self.vcs_per_pc,
+            self.scheduler,
+            self.effective_sched_point()
         )
     }
 }
@@ -258,7 +261,9 @@ mod tests {
     #[test]
     fn vc_borrowing_defaults_off() {
         assert!(!RouterConfig::default().vc_borrowing_enabled());
-        assert!(RouterConfig::new(8).vc_borrowing(true).vc_borrowing_enabled());
+        assert!(RouterConfig::new(8)
+            .vc_borrowing(true)
+            .vc_borrowing_enabled());
     }
 
     #[test]

@@ -26,7 +26,7 @@ use topo::{PortTarget, Topology};
 use traffic::{ScheduledMessage, Workload};
 
 use crate::config::RouterConfig;
-use crate::router::Router;
+use crate::router::{CreditReturn, Departure, Router};
 use crate::scheduler::MuxScheduler;
 
 /// Credits given to endpoint-attached output ports: endpoints consume at
@@ -107,6 +107,15 @@ pub struct Network {
     timebase: TimeBase,
     /// Scratch eligibility mask reused across NI scheduling calls.
     scratch: Vec<bool>,
+    /// Reusable per-cycle buffer for crossbar credit returns.
+    credit_buf: Vec<CreditReturn>,
+    /// Reusable per-cycle buffer for output-stage departures.
+    depart_buf: Vec<Departure>,
+    /// Links with at least one flit or credit in flight; `deliver` scans
+    /// only these, so idle links cost nothing per cycle.
+    active_links: Vec<usize>,
+    /// Whether each link is in `active_links` (same indexing as `links`).
+    link_active: Vec<bool>,
     /// Flits sent per link (same indexing as `links`), for utilisation
     /// statistics.
     link_sent: Vec<u64>,
@@ -240,7 +249,19 @@ impl Network {
             injected_msgs: 0,
             timebase,
             scratch: vec![false; m_usize],
+            credit_buf: Vec::new(),
+            depart_buf: Vec::new(),
+            active_links: Vec::new(),
+            link_active: vec![false; link_count],
             link_sent: vec![0; link_count],
+        }
+    }
+
+    /// Marks link `l` as carrying traffic so `deliver` will scan it.
+    fn activate_link(link_active: &mut [bool], active_links: &mut Vec<usize>, l: usize) {
+        if !link_active[l] {
+            link_active[l] = true;
+            active_links.push(l);
         }
     }
 
@@ -375,6 +396,17 @@ impl Network {
         }
     }
 
+    /// Runs the simulation until cycle `end` without the idle-cycle jump:
+    /// every cycle is stepped explicitly. Only useful as a reference for
+    /// validating that the jump in [`run_until`] is unobservable (the
+    /// jumped-over cycles have no flit anywhere, so nothing can act).
+    pub fn run_until_exhaustive(&mut self, end: Cycles) {
+        while self.now < end {
+            self.step();
+            self.now += Cycles(1);
+        }
+    }
+
     /// Executes one cycle at the current time.
     pub fn step(&mut self) {
         let now = self.now;
@@ -406,8 +438,15 @@ impl Network {
     }
 
     /// Phase 2: link and credit delivery (including sink accounting).
+    ///
+    /// Only links on the active list are scanned; a link leaves the list
+    /// once both its flit and credit channels have drained and rejoins it
+    /// on the next send.
     fn deliver(&mut self, now: Cycles) {
-        for lp in &mut self.links {
+        let mut i = 0;
+        while i < self.active_links.len() {
+            let l = self.active_links[i];
+            let lp = &mut self.links[l];
             while let Some(flit) = lp.flit.recv(now) {
                 match lp.rx {
                     RxSide::RouterIn { router, port } => {
@@ -427,6 +466,12 @@ impl Network {
                         self.endpoints[node].credits[vc.index()] += 1;
                     }
                 }
+            }
+            if lp.flit.is_idle() && lp.credit.is_idle() {
+                self.link_active[l] = false;
+                self.active_links.swap_remove(i);
+            } else {
+                i += 1;
             }
         }
     }
@@ -468,31 +513,39 @@ impl Network {
 
     /// Phase 4: crossbars; send freed-slot credits back upstream.
     fn crossbar(&mut self, now: Cycles) {
+        let mut credits = std::mem::take(&mut self.credit_buf);
         for r in 0..self.routers.len() {
             if !self.routers[r].has_work() {
                 continue;
             }
-            let credits = self.routers[r].crossbar(now);
-            for c in credits {
+            credits.clear();
+            self.routers[r].crossbar(now, &mut credits);
+            for c in &credits {
                 let feeder = self.feed_link[r][c.port.index()];
                 self.links[feeder].credit.send(now, c.vc);
+                Self::activate_link(&mut self.link_active, &mut self.active_links, feeder);
             }
         }
+        self.credit_buf = credits;
     }
 
     /// Phase 5: output VC multiplexers onto the links.
     fn output(&mut self, now: Cycles) {
+        let mut departures = std::mem::take(&mut self.depart_buf);
         for r in 0..self.routers.len() {
             if !self.routers[r].has_work() {
                 continue;
             }
-            let departures = self.routers[r].output_stage(now);
-            for d in departures {
+            departures.clear();
+            self.routers[r].output_stage(now, &mut departures);
+            for d in &departures {
                 let l = self.out_link[r][d.port.index()];
                 self.links[l].flit.send(now, d.flit);
+                Self::activate_link(&mut self.link_active, &mut self.active_links, l);
                 self.link_sent[l] += 1;
             }
         }
+        self.depart_buf = departures;
     }
 
     /// Phase 6: NI injection multiplexers onto the injection links.
@@ -507,8 +560,7 @@ impl Network {
             if ep.queues.iter().all(VecDeque::is_empty) {
                 continue;
             }
-            let sendable =
-                |ep: &Endpoint, v: usize| !ep.queues[v].is_empty() && ep.credits[v] > 0;
+            let sendable = |ep: &Endpoint, v: usize| !ep.queues[v].is_empty() && ep.credits[v] > 0;
             let v = match ep.current {
                 Some(v) if sendable(ep, v) => v,
                 _ => {
@@ -526,6 +578,7 @@ impl Network {
             ep.credits[v] -= 1;
             ep.current = if flit.kind.is_tail() { None } else { Some(v) };
             self.links[ep.link].flit.send(now, flit);
+            Self::activate_link(&mut self.link_active, &mut self.active_links, ep.link);
             self.link_sent[ep.link] += 1;
         }
     }
@@ -579,7 +632,11 @@ mod tests {
         net.set_warmup_end(tb.cycles_from_ms(40.0));
         net.run_until(tb.cycles_from_ms(150.0));
         let s = net.delivery().summary();
-        assert!(s.intervals > 50, "need interval samples, got {}", s.intervals);
+        assert!(
+            s.intervals > 50,
+            "need interval samples, got {}",
+            s.intervals
+        );
         assert!(
             s.is_jitter_free(33.0, 0.8),
             "expected jitter-free at low load: d={} σ={}",
@@ -600,7 +657,10 @@ mod tests {
         let mut net = Network::new(&topology, wl, &cfg);
         let tb = net.timebase();
         net.run_until(tb.cycles_from_ms(30.0));
-        assert!(net.latency().count() > 100, "best-effort messages must flow");
+        assert!(
+            net.latency().count() > 100,
+            "best-effort messages must flow"
+        );
         let mean = net.latency().mean_us();
         // One switch at half load: latencies should be tens of µs at most.
         assert!(mean > 0.0 && mean < 500.0, "mean latency {mean} µs");
@@ -609,7 +669,11 @@ mod tests {
     #[test]
     fn fifo_and_virtual_clock_both_complete() {
         let topology = Topology::single_switch(8);
-        for kind in [SchedulerKind::Fifo, SchedulerKind::VirtualClock, SchedulerKind::RoundRobin] {
+        for kind in [
+            SchedulerKind::Fifo,
+            SchedulerKind::VirtualClock,
+            SchedulerKind::RoundRobin,
+        ] {
             let cfg = RouterConfig::default().scheduler(kind);
             let mut net = Network::new(&topology, small_workload(0.5, 4), &cfg);
             let tb = net.timebase();
@@ -633,7 +697,11 @@ mod tests {
         net.set_warmup_end(tb.cycles_from_ms(40.0));
         net.run_until(tb.cycles_from_ms(120.0));
         let s = net.delivery().summary();
-        assert!(s.intervals > 50, "fat mesh must deliver frames; got {}", s.intervals);
+        assert!(
+            s.intervals > 50,
+            "fat mesh must deliver frames; got {}",
+            s.intervals
+        );
         assert!(
             s.is_jitter_free(33.0, 1.0),
             "low-load fat mesh should be jitter-free: d={} σ={}",
@@ -656,7 +724,10 @@ mod tests {
             total_inj += net.injection_utilization(flitnet::NodeId(n));
         }
         let mean_inj = total_inj / 8.0;
-        assert!((mean_inj - 0.5).abs() < 0.06, "mean injection util {mean_inj}");
+        assert!(
+            (mean_inj - 0.5).abs() < 0.06,
+            "mean injection util {mean_inj}"
+        );
         let mut total_out = 0.0;
         for p in 0..8 {
             total_out += net.link_utilization(flitnet::RouterId(0), PortId(p));

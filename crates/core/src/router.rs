@@ -119,6 +119,11 @@ pub struct Router {
     outputs: Vec<OutputPort>,
     /// Rotating arbitration start point for fairness.
     arb_cursor: usize,
+    /// Reusable eligibility mask for the crossbar input multiplexers
+    /// (avoids a per-cycle allocation on the hot path).
+    xbar_mask: Vec<bool>,
+    /// Reusable eligibility mask for the output VC multiplexers.
+    out_mask: Vec<bool>,
     /// Total flits that traversed the crossbar (utilisation stats).
     flits_crossed: u64,
     /// Allocator diagnostics: (active cycles, input-slots with an eligible
@@ -134,12 +139,7 @@ impl Router {
     ///
     /// Panics if `n_ports == 0` or the partition does not cover exactly
     /// the configured VCs.
-    pub fn new(
-        id: RouterId,
-        n_ports: usize,
-        cfg: &RouterConfig,
-        partition: VcPartition,
-    ) -> Router {
+    pub fn new(id: RouterId, n_ports: usize, cfg: &RouterConfig, partition: VcPartition) -> Router {
         assert!(n_ports > 0, "a router needs at least one port");
         assert_eq!(
             partition.total(),
@@ -191,6 +191,8 @@ impl Router {
             inputs,
             outputs,
             arb_cursor: 0,
+            xbar_mask: vec![false; m],
+            out_mask: vec![false; m],
             flits_crossed: 0,
             diag: (0, 0, 0),
         }
@@ -289,8 +291,7 @@ impl Router {
             let borrowing = self.cfg.vc_borrowing_enabled();
             let free_vc = |op: &OutputPort| -> Option<usize> {
                 let preferred = head.out_vc.index();
-                if self.partition.class_of(head.out_vc).is_real_time()
-                    == head.class.is_real_time()
+                if self.partition.class_of(head.out_vc).is_real_time() == head.class.is_real_time()
                     && op.vcs[preferred].owner.is_none()
                 {
                     return Some(preferred);
@@ -321,7 +322,7 @@ impl Router {
                     .iter()
                     .map(|vc| vc.buf.len() + if vc.owner.is_some() { 4 } else { 0 })
                     .sum();
-                if best.map_or(true, |(l, _, _)| load < l) {
+                if best.is_none_or(|(l, _, _)| load < l) {
                     best = Some((load, o, vc));
                 }
             }
@@ -363,8 +364,13 @@ impl Router {
 
     /// Moves input `(p, v)`'s head flit through the crossbar.
     fn xbar_move(&mut self, p: usize, v: usize, now: Cycles, credits: &mut Vec<CreditReturn>) {
-        let grant = self.inputs[p].vcs[v].grant.expect("eligible VC has a grant");
-        let mut flit = self.inputs[p].vcs[v].buf.pop().expect("eligible VC has a flit");
+        let grant = self.inputs[p].vcs[v]
+            .grant
+            .expect("eligible VC has a grant");
+        let mut flit = self.inputs[p].vcs[v]
+            .buf
+            .pop()
+            .expect("eligible VC has a flit");
         self.inputs[p].vcs[v].arrivals.pop_front();
         self.inputs[p].sched.on_service(v);
         credits.push(CreditReturn {
@@ -386,8 +392,10 @@ impl Router {
         }
     }
 
-    /// Stage 4: crossbar traversal. Returns the credits to send upstream
-    /// for the input-buffer slots freed this cycle.
+    /// Stage 4: crossbar traversal. Appends the credits to send upstream
+    /// for the input-buffer slots freed this cycle to `credits` (an
+    /// out-parameter so the per-cycle driver can reuse one buffer; the
+    /// router never allocates here).
     ///
     /// Multiplexed crossbar: each input port's multiplexer (point A)
     /// picks one flit per cycle among its granted VCs. Crossbar output
@@ -399,14 +407,13 @@ impl Router {
     ///
     /// Full crossbar: every granted VC moves — each output VC has its own
     /// crossbar port.
-    pub fn crossbar(&mut self, now: Cycles) -> Vec<CreditReturn> {
+    pub fn crossbar(&mut self, now: Cycles, credits: &mut Vec<CreditReturn>) {
         let n = self.inputs.len();
         let m = self.cfg.vcs_per_pc() as usize;
-        let mut credits = Vec::new();
         self.diag.0 += 1;
         match self.cfg.crossbar_kind() {
             CrossbarKind::Multiplexed => {
-                let mut eligible = vec![false; m];
+                let mut eligible = std::mem::take(&mut self.xbar_mask);
                 for p in 0..n {
                     let mut any = false;
                     for (v, e) in eligible.iter_mut().enumerate() {
@@ -414,25 +421,25 @@ impl Router {
                         any |= *e;
                     }
                     if let Some(v) = self.inputs[p].sched.choose(&eligible) {
-                        self.xbar_move(p, v, now, &mut credits);
+                        self.xbar_move(p, v, now, credits);
                     } else if any {
                         self.diag.1 += 1;
                     } else {
                         self.diag.2 += 1;
                     }
                 }
+                self.xbar_mask = eligible;
             }
             CrossbarKind::Full => {
                 for p in 0..n {
                     for v in 0..m {
                         if self.xbar_eligible(p, v, now) {
-                            self.xbar_move(p, v, now, &mut credits);
+                            self.xbar_move(p, v, now, credits);
                         }
                     }
                 }
             }
         }
-        credits
     }
 
     /// Allocator diagnostics `(active_cycles, blocked_slots, empty_slots)`.
@@ -442,11 +449,11 @@ impl Router {
 
     /// Stage 5: the output VC multiplexers. Each output physical channel
     /// transmits at most one staged flit (point C), consuming one
-    /// downstream credit.
-    pub fn output_stage(&mut self, now: Cycles) -> Vec<Departure> {
-        let m = self.cfg.vcs_per_pc() as usize;
-        let mut departures = Vec::new();
-        let mut eligible = vec![false; m];
+    /// downstream credit. Departures are appended to `departures` (an
+    /// out-parameter so the per-cycle driver can reuse one buffer; the
+    /// router never allocates here).
+    pub fn output_stage(&mut self, now: Cycles, departures: &mut Vec<Departure>) {
+        let mut eligible = std::mem::take(&mut self.out_mask);
         for (p, out) in self.outputs.iter_mut().enumerate() {
             for (v, e) in eligible.iter_mut().enumerate() {
                 let ovc = &out.vcs[v];
@@ -467,7 +474,7 @@ impl Router {
                 flit,
             });
         }
-        departures
+        self.out_mask = eligible;
     }
 
     /// Whether any flit is buffered anywhere in the router.
@@ -588,8 +595,10 @@ mod tests {
         // Route straight to the port matching the destination id.
         const PORTS: [PortId; 4] = [PortId(0), PortId(1), PortId(2), PortId(3)];
         router.arbitrate(now, |f| std::slice::from_ref(&PORTS[f.dest.index()]));
-        let credits = router.crossbar(now);
-        let departs = router.output_stage(now);
+        let mut credits = Vec::new();
+        router.crossbar(now, &mut credits);
+        let mut departs = Vec::new();
+        router.output_stage(now, &mut departs);
         (credits, departs)
     }
 
@@ -598,7 +607,12 @@ mod tests {
     }
 
     fn new_router(cfg: &RouterConfig) -> Router {
-        let mut r = Router::new(RouterId(0), 4, cfg, VcPartition::all_real_time(cfg.vcs_per_pc()));
+        let mut r = Router::new(
+            RouterId(0),
+            4,
+            cfg,
+            VcPartition::all_real_time(cfg.vcs_per_pc()),
+        );
         for p in 0..4 {
             for v in 0..cfg.vcs_per_pc() {
                 r.init_credits(PortId(p), VcId(v), 1_000_000);
@@ -726,9 +740,15 @@ mod tests {
         // All three eventually flow, but only over the two best-effort
         // VCs — and therefore one worm had to wait for a VC to free.
         assert_eq!(first_flit_at.len(), 3);
-        assert!(vcs_seen.iter().all(|vc| vc.get() >= 2), "confined to BE VCs: {vcs_seen:?}");
+        assert!(
+            vcs_seen.iter().all(|vc| vc.get() >= 2),
+            "confined to BE VCs: {vcs_seen:?}"
+        );
         let latest = first_flit_at.values().max().copied().expect("three worms");
-        assert!(latest > 20, "one BE worm must wait for a BE VC, latest start {latest}");
+        assert!(
+            latest > 20,
+            "one BE worm must wait for a BE VC, latest start {latest}"
+        );
     }
 
     #[test]
@@ -797,7 +817,11 @@ mod tests {
             }
         }
         assert_eq!(done_at.len(), 2);
-        assert_eq!(vcs_seen.len(), 2, "two VCs must carry the worms: {vcs_seen:?}");
+        assert_eq!(
+            vcs_seen.len(),
+            2,
+            "two VCs must carry the worms: {vcs_seen:?}"
+        );
         let t1 = done_at[&MsgId(1)];
         let t2 = done_at[&MsgId(2)];
         // Concurrent, interleaved on the output physical channel: the two
@@ -832,7 +856,12 @@ mod tests {
     #[test]
     fn credits_block_transmission_until_returned() {
         let c = cfg();
-        let mut r = Router::new(RouterId(0), 4, &c, VcPartition::all_real_time(c.vcs_per_pc()));
+        let mut r = Router::new(
+            RouterId(0),
+            4,
+            &c,
+            VcPartition::all_real_time(c.vcs_per_pc()),
+        );
         // Only 2 credits on the output this message uses.
         r.init_credits(PortId(2), VcId(0), 2);
         for f in msg_flits(1, 5, 2, 0, 100.0) {
@@ -868,14 +897,25 @@ mod tests {
         }
         assert_eq!(credits.len(), 4);
         for c in &credits {
-            assert_eq!(*c, CreditReturn { port: PortId(3), vc: VcId(2) });
+            assert_eq!(
+                *c,
+                CreditReturn {
+                    port: PortId(3),
+                    vc: VcId(2)
+                }
+            );
         }
     }
 
     #[test]
     fn full_crossbar_moves_multiple_vcs_of_one_port_per_cycle() {
         let c = RouterConfig::new(4).crossbar(CrossbarKind::Full);
-        let mut r = Router::new(RouterId(0), 4, &c, VcPartition::all_real_time(c.vcs_per_pc()));
+        let mut r = Router::new(
+            RouterId(0),
+            4,
+            &c,
+            VcPartition::all_real_time(c.vcs_per_pc()),
+        );
         for p in 0..4 {
             for v in 0..4 {
                 r.init_credits(PortId(p), VcId(v), 1_000_000);
@@ -893,11 +933,16 @@ mod tests {
         for t in 0..40u64 {
             const PORTS: [PortId; 4] = [PortId(0), PortId(1), PortId(2), PortId(3)];
             r.arbitrate(Cycles(t), |f| std::slice::from_ref(&PORTS[f.dest.index()]));
-            let credits = r.crossbar(Cycles(t));
+            let mut credits = Vec::new();
+            r.crossbar(Cycles(t), &mut credits);
             per_cycle_max = per_cycle_max.max(credits.len());
-            let _ = r.output_stage(Cycles(t));
+            let mut departs = Vec::new();
+            r.output_stage(Cycles(t), &mut departs);
         }
-        assert_eq!(per_cycle_max, 2, "full crossbar should move both VCs at once");
+        assert_eq!(
+            per_cycle_max, 2,
+            "full crossbar should move both VCs at once"
+        );
     }
 
     #[test]
@@ -912,9 +957,14 @@ mod tests {
         for t in 0..60u64 {
             const PORTS: [PortId; 4] = [PortId(0), PortId(1), PortId(2), PortId(3)];
             r.arbitrate(Cycles(t), |f| std::slice::from_ref(&PORTS[f.dest.index()]));
-            let credits = r.crossbar(Cycles(t));
-            assert!(credits.len() <= 1, "muxed crossbar: one flit per input port");
-            let _ = r.output_stage(Cycles(t));
+            let mut credits = Vec::new();
+            r.crossbar(Cycles(t), &mut credits);
+            assert!(
+                credits.len() <= 1,
+                "muxed crossbar: one flit per input port"
+            );
+            let mut departs = Vec::new();
+            r.output_stage(Cycles(t), &mut departs);
         }
     }
 
@@ -933,8 +983,11 @@ mod tests {
         for t in 0..100u64 {
             const FAT: [PortId; 2] = [PortId(2), PortId(3)];
             r.arbitrate(Cycles(t), |_| &FAT[..]);
-            let _ = r.crossbar(Cycles(t));
-            for d in r.output_stage(Cycles(t)) {
+            let mut credits = Vec::new();
+            r.crossbar(Cycles(t), &mut credits);
+            let mut departs = Vec::new();
+            r.output_stage(Cycles(t), &mut departs);
+            for d in departs {
                 used_ports.insert(d.port);
             }
         }

@@ -126,7 +126,11 @@ impl MuxScheduler {
     /// Panics if `eligible.len()` differs from the VC count, or an eligible
     /// VC has no pending flit.
     pub fn choose(&mut self, eligible: &[bool]) -> Option<usize> {
-        assert_eq!(eligible.len(), self.vcs.len(), "eligibility mask size mismatch");
+        assert_eq!(
+            eligible.len(),
+            self.vcs.len(),
+            "eligibility mask size mismatch"
+        );
         match self.kind {
             SchedulerKind::VirtualClock | SchedulerKind::Fifo => {
                 let mut best: Option<(f64, usize)> = None;
@@ -140,7 +144,7 @@ impl MuxScheduler {
                         .expect("eligible VC must have a queued flit");
                     // Strict < keeps ties at the lowest VC index: stable,
                     // deterministic behaviour.
-                    if best.map_or(true, |(s, _)| stamp < s) {
+                    if best.is_none_or(|(s, _)| stamp < s) {
                         best = Some((stamp, vc));
                     }
                 }
@@ -233,11 +237,14 @@ mod tests {
         let mut served = [0u32; 2];
         for _ in 0..400 {
             let vc = s.choose(&[true, true]).unwrap();
-            served[vc as usize] += 1;
+            served[vc] += 1;
             s.on_service(vc);
         }
         let ratio = f64::from(served[1]) / f64::from(served[0]);
-        assert!((2.5..3.5).contains(&ratio), "ratio {ratio}, served {served:?}");
+        assert!(
+            (2.5..3.5).contains(&ratio),
+            "ratio {ratio}, served {served:?}"
+        );
     }
 
     #[test]
@@ -315,7 +322,11 @@ mod tests {
     fn best_effort_always_loses_to_real_time() {
         let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 2);
         // Best-effort arrives FIRST, real-time second.
-        s.on_arrival(0, Cycles(0), &flit(FlitKind::Head, flitnet::BEST_EFFORT_VTICK));
+        s.on_arrival(
+            0,
+            Cycles(0),
+            &flit(FlitKind::Head, flitnet::BEST_EFFORT_VTICK),
+        );
         s.on_arrival(1, Cycles(10), &flit(FlitKind::Head, 100.0));
         assert_eq!(s.choose(&[true, true]), Some(1));
     }
@@ -323,8 +334,16 @@ mod tests {
     #[test]
     fn best_effort_is_fifo_among_itself() {
         let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 2);
-        s.on_arrival(1, Cycles(0), &flit(FlitKind::Head, flitnet::BEST_EFFORT_VTICK));
-        s.on_arrival(0, Cycles(5), &flit(FlitKind::Head, flitnet::BEST_EFFORT_VTICK));
+        s.on_arrival(
+            1,
+            Cycles(0),
+            &flit(FlitKind::Head, flitnet::BEST_EFFORT_VTICK),
+        );
+        s.on_arrival(
+            0,
+            Cycles(5),
+            &flit(FlitKind::Head, flitnet::BEST_EFFORT_VTICK),
+        );
         // VC 1 arrived first → lower accumulated stamp.
         assert_eq!(s.choose(&[true, true]), Some(1));
     }

@@ -47,7 +47,10 @@ impl Link {
     /// Panics if `latency` is zero: a zero-latency link would let a flit
     /// traverse several routers in one cycle.
     pub fn new(latency: Cycles) -> Link {
-        assert!(latency > Cycles::ZERO, "link latency must be at least one cycle");
+        assert!(
+            latency > Cycles::ZERO,
+            "link latency must be at least one cycle"
+        );
         Link {
             latency,
             in_flight: VecDeque::new(),
@@ -101,15 +104,24 @@ impl Link {
 ///
 /// When a downstream input VC buffer frees a slot, a credit for that VC
 /// travels back with the link's latency.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CreditLink {
     latency: Cycles,
     in_flight: VecDeque<(Cycles, VcId)>,
 }
 
 impl CreditLink {
-    /// Creates a credit path with the given latency.
+    /// Creates a credit path with the given latency (≥ 1 cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero: credits must take as long to return
+    /// as flits take to travel, or flow control turns instantaneous.
     pub fn new(latency: Cycles) -> CreditLink {
+        assert!(
+            latency > Cycles::ZERO,
+            "credit link latency must be at least one cycle"
+        );
         CreditLink {
             latency,
             in_flight: VecDeque::new(),
@@ -196,6 +208,12 @@ mod tests {
         let mut link = Link::new(Cycles(1));
         link.send(Cycles(0), flit(0));
         link.send(Cycles(0), flit(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "credit link latency")]
+    fn zero_latency_credit_link_panics() {
+        let _ = CreditLink::new(Cycles(0));
     }
 
     #[test]

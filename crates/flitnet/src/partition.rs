@@ -125,7 +125,10 @@ impl VcPartition {
     ///
     /// Panics if either bandwidth is not positive.
     pub fn streams_per_vc(&self, link_bps: f64, stream_bps: f64) -> u32 {
-        assert!(link_bps > 0.0 && stream_bps > 0.0, "bandwidths must be positive");
+        assert!(
+            link_bps > 0.0 && stream_bps > 0.0,
+            "bandwidths must be positive"
+        );
         ((link_bps / f64::from(self.total)) / stream_bps).floor() as u32
     }
 }

@@ -193,7 +193,11 @@ mod tests {
         let frame = tb().cycles_from_ms(33.0).get();
         let mut at = 0u64;
         for k in 0..100u64 {
-            at += if k % 2 == 0 { frame / 2 } else { frame + frame / 2 };
+            at += if k % 2 == 0 {
+                frame / 2
+            } else {
+                frame + frame / 2
+            };
             t.record_frame(StreamId(0), Cycles(at));
         }
         let s = t.summary();

@@ -52,7 +52,8 @@ impl LatencyTracker {
         if created < self.warmup_end {
             return;
         }
-        self.stats.push(self.timebase.cycles_to_us(delivered - created));
+        self.stats
+            .push(self.timebase.cycles_to_us(delivered - created));
     }
 
     /// Mean latency in microseconds (`NaN` if no samples).

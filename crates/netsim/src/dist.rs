@@ -52,7 +52,10 @@ impl Normal {
     ///
     /// Panics if `std_dev` is negative or either parameter is not finite.
     pub fn new(mean: f64, std_dev: f64) -> Normal {
-        assert!(mean.is_finite() && std_dev.is_finite(), "parameters must be finite");
+        assert!(
+            mean.is_finite() && std_dev.is_finite(),
+            "parameters must be finite"
+        );
         assert!(std_dev >= 0.0, "standard deviation must be non-negative");
         Normal { mean, std_dev }
     }

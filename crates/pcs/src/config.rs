@@ -56,7 +56,10 @@ impl PcsConfig {
         assert!(self.vcs_per_link > 0, "need at least one VC per link");
         assert!(self.pipe_cycles > 0, "the switch pipe has latency");
         assert!(self.setup_window_ms > 0.0, "setup window must be positive");
-        assert!(self.retry_backoff_ms > 0.0, "retry backoff must be positive");
+        assert!(
+            self.retry_backoff_ms > 0.0,
+            "retry backoff must be positive"
+        );
         self.spec.validate();
     }
 }

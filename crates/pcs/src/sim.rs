@@ -53,9 +53,18 @@ enum Event {
 /// # Panics
 ///
 /// Panics if `load` is not in `(0, 1.2]` or a window is not positive.
-pub fn run(load: f64, cfg: &PcsConfig, warmup_secs: f64, measure_secs: f64, seed: u64) -> PcsOutcome {
+pub fn run(
+    load: f64,
+    cfg: &PcsConfig,
+    warmup_secs: f64,
+    measure_secs: f64,
+    seed: u64,
+) -> PcsOutcome {
     assert!(load > 0.0 && load <= 1.2, "load must be in (0, 1.2]");
-    assert!(warmup_secs > 0.0 && measure_secs > 0.0, "windows must be positive");
+    assert!(
+        warmup_secs > 0.0 && measure_secs > 0.0,
+        "windows must be positive"
+    );
     cfg.validate();
     let tb = cfg.spec.timebase();
     let mut rng = SimRng::seed_from(seed);
@@ -194,7 +203,12 @@ mod tests {
         // streams retry forever: attempts ≫ established (Table 3's shape).
         let out = run(0.9, &PcsConfig::paper_default(), 0.05, 0.3, 3);
         assert!(out.established < out.offered);
-        assert!(out.dropped > out.offered, "dropped {} vs offered {}", out.dropped, out.offered);
+        assert!(
+            out.dropped > out.offered,
+            "dropped {} vs offered {}",
+            out.dropped,
+            out.offered
+        );
     }
 
     #[test]

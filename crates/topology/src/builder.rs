@@ -37,7 +37,12 @@ pub(crate) fn single_switch(ports: u32) -> Topology {
         (0..ports).map(|p| (RouterId(0), PortId(p))).collect();
     let routers = vec![spec];
     let routes = RouteTable::build(&routers, &attachments, |_at, _dest| unreachable!());
-    Topology::from_parts(format!("single-switch-{ports}"), routers, attachments, routes)
+    Topology::from_parts(
+        format!("single-switch-{ports}"),
+        routers,
+        attachments,
+        routes,
+    )
 }
 
 /// Grid coordinates of router `r` in a `w`-wide mesh.

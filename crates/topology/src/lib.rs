@@ -284,7 +284,10 @@ mod tests {
                 if let PortTarget::Router { router, port } = target {
                     // The far end must point back at us.
                     match t.target_of(*router, *port) {
-                        PortTarget::Router { router: back_r, port: back_p } => {
+                        PortTarget::Router {
+                            router: back_r,
+                            port: back_p,
+                        } => {
                             assert_eq!(back_r, rid);
                             assert_eq!(back_p, PortId(pidx as u32));
                         }
@@ -343,7 +346,10 @@ mod tests {
             for (pidx, target) in spec.ports.iter().enumerate() {
                 if let PortTarget::Router { router, port } = target {
                     match t.target_of(*router, *port) {
-                        PortTarget::Router { router: br, port: bp } => {
+                        PortTarget::Router {
+                            router: br,
+                            port: bp,
+                        } => {
                             assert_eq!(br, rid);
                             assert_eq!(bp, PortId(pidx as u32));
                         }

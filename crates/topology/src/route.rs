@@ -148,15 +148,27 @@ mod tests {
         let specs = vec![
             RouterSpec {
                 ports: vec![
-                    PortTarget::Router { router: RouterId(1), port: PortId(0) },
-                    PortTarget::Router { router: RouterId(1), port: PortId(1) },
+                    PortTarget::Router {
+                        router: RouterId(1),
+                        port: PortId(0),
+                    },
+                    PortTarget::Router {
+                        router: RouterId(1),
+                        port: PortId(1),
+                    },
                     PortTarget::Node(NodeId(0)),
                 ],
             },
             RouterSpec {
                 ports: vec![
-                    PortTarget::Router { router: RouterId(0), port: PortId(0) },
-                    PortTarget::Router { router: RouterId(0), port: PortId(1) },
+                    PortTarget::Router {
+                        router: RouterId(0),
+                        port: PortId(0),
+                    },
+                    PortTarget::Router {
+                        router: RouterId(0),
+                        port: PortId(1),
+                    },
                     PortTarget::Node(NodeId(1)),
                 ],
             },
@@ -166,7 +178,10 @@ mod tests {
             assert_ne!(at, goal);
             goal
         });
-        assert_eq!(t.candidates(RouterId(0), NodeId(1)), &[PortId(0), PortId(1)]);
+        assert_eq!(
+            t.candidates(RouterId(0), NodeId(1)),
+            &[PortId(0), PortId(1)]
+        );
         assert_eq!(t.candidates(RouterId(1), NodeId(1)), &[PortId(2)]);
     }
 }

@@ -1,6 +1,8 @@
 //! Best-effort traffic sources.
 
-use flitnet::{Flit, FlitKind, FrameId, MsgId, NodeId, StreamId, TrafficClass, VcId, BEST_EFFORT_VTICK};
+use flitnet::{
+    Flit, FlitKind, FrameId, MsgId, NodeId, StreamId, TrafficClass, VcId, BEST_EFFORT_VTICK,
+};
 use netsim::dist::{Distribution, Exponential};
 use netsim::{Cycles, SimRng};
 

@@ -160,9 +160,15 @@ impl WorkloadSpec {
             self.stream_bps <= self.link_bps,
             "a single stream cannot exceed the link bandwidth"
         );
-        assert!(self.frame_interval_ms > 0.0, "frame interval must be positive");
+        assert!(
+            self.frame_interval_ms > 0.0,
+            "frame interval must be positive"
+        );
         assert!(self.frame_mean_bytes > 0.0, "frame size must be positive");
-        assert!(self.frame_std_bytes >= 0.0, "frame-size deviation must be non-negative");
+        assert!(
+            self.frame_std_bytes >= 0.0,
+            "frame-size deviation must be non-negative"
+        );
     }
 }
 
@@ -178,7 +184,10 @@ mod tests {
 
     #[test]
     fn default_frame_model_is_the_papers() {
-        assert_eq!(WorkloadSpec::paper_default().frame_model, FrameModel::Normal);
+        assert_eq!(
+            WorkloadSpec::paper_default().frame_model,
+            FrameModel::Normal
+        );
     }
 
     #[test]

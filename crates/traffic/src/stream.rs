@@ -81,7 +81,11 @@ enum FrameSizer {
     Vbr(Normal),
     /// GOP-structured: deterministic per-type means plus normal noise,
     /// advancing through [`GOP_PATTERN`] frame by frame.
-    Gop { mean: f64, noise: Normal, idx: usize },
+    Gop {
+        mean: f64,
+        noise: Normal,
+        idx: usize,
+    },
     Cbr(Constant),
 }
 

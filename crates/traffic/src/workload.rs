@@ -222,15 +222,14 @@ impl WorkloadBuilder {
         let rt_load = self.load * frac_rt;
         let be_load = self.load - rt_load;
 
-        let streams_per_node =
-            (rt_load * self.spec.link_bps / self.spec.stream_bps).round() as u32;
+        let streams_per_node = (rt_load * self.spec.link_bps / self.spec.stream_bps).round() as u32;
         let rt_vcs: Vec<VcId> = self.partition.vcs_for(TrafficClass::Vbr).collect();
         let be_vcs: Vec<VcId> = self.partition.vcs_for(TrafficClass::BestEffort).collect();
         let cap_per_vc = self
             .partition
             .streams_per_vc(self.spec.link_bps, self.spec.stream_bps);
-        let oversubscribed = !rt_vcs.is_empty()
-            && streams_per_node > cap_per_vc * rt_vcs.len() as u32;
+        let oversubscribed =
+            !rt_vcs.is_empty() && streams_per_node > cap_per_vc * rt_vcs.len() as u32;
 
         assert!(
             streams_per_node == 0 || !rt_vcs.is_empty(),

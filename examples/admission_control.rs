@@ -34,7 +34,12 @@ fn main() {
         let src = rng.index(nodes);
         let dest = rng.index_excluding(nodes, src);
         if ac
-            .admit(StreamId(k), NodeId(src as u32), NodeId(dest as u32), spec.stream_bps)
+            .admit(
+                StreamId(k),
+                NodeId(src as u32),
+                NodeId(dest as u32),
+                spec.stream_bps,
+            )
             .is_ok()
         {
             admitted += 1;

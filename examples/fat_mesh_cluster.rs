@@ -27,7 +27,11 @@ fn run(topology: &Topology, load: f64) -> (f64, f64, f64) {
         .seed(5)
         .build();
     let out = sim::run(topology, workload, &RouterConfig::default(), 0.05, 0.15);
-    (out.jitter.mean_ms, out.jitter.std_ms, out.be_mean_latency_us)
+    (
+        out.jitter.mean_ms,
+        out.jitter.std_ms,
+        out.be_mean_latency_us,
+    )
 }
 
 fn main() {
@@ -44,9 +48,7 @@ fn main() {
     for &load in &[0.3, 0.5, 0.7] {
         let (td, ts, tb) = run(&thin, load);
         let (fd, fs, fb) = run(&fat, load);
-        println!(
-            "{load:>6.2}  {td:>8.2} {ts:>6.2} {tb:>9.1}  {fd:>8.2} {fs:>6.2} {fb:>9.1}"
-        );
+        println!("{load:>6.2}  {td:>8.2} {ts:>6.2} {tb:>9.1}  {fd:>8.2} {fs:>6.2} {fb:>9.1}");
     }
     println!();
     println!("the thin mesh's shared inter-switch links saturate first; the fat");

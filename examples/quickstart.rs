@@ -39,9 +39,18 @@ fn main() {
     let out = sim::run(&topology, workload, &router, 0.05, 0.2);
 
     println!();
-    println!("frame delivery interval  d̄  = {:6.2} ms  (source: 33.00 ms)", out.jitter.mean_ms);
-    println!("delivery jitter          σ_d = {:6.2} ms", out.jitter.std_ms);
-    println!("best-effort latency          = {:6.1} µs over {} messages", out.be_mean_latency_us, out.be_msgs);
+    println!(
+        "frame delivery interval  d̄  = {:6.2} ms  (source: 33.00 ms)",
+        out.jitter.mean_ms
+    );
+    println!(
+        "delivery jitter          σ_d = {:6.2} ms",
+        out.jitter.std_ms
+    );
+    println!(
+        "best-effort latency          = {:6.1} µs over {} messages",
+        out.be_mean_latency_us, out.be_msgs
+    );
     println!("frames delivered             = {}", out.jitter.frames);
     println!();
     if out.is_jitter_free(33.0, 1.0) {

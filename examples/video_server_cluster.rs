@@ -42,7 +42,10 @@ fn run_streams(streams_per_server: u32, sched: SchedulerKind) -> SimOutcome {
 
 fn main() {
     println!("VOD capacity: 4 Mbps MPEG-2 streams per server, 400 Mbps links\n");
-    println!("{:>8}  {:>14}  {:>22}  {:>22}", "streams", "video load", "FIFO (d̄ / σ_d ms)", "MediaWorm (d̄ / σ_d ms)");
+    println!(
+        "{:>8}  {:>14}  {:>22}  {:>22}",
+        "streams", "video load", "FIFO (d̄ / σ_d ms)", "MediaWorm (d̄ / σ_d ms)"
+    );
     let mut fifo_limit = None;
     let mut vc_limit = None;
     for streams in [40u32, 50, 60, 65, 70, 75, 80] {

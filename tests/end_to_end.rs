@@ -35,7 +35,11 @@ fn mixed_traffic_at_moderate_load_is_jitter_free() {
         out.jitter.std_ms
     );
     assert!(out.be_msgs > 1000, "best-effort must flow: {}", out.be_msgs);
-    assert!(out.be_mean_latency_us < 100.0, "BE latency {}", out.be_mean_latency_us);
+    assert!(
+        out.be_mean_latency_us < 100.0,
+        "BE latency {}",
+        out.be_mean_latency_us
+    );
 }
 
 #[test]
@@ -120,7 +124,11 @@ fn cbr_tolerates_at_least_as_much_load_as_vbr() {
 fn flit_conservation_under_sustained_load() {
     let topology = Topology::single_switch(8);
     let cfg = RouterConfig::default();
-    let mut net = Network::new(&topology, workload(0.8, 80.0, 20.0, StreamClass::Vbr, 5), &cfg);
+    let mut net = Network::new(
+        &topology,
+        workload(0.8, 80.0, 20.0, StreamClass::Vbr, 5),
+        &cfg,
+    );
     let tb = net.timebase();
     net.run_until(tb.cycles_from_ms(60.0));
     // Below saturation the backlog must stay bounded: a sustained 0.8
@@ -133,7 +141,10 @@ fn flit_conservation_under_sustained_load() {
     // And the network keeps making progress.
     let before = net.delivered_msgs();
     net.run_until(tb.cycles_from_ms(80.0));
-    assert!(net.delivered_msgs() > before, "the network must keep making progress");
+    assert!(
+        net.delivered_msgs() > before,
+        "the network must keep making progress"
+    );
     // Every delivered message accounts for all its flits: at 0.8/80:20
     // the dominant message length is 20 flits, so flit and message counts
     // stay consistent within the short-message tail.
@@ -159,7 +170,13 @@ fn message_size_sweep_remains_jitter_free_at_moderate_load() {
             .real_time_class(StreamClass::Vbr)
             .seed(6)
             .build();
-        let out = sim::run(&Topology::single_switch(8), wl, &RouterConfig::default(), 0.05, 0.15);
+        let out = sim::run(
+            &Topology::single_switch(8),
+            wl,
+            &RouterConfig::default(),
+            0.05,
+            0.15,
+        );
         assert!(
             out.is_jitter_free(33.0, 1.0),
             "msg {msg_flits} flits: d={} σ={}",

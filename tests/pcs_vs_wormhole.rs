@@ -36,7 +36,11 @@ fn both_jitter_free_at_realistic_load() {
     // jitter-free boundary on the 100 Mbps link, so test just inside it.
     let worm = worm_100mbps(0.64, 1);
     let circuit = pcs(0.64, 1);
-    assert!(worm.is_jitter_free(33.0, 1.0), "worm σ={}", worm.jitter.std_ms);
+    assert!(
+        worm.is_jitter_free(33.0, 1.0),
+        "worm σ={}",
+        worm.jitter.std_ms
+    );
     assert!(
         circuit.jitter.is_jitter_free(33.0, 1.0),
         "pcs σ={}",

@@ -1,9 +1,7 @@
 //! Property-based tests (proptest) on the core data structures and
 //! invariants of the reproduction.
 
-use flitnet::{
-    Flit, FlitKind, FrameId, MsgId, NodeId, StreamId, TrafficClass, VcId, VcPartition,
-};
+use flitnet::{Flit, FlitKind, FrameId, MsgId, NodeId, StreamId, TrafficClass, VcId, VcPartition};
 use mediaworm::{MuxScheduler, SchedulerKind};
 use netsim::dist::{Distribution, Normal};
 use netsim::{Calendar, Cycles, RunningStats, SimRng, TimeBase};
@@ -269,5 +267,64 @@ proptest! {
             prop_assert!(flits > (msgs - 1) * spec.msg_flits);
             prop_assert!(flits <= msgs * spec.msg_flits);
         }
+    }
+}
+
+// The simulation properties below drive full cycle-accurate networks, so
+// each case costs real wall-clock time; the case count is capped.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `Network::run_until`'s idle-cycle jump must be unobservable: a
+    /// naive cycle-by-cycle run of an identically-built network reaches
+    /// the same end state (deliveries, jitter summary, best-effort
+    /// latency) bit for bit. The jumped-over cycles have no flit anywhere
+    /// in the system, so nothing can act in them — credits still in
+    /// flight are drained by the first post-jump delivery phase.
+    #[test]
+    fn idle_jump_matches_exhaustive_stepping(
+        seed in 0u64..1_000_000,
+        load_pct in 10u32..45,
+    ) {
+        use mediaworm::{Network, RouterConfig};
+        use topo::Topology;
+        use traffic::{StreamClass, WorkloadBuilder};
+
+        let build = || {
+            WorkloadBuilder::new(8, VcPartition::from_mix(16, 80.0, 20.0))
+                .load(f64::from(load_pct) / 100.0)
+                .mix(80.0, 20.0)
+                .real_time_class(StreamClass::Vbr)
+                .seed(seed)
+                .build()
+        };
+        let topology = Topology::single_switch(8);
+        let cfg = RouterConfig::default();
+        let mut jumped = Network::new(&topology, build(), &cfg);
+        let mut naive = Network::new(&topology, build(), &cfg);
+        let tb = jumped.timebase();
+        let warmup = tb.cycles_from_ms(2.0);
+        let end = tb.cycles_from_ms(8.0);
+        jumped.set_warmup_end(warmup);
+        naive.set_warmup_end(warmup);
+        jumped.run_until(end);
+        naive.run_until_exhaustive(end);
+
+        prop_assert_eq!(jumped.injected_msgs(), naive.injected_msgs());
+        prop_assert_eq!(jumped.delivered_msgs(), naive.delivered_msgs());
+        prop_assert_eq!(jumped.delivered_flits(), naive.delivered_flits());
+        prop_assert_eq!(jumped.flits_in_flight(), naive.flits_in_flight());
+        let (j, n) = (jumped.delivery().summary(), naive.delivery().summary());
+        prop_assert_eq!(j.intervals, n.intervals);
+        prop_assert_eq!(j.frames, n.frames);
+        prop_assert_eq!(j.mean_ms.to_bits(), n.mean_ms.to_bits());
+        prop_assert_eq!(j.std_ms.to_bits(), n.std_ms.to_bits());
+        prop_assert_eq!(j.max_ms.to_bits(), n.max_ms.to_bits());
+        prop_assert_eq!(j.p99_ms.to_bits(), n.p99_ms.to_bits());
+        prop_assert_eq!(jumped.latency().count(), naive.latency().count());
+        prop_assert_eq!(
+            jumped.latency().mean_us().to_bits(),
+            naive.latency().mean_us().to_bits()
+        );
     }
 }

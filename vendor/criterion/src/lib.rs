@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the slice of criterion's API the workspace's
+//! micro-benchmarks use: [`Criterion::bench_function`], benchmark groups,
+//! `iter` / `iter_batched`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Behaviour: under `cargo bench` (cargo passes `--bench`) every benchmark
+//! is timed over a ~300 ms window and a mean ns/iter line is printed.
+//! Under `cargo test` each benchmark body runs exactly once, as a smoke
+//! test, like upstream's test mode.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises its setup (kept for API compatibility;
+/// the stand-in always runs setup once per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Drives one benchmark's measurement loop.
+#[derive(Debug)]
+pub struct Bencher {
+    bench_mode: bool,
+    /// (iterations, total duration) of the measured run.
+    measured: Option<(u64, Duration)>,
+}
+
+/// Time budget for one benchmark's measurement window.
+const BUDGET: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.bench_mode {
+            let _ = routine();
+            return;
+        }
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < BUDGET || iters == 0 {
+            let _ = std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.measured = Some((iters, started.elapsed()));
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if !self.bench_mode {
+            let _ = routine(setup());
+            return;
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while measured < BUDGET || iters == 0 {
+            let input = setup();
+            let started = Instant::now();
+            let _ = std::hint::black_box(routine(input));
+            measured += started.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((iters, measured));
+    }
+}
+
+/// The benchmark registry / runner.
+#[derive(Debug)]
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut b = Bencher {
+            bench_mode: self.bench_mode,
+            measured: None,
+        };
+        f(&mut b);
+        match b.measured {
+            Some((iters, total)) if iters > 0 => {
+                let per_iter = total.as_nanos() as f64 / iters as f64;
+                println!(
+                    "{:<55} {:>14.1} ns/iter ({iters} iters)",
+                    name.as_ref(),
+                    per_iter
+                );
+            }
+            _ => println!("{:<55} ok (test mode)", name.as_ref()),
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        if self.bench_mode {
+            println!("group {}:", name.as_ref());
+        }
+        BenchmarkGroup { c: self }
+    }
+}
+
+/// A group of related benchmarks (display nesting only).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the
+    /// stand-in's window is time-based).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        self.c.bench_function(name, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { bench_mode: false };
+        let mut runs = 0;
+        c.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+        let mut batched = 0;
+        c.bench_function("probe_batched", |b| {
+            b.iter_batched(|| 7, |x| batched += x, BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 7);
+    }
+
+    #[test]
+    fn groups_chain() {
+        let mut c = Criterion { bench_mode: false };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut ran = false;
+        g.bench_function("inner", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(ran);
+    }
+}
