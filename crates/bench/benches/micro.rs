@@ -125,11 +125,69 @@ fn bench_router_cycle(c: &mut Criterion) {
     g.finish();
 }
 
+fn busy_network(load: f64) -> Network {
+    let topology = Topology::single_switch(8);
+    let wl = WorkloadBuilder::new(8, VcPartition::all_real_time(16))
+        .load(load)
+        .mix(100.0, 0.0)
+        .real_time_class(StreamClass::Vbr)
+        .seed(3)
+        .build();
+    let mut net = Network::new(&topology, wl, &RouterConfig::default());
+    let tb = net.timebase();
+    net.run_until(tb.cycles_from_ms(2.0));
+    net
+}
+
+/// The no-op telemetry sink must cost nothing measurable on the hot path:
+/// compare `run_until` (internally a NoopSink run) against an explicitly
+/// wired NoopSink and against full JSONL tracing.
+fn bench_telemetry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(20);
+    g.bench_function("untraced_10k_cycles", |b| {
+        b.iter_batched(
+            || busy_network(0.9),
+            |mut net| {
+                let end = net.now() + Cycles(10_000);
+                net.run_until(end);
+                black_box(net.delivered_flits())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("noop_sink_10k_cycles", |b| {
+        b.iter_batched(
+            || busy_network(0.9),
+            |mut net| {
+                let end = net.now() + Cycles(10_000);
+                net.run_until_with(end, &mut netsim::NoopSink);
+                black_box(net.delivered_flits())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("jsonl_sink_10k_cycles", |b| {
+        b.iter_batched(
+            || busy_network(0.9),
+            |mut net| {
+                let mut sink = netsim::JsonlSink::new();
+                let end = net.now() + Cycles(10_000);
+                net.run_until_with(end, &mut sink);
+                black_box((net.delivered_flits(), sink.events()))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_scheduler,
     bench_calendar,
     bench_normal,
-    bench_router_cycle
+    bench_router_cycle,
+    bench_telemetry
 );
 criterion_main!(benches);

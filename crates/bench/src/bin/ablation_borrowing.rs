@@ -1,7 +1,7 @@
-//! Reproduces the VC-borrowing ablation (paper §6 future work). See
-//! EXPERIMENTS.md.
+//! Reproduces the paper's ablation_borrowing. See EXPERIMENTS.md.
 
 fn main() {
     let args = mediaworm_bench::RunArgs::from_env();
-    let _ = mediaworm_bench::experiments::ablation_borrowing(&args);
+    let _ =
+        mediaworm_bench::run_experiment(&args, mediaworm_bench::experiments::ablation_borrowing);
 }

@@ -2,5 +2,5 @@
 
 fn main() {
     let args = mediaworm_bench::RunArgs::from_env();
-    let _ = mediaworm_bench::experiments::fig5(&args);
+    let _ = mediaworm_bench::run_experiment(&args, mediaworm_bench::experiments::fig5);
 }

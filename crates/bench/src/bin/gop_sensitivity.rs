@@ -1,7 +1,6 @@
-//! Extension experiment: GOP-structured MPEG-2 frames vs the paper's
-//! normal frame-size model. See EXPERIMENTS.md.
+//! Reproduces the paper's gop_sensitivity. See EXPERIMENTS.md.
 
 fn main() {
     let args = mediaworm_bench::RunArgs::from_env();
-    let _ = mediaworm_bench::experiments::gop_sensitivity(&args);
+    let _ = mediaworm_bench::run_experiment(&args, mediaworm_bench::experiments::gop_sensitivity);
 }

@@ -1,13 +1,20 @@
-//! Runs every table/figure reproduction in sequence and writes a combined
-//! report to `repro_report.txt`.
+//! Runs every table/figure reproduction in sequence, writes a combined
+//! text report to `repro_report.txt`, and with `--json` additionally
+//! writes one `BENCH_<name>.json` per experiment (per-point results plus
+//! wall-clock / cycles-per-second throughput).
+//!
+//! With `--trace PATH`, each experiment's flit-event trace is written to
+//! `PATH.<name>.jsonl` (experiments that produce no trace — pure PCS
+//! sweeps — are skipped).
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
-use mediaworm_bench::{experiments, RunArgs};
+use mediaworm_bench::{experiments, ExperimentRun, RunArgs};
 
 fn main() {
     let args = RunArgs::from_env();
-    type Experiment = fn(&RunArgs) -> metrics::Table;
+    type Experiment = fn(&RunArgs) -> ExperimentRun;
     let runs: Vec<(&str, Experiment)> = vec![
         ("Fig 3", experiments::fig3),
         ("Fig 4", experiments::fig4),
@@ -24,13 +31,29 @@ fn main() {
         ("Extension: GOP frames", experiments::gop_sensitivity),
     ];
     let mut report = String::new();
-    for (name, f) in runs {
+    for (title, f) in runs {
         let started = std::time::Instant::now();
-        let table = f(&args);
+        let run = f(&args);
+        let wall_secs = started.elapsed().as_secs_f64();
+        if args.json {
+            let path = format!("BENCH_{}.json", run.name);
+            std::fs::write(&path, format!("{}\n", run.to_json(wall_secs)))
+                .expect("write json results");
+            println!("json results written to {path}");
+        }
+        // Each experiment gets its own trace file so they don't clobber
+        // one another.
+        if let Some(base) = &args.trace {
+            if !run.trace.is_empty() {
+                let path = PathBuf::from(format!("{}.{}.jsonl", base.display(), run.name));
+                std::fs::write(&path, &run.trace).expect("write flit trace");
+                println!("flit trace written to {}", path.display());
+            }
+        }
         let _ = writeln!(
             report,
-            "## {name} (wall time {:.1}s)\n\n{table}\n",
-            started.elapsed().as_secs_f64()
+            "## {title} (wall time {wall_secs:.1}s)\n\n{}\n",
+            run.table
         );
     }
     std::fs::write("repro_report.txt", &report).expect("write report");

@@ -1,21 +1,30 @@
 //! One function per table/figure of the paper's evaluation (§5).
 //!
-//! Every function prints its result table and returns it, so `repro-all`
-//! can collect everything into one report. Parameter values mirror the
-//! paper exactly; see EXPERIMENTS.md for paper-vs-measured notes.
+//! Every function prints its result table and returns an
+//! [`ExperimentRun`]: the table, one machine-readable JSON record per
+//! simulated point, the total simulated cycles (for throughput
+//! accounting), and — when `--trace` is active — the concatenated JSONL
+//! flit-event trace. `repro-all` collects everything into one report and
+//! `--json` serializes each run to `BENCH_<name>.json`. Parameter values
+//! mirror the paper exactly; see EXPERIMENTS.md for paper-vs-measured
+//! notes.
 //!
 //! Each experiment is a sweep: it builds its full point list up front,
 //! fans the points across a [`SweepRunner`] (capped by `--jobs` /
 //! `MEDIAWORM_JOBS`), and assembles the table rows from the ordered
-//! results — so the printed output is bit-identical at any job count.
+//! results — so the printed output, the JSON records and the trace bytes
+//! are bit-identical at any job count.
 
 use mediaworm::{CrossbarKind, RouterConfig, SchedPoint, SchedulerKind, SimOutcome};
-use metrics::Table;
-use pcs_router::PcsConfig;
+use metrics::{Json, Table};
+use pcs_router::{PcsConfig, PcsOutcome};
 use traffic::{FrameModel, StreamClass, WorkloadSpec};
 
 use crate::sweep::SweepRunner;
-use crate::{banner, run_fat_mesh_seeded, run_single_switch_seeded, Point, RunArgs};
+use crate::{
+    banner, run_fat_mesh_seeded, run_fat_mesh_traced, run_single_switch_seeded,
+    run_single_switch_traced, ExperimentRun, Point, RunArgs,
+};
 
 /// The load axis used by the single-switch sweeps (Figs. 3–6).
 pub const LOADS: [f64; 5] = [0.6, 0.7, 0.8, 0.9, 0.96];
@@ -32,16 +41,100 @@ fn be_cell(us: f64) -> String {
     }
 }
 
+/// The ordered results of one sweep: outcomes in point order, simulated
+/// cycles summed, and the trace bytes concatenated in point order.
+struct Sweep {
+    outs: Vec<SimOutcome>,
+    cycles: u64,
+    trace: Vec<u8>,
+}
+
+impl Sweep {
+    fn collect(results: Vec<(SimOutcome, Vec<u8>)>) -> Sweep {
+        let mut cycles = 0u64;
+        let mut trace = Vec::new();
+        let mut outs = Vec::with_capacity(results.len());
+        for (out, t) in results {
+            cycles += out.cycles;
+            trace.extend_from_slice(&t);
+            outs.push(out);
+        }
+        Sweep {
+            outs,
+            cycles,
+            trace,
+        }
+    }
+}
+
 /// Fans `points` across the sweep workers on the single switch; results
-/// come back in point order.
-fn sweep_single_switch(points: &[Point], args: &RunArgs) -> Vec<SimOutcome> {
-    SweepRunner::from_args(args).map(points.len(), |task| {
-        run_single_switch_seeded(&points[task.index], args, task.seed)
-    })
+/// come back in point order. Tracing follows `args.trace`.
+fn sweep_single_switch(points: &[Point], args: &RunArgs) -> Sweep {
+    let traced = args.trace.is_some();
+    Sweep::collect(SweepRunner::from_args(args).map(points.len(), |task| {
+        let p = &points[task.index];
+        if traced {
+            run_single_switch_traced(p, args, task.seed)
+        } else {
+            (run_single_switch_seeded(p, args, task.seed), Vec::new())
+        }
+    }))
+}
+
+/// [`sweep_single_switch`] on the 2×2 fat-mesh.
+fn sweep_fat_mesh(points: &[Point], args: &RunArgs) -> Sweep {
+    let traced = args.trace.is_some();
+    Sweep::collect(SweepRunner::from_args(args).map(points.len(), |task| {
+        let p = &points[task.index];
+        if traced {
+            run_fat_mesh_traced(p, args, task.seed)
+        } else {
+            (run_fat_mesh_seeded(p, args, task.seed), Vec::new())
+        }
+    }))
+}
+
+/// One point's machine-readable record: the sweep labels followed by the
+/// jitter/latency results (NaN-free: undefined statistics are `null`) and
+/// the router telemetry counter totals.
+fn point_json(labels: &[(&str, &str)], out: &SimOutcome) -> Json {
+    let mut o = Json::obj(labels.iter().map(|&(k, v)| (k, Json::str(v))));
+    o.push("d_ms", Json::opt_num(out.jitter.mean_ms_opt()));
+    o.push("sigma_d_ms", Json::opt_num(out.jitter.std_ms_opt()));
+    o.push("intervals", Json::Uint(out.jitter.intervals));
+    o.push("be_latency_us", Json::opt_num(out.be_mean_latency_us_opt()));
+    o.push("be_msgs", Json::Uint(out.be_msgs));
+    o.push("injected_msgs", Json::Uint(out.injected_msgs));
+    o.push("delivered_msgs", Json::Uint(out.delivered_msgs));
+    o.push("counters", out.counters.to_json());
+    o
+}
+
+/// A PCS point's machine-readable record.
+fn pcs_json(labels: &[(&str, &str)], out: &PcsOutcome) -> Json {
+    let mut o = Json::obj(labels.iter().map(|&(k, v)| (k, Json::str(v))));
+    o.push("d_ms", Json::opt_num(out.jitter.mean_ms_opt()));
+    o.push("sigma_d_ms", Json::opt_num(out.jitter.std_ms_opt()));
+    o.push("offered", Json::Uint(out.offered));
+    o.push("attempts", Json::Uint(out.attempts));
+    o.push("established", Json::Uint(out.established));
+    o.push("dropped", Json::Uint(out.dropped));
+    o.push(
+        "counters",
+        Json::obj([
+            ("flits_forwarded", Json::Uint(out.counters.flits_forwarded)),
+            ("mux_conflicts", Json::Uint(out.counters.mux_conflicts)),
+            (
+                "mean_occupancy_flits",
+                Json::opt_num(out.counters.mean_occupancy()),
+            ),
+        ]),
+    );
+    o
 }
 
 /// Fig. 3 — Virtual Clock vs FIFO (16 VCs, 80:20 mix): d̄ and σ_d vs load.
-pub fn fig3(args: &RunArgs) -> Table {
+pub fn fig3(args: &RunArgs) -> ExperimentRun {
     banner("Fig 3: Virtual Clock vs FIFO (16 VCs, mix 80:20)", args);
     let mut t = Table::new(["load", "scheduler", "d (ms)", "sigma_d (ms)"])
         .with_title("Fig 3 — mean delivery interval and deviation, VBR 80:20");
@@ -55,20 +148,29 @@ pub fn fig3(args: &RunArgs) -> Table {
             points.push(p);
         }
     }
-    for ([load, kind], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+    let sw = sweep_single_switch(&points, args);
+    let mut records = Vec::new();
+    for ([load, kind], out) in cells.iter().zip(&sw.outs) {
         t.row([
-            load,
-            kind,
+            load.clone(),
+            kind.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
         ]);
+        records.push(point_json(&[("load", load), ("scheduler", kind)], out));
     }
     println!("{t}");
-    t
+    ExperimentRun {
+        name: "fig3",
+        table: t,
+        points: records,
+        sim_cycles: sw.cycles,
+        trace: sw.trace,
+    }
 }
 
 /// Fig. 4 — CBR-only vs VBR-only traffic (16 VCs, 400 Mbps).
-pub fn fig4(args: &RunArgs) -> Table {
+pub fn fig4(args: &RunArgs) -> ExperimentRun {
     banner("Fig 4: CBR vs VBR traffic (16 VCs, 400 Mbps)", args);
     let mut t = Table::new(["load", "class", "d (ms)", "sigma_d (ms)"])
         .with_title("Fig 4 — pure real-time traffic, no best-effort");
@@ -82,16 +184,25 @@ pub fn fig4(args: &RunArgs) -> Table {
             points.push(p);
         }
     }
-    for ([load, class], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+    let sw = sweep_single_switch(&points, args);
+    let mut records = Vec::new();
+    for ([load, class], out) in cells.iter().zip(&sw.outs) {
         t.row([
-            load,
-            class,
+            load.clone(),
+            class.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
         ]);
+        records.push(point_json(&[("load", load), ("class", class)], out));
     }
     println!("{t}");
-    t
+    ExperimentRun {
+        name: "fig4",
+        table: t,
+        points: records,
+        sim_cycles: sw.cycles,
+        trace: sw.trace,
+    }
 }
 
 /// The paper's traffic mixes for Fig. 5 / Table 2.
@@ -104,7 +215,7 @@ pub const MIXES: [(f64, f64); 5] = [
 ];
 
 /// Fig. 5 — mixed traffic: d̄ and σ_d over mix × load (16 VCs).
-pub fn fig5(args: &RunArgs) -> Table {
+pub fn fig5(args: &RunArgs) -> ExperimentRun {
     banner("Fig 5: mixed VBR/best-effort traffic (16 VCs)", args);
     let mut t = Table::new(["mix (x:y)", "load", "d (ms)", "sigma_d (ms)"])
         .with_title("Fig 5 — jitter across traffic mixes");
@@ -116,20 +227,29 @@ pub fn fig5(args: &RunArgs) -> Table {
             points.push(Point::new(load, x, y));
         }
     }
-    for ([mix, load], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+    let sw = sweep_single_switch(&points, args);
+    let mut records = Vec::new();
+    for ([mix, load], out) in cells.iter().zip(&sw.outs) {
         t.row([
-            mix,
-            load,
+            mix.clone(),
+            load.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
         ]);
+        records.push(point_json(&[("mix", mix), ("load", load)], out));
     }
     println!("{t}");
-    t
+    ExperimentRun {
+        name: "fig5",
+        table: t,
+        points: records,
+        sim_cycles: sw.cycles,
+        trace: sw.trace,
+    }
 }
 
 /// Table 2 — average best-effort latency (µs) over mix × load.
-pub fn table2(args: &RunArgs) -> Table {
+pub fn table2(args: &RunArgs) -> ExperimentRun {
     banner(
         "Table 2: average best-effort latency (8x8, 16 VCs, 400 Mbps)",
         args,
@@ -143,20 +263,31 @@ pub fn table2(args: &RunArgs) -> Table {
             points.push(Point::new(load, x, y));
         }
     }
-    let outs = sweep_single_switch(&points, args);
+    let sw = sweep_single_switch(&points, args);
+    let mut records = Vec::new();
     for (row, &(x, y)) in mixes.iter().enumerate() {
-        let mut cells = vec![format!("{x:.0}:{y:.0}")];
-        for col in 0..LOADS.len() {
-            cells.push(be_cell(outs[row * LOADS.len() + col].be_mean_latency_us));
+        let mix = format!("{x:.0}:{y:.0}");
+        let mut cells = vec![mix.clone()];
+        for (col, load) in LOADS.iter().enumerate() {
+            let out = &sw.outs[row * LOADS.len() + col];
+            cells.push(be_cell(out.be_mean_latency_us));
+            let load = format!("{load:.2}");
+            records.push(point_json(&[("mix", &mix), ("load", &load)], out));
         }
         t.row(cells);
     }
     println!("{t}");
-    t
+    ExperimentRun {
+        name: "table2",
+        table: t,
+        points: records,
+        sim_cycles: sw.cycles,
+        trace: sw.trace,
+    }
 }
 
 /// Fig. 6 — impact of VC count and crossbar style (100:0 VBR).
-pub fn fig6(args: &RunArgs) -> Table {
+pub fn fig6(args: &RunArgs) -> ExperimentRun {
     banner(
         "Fig 6: VCs and crossbar capabilities (400 Mbps, 100:0)",
         args,
@@ -182,20 +313,29 @@ pub fn fig6(args: &RunArgs) -> Table {
             points.push(p);
         }
     }
-    for ([name, load], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+    let sw = sweep_single_switch(&points, args);
+    let mut records = Vec::new();
+    for ([name, load], out) in cells.iter().zip(&sw.outs) {
         t.row([
-            name,
-            load,
+            name.clone(),
+            load.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
         ]);
+        records.push(point_json(&[("config", name), ("load", load)], out));
     }
     println!("{t}");
-    t
+    ExperimentRun {
+        name: "fig6",
+        table: t,
+        points: records,
+        sim_cycles: sw.cycles,
+        trace: sw.trace,
+    }
 }
 
 /// Fig. 7 — effect of message size on jitter (16 VCs).
-pub fn fig7(args: &RunArgs) -> Table {
+pub fn fig7(args: &RunArgs) -> ExperimentRun {
     banner("Fig 7: message size vs jitter (16 VCs)", args);
     let mut t = Table::new(["msg (flits)", "load", "d (ms)", "sigma_d (ms)"])
         .with_title("Fig 7 — jitter vs message size");
@@ -212,56 +352,101 @@ pub fn fig7(args: &RunArgs) -> Table {
             points.push(p);
         }
     }
-    for ([size, load], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+    let sw = sweep_single_switch(&points, args);
+    let mut records = Vec::new();
+    for ([size, load], out) in cells.iter().zip(&sw.outs) {
         t.row([
-            size,
-            load,
+            size.clone(),
+            load.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
         ]);
+        records.push(point_json(&[("msg_flits", size), ("load", load)], out));
     }
     println!("{t}");
-    t
+    ExperimentRun {
+        name: "fig7",
+        table: t,
+        points: records,
+        sim_cycles: sw.cycles,
+        trace: sw.trace,
+    }
 }
 
 /// Fig. 8 — MediaWorm vs the PCS router (8×8, 100 Mbps, 24 VCs).
-pub fn fig8(args: &RunArgs) -> Table {
+pub fn fig8(args: &RunArgs) -> ExperimentRun {
     banner("Fig 8: MediaWorm vs PCS (8x8, 100 Mbps, 24 VCs)", args);
     let mut t = Table::new(["load", "router", "d (ms)", "sigma_d (ms)"])
         .with_title("Fig 8 — wormhole vs pipelined circuit switching");
     let loads = [0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let traced = args.trace.is_some();
+    /// Per-task result: either a MediaWorm or a PCS point.
+    enum Half {
+        Worm(Box<SimOutcome>, Vec<u8>),
+        Pcs(PcsOutcome),
+    }
     // Task 2i runs MediaWorm at loads[i]; task 2i+1 runs PCS at loads[i].
-    let jitter = SweepRunner::from_args(args).map(loads.len() * 2, |task| {
+    let halves = SweepRunner::from_args(args).map(loads.len() * 2, |task| {
         let load = loads[task.index / 2];
         if task.index % 2 == 0 {
             // MediaWorm at 100 Mbps with 24 VCs.
             let mut p = Point::new(load, 100.0, 0.0);
             p.router = RouterConfig::new(24);
             p.spec = WorkloadSpec::paper_100mbps();
-            let worm = run_single_switch_seeded(&p, args, task.seed);
-            (worm.jitter.mean_ms, worm.jitter.std_ms)
+            let (out, trace) = if traced {
+                run_single_switch_traced(&p, args, task.seed)
+            } else {
+                (run_single_switch_seeded(&p, args, task.seed), Vec::new())
+            };
+            Half::Worm(Box::new(out), trace)
         } else {
             let (w, m) = args.windows();
-            let pcs = pcs_router::sim::run(load, &PcsConfig::paper_default(), w, m, task.seed);
-            (pcs.jitter.mean_ms, pcs.jitter.std_ms)
+            Half::Pcs(pcs_router::sim::run(
+                load,
+                &PcsConfig::paper_default(),
+                w,
+                m,
+                task.seed,
+            ))
         }
     });
-    for (i, &load) in loads.iter().enumerate() {
-        for (router, (mean, std)) in [("MediaWorm", jitter[2 * i]), ("PCS", jitter[2 * i + 1])] {
-            t.row([
-                format!("{load:.2}"),
-                router.to_string(),
-                format!("{mean:.2}"),
-                format!("{std:.2}"),
-            ]);
-        }
+    let mut records = Vec::new();
+    let mut cycles = 0u64;
+    let mut trace = Vec::new();
+    for (i, half) in halves.iter().enumerate() {
+        let load = format!("{:.2}", loads[i / 2]);
+        let (router, mean, std) = match half {
+            Half::Worm(out, t) => {
+                cycles += out.cycles;
+                trace.extend_from_slice(t);
+                records.push(point_json(&[("load", &load), ("router", "MediaWorm")], out));
+                ("MediaWorm", out.jitter.mean_ms, out.jitter.std_ms)
+            }
+            Half::Pcs(out) => {
+                cycles += out.cycles;
+                records.push(pcs_json(&[("load", &load), ("router", "PCS")], out));
+                ("PCS", out.jitter.mean_ms, out.jitter.std_ms)
+            }
+        };
+        t.row([
+            load,
+            router.to_string(),
+            format!("{mean:.2}"),
+            format!("{std:.2}"),
+        ]);
     }
     println!("{t}");
-    t
+    ExperimentRun {
+        name: "fig8",
+        table: t,
+        points: records,
+        sim_cycles: cycles,
+        trace,
+    }
 }
 
 /// Table 3 — PCS connection attempts / establishments / drops vs load.
-pub fn table3(args: &RunArgs) -> Table {
+pub fn table3(args: &RunArgs) -> ExperimentRun {
     banner(
         "Table 3: PCS connection accounting (8x8, 100 Mbps, 24 VCs)",
         args,
@@ -271,31 +456,41 @@ pub fn table3(args: &RunArgs) -> Table {
     let loads = [0.37, 0.42, 0.64, 0.67, 0.74, 0.80, 0.87, 0.91];
     let outs = SweepRunner::from_args(args).map(loads.len(), |task| {
         let (w, m) = args.windows();
-        let out = pcs_router::sim::run(
+        pcs_router::sim::run(
             loads[task.index],
             &PcsConfig::paper_default(),
             w,
             m,
             task.seed,
-        );
-        (out.offered, out.attempts, out.established, out.dropped)
+        )
     });
-    for (&load, (offered, attempts, established, dropped)) in loads.iter().zip(outs) {
+    let mut records = Vec::new();
+    let mut cycles = 0u64;
+    for (&load, out) in loads.iter().zip(&outs) {
+        cycles += out.cycles;
+        let load = format!("{load:.2}");
+        records.push(pcs_json(&[("load", &load)], out));
         t.row([
-            format!("{load:.2}"),
-            format!("{offered}"),
-            format!("{attempts}"),
-            format!("{established}"),
-            format!("{dropped}"),
+            load,
+            format!("{}", out.offered),
+            format!("{}", out.attempts),
+            format!("{}", out.established),
+            format!("{}", out.dropped),
         ]);
     }
     println!("{t}");
-    t
+    ExperimentRun {
+        name: "table3",
+        table: t,
+        points: records,
+        sim_cycles: cycles,
+        trace: Vec::new(),
+    }
 }
 
 /// Fig. 9 — the 2×2 fat-mesh: jitter and best-effort latency over
 /// mix × load.
-pub fn fig9(args: &RunArgs) -> Table {
+pub fn fig9(args: &RunArgs) -> ExperimentRun {
     banner("Fig 9: 2x2 fat-mesh (two links per neighbour pair)", args);
     let mut t = Table::new(["mix (x:y)", "load", "d (ms)", "sigma_d (ms)", "BE lat (us)"])
         .with_title("Fig 9 — fat-mesh jitter and best-effort latency");
@@ -307,25 +502,31 @@ pub fn fig9(args: &RunArgs) -> Table {
             points.push(Point::new(load, x, y));
         }
     }
-    let outs = SweepRunner::from_args(args).map(points.len(), |task| {
-        run_fat_mesh_seeded(&points[task.index], args, task.seed)
-    });
-    for ([mix, load], out) in cells.into_iter().zip(outs) {
+    let sw = sweep_fat_mesh(&points, args);
+    let mut records = Vec::new();
+    for ([mix, load], out) in cells.iter().zip(&sw.outs) {
         t.row([
-            mix,
-            load,
+            mix.clone(),
+            load.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
             be_cell(out.be_mean_latency_us),
         ]);
+        records.push(point_json(&[("mix", mix), ("load", load)], out));
     }
     println!("{t}");
-    t
+    ExperimentRun {
+        name: "fig9",
+        table: t,
+        points: records,
+        sim_cycles: sw.cycles,
+        trace: sw.trace,
+    }
 }
 
 /// Ablation — the three multiplexer schedulers side by side (extends
 /// Fig. 3 with the round-robin scheduler the paper mentions in §6).
-pub fn ablation_sched(args: &RunArgs) -> Table {
+pub fn ablation_sched(args: &RunArgs) -> ExperimentRun {
     banner("Ablation: scheduler disciplines (16 VCs, mix 80:20)", args);
     let mut t = Table::new(["load", "scheduler", "d (ms)", "sigma_d (ms)", "BE lat (us)"])
         .with_title("Ablation — VirtualClock vs FIFO vs RoundRobin");
@@ -343,23 +544,32 @@ pub fn ablation_sched(args: &RunArgs) -> Table {
             points.push(p);
         }
     }
-    for ([load, kind], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+    let sw = sweep_single_switch(&points, args);
+    let mut records = Vec::new();
+    for ([load, kind], out) in cells.iter().zip(&sw.outs) {
         t.row([
-            load,
-            kind,
+            load.clone(),
+            kind.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
             be_cell(out.be_mean_latency_us),
         ]);
+        records.push(point_json(&[("load", load), ("scheduler", kind)], out));
     }
     println!("{t}");
-    t
+    ExperimentRun {
+        name: "ablation_sched",
+        table: t,
+        points: records,
+        sim_cycles: sw.cycles,
+        trace: sw.trace,
+    }
 }
 
 /// Ablation — Virtual Clock applied at the crossbar input multiplexer
 /// (the paper's point A) vs at the VC output multiplexer (point C), both
 /// on the multiplexed crossbar. Quantifies the paper's §3.3 argument.
-pub fn ablation_point(args: &RunArgs) -> Table {
+pub fn ablation_point(args: &RunArgs) -> ExperimentRun {
     banner(
         "Ablation: Virtual Clock at point A vs point C (muxed xbar)",
         args,
@@ -379,16 +589,25 @@ pub fn ablation_point(args: &RunArgs) -> Table {
             points.push(p);
         }
     }
-    for ([load, name], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+    let sw = sweep_single_switch(&points, args);
+    let mut records = Vec::new();
+    for ([load, name], out) in cells.iter().zip(&sw.outs) {
         t.row([
-            load,
-            name,
+            load.clone(),
+            name.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
         ]);
+        records.push(point_json(&[("load", load), ("sched_point", name)], out));
     }
     println!("{t}");
-    t
+    ExperimentRun {
+        name: "ablation_point",
+        table: t,
+        points: records,
+        sim_cycles: sw.cycles,
+        trace: sw.trace,
+    }
 }
 
 /// Ablation — dynamic VC borrowing (the paper's §6 "dynamically
@@ -396,7 +615,7 @@ pub fn ablation_point(args: &RunArgs) -> Table {
 /// is exhausted, a message may take a free VC of the other class. The
 /// interesting question is whether best-effort improves without hurting
 /// the real-time class (Virtual Clock still outranks it at point A).
-pub fn ablation_borrowing(args: &RunArgs) -> Table {
+pub fn ablation_borrowing(args: &RunArgs) -> ExperimentRun {
     banner("Ablation: dynamic VC borrowing (mix 90:10)", args);
     let mut t = Table::new(["load", "borrowing", "d (ms)", "sigma_d (ms)", "BE lat (us)"])
         .with_title("Ablation — static partition vs VC borrowing");
@@ -413,24 +632,33 @@ pub fn ablation_borrowing(args: &RunArgs) -> Table {
             points.push(p);
         }
     }
-    for ([load, borrowing], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+    let sw = sweep_single_switch(&points, args);
+    let mut records = Vec::new();
+    for ([load, borrowing], out) in cells.iter().zip(&sw.outs) {
         t.row([
-            load,
-            borrowing,
+            load.clone(),
+            borrowing.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
             be_cell(out.be_mean_latency_us),
         ]);
+        records.push(point_json(&[("load", load), ("borrowing", borrowing)], out));
     }
     println!("{t}");
-    t
+    ExperimentRun {
+        name: "ablation_borrowing",
+        table: t,
+        points: records,
+        sim_cycles: sw.cycles,
+        trace: sw.trace,
+    }
 }
 
 /// Extension — GOP-structured VBR vs the paper's normal frame model.
 /// Real MPEG-2 alternates large I frames with small B/P frames; at equal
 /// mean rate the bursts are harder on the router. This experiment asks
 /// how much of the jitter-free region that structure costs.
-pub fn gop_sensitivity(args: &RunArgs) -> Table {
+pub fn gop_sensitivity(args: &RunArgs) -> ExperimentRun {
     banner("Extension: GOP-structured VBR vs normal frame sizes", args);
     let mut t = Table::new(["load", "frame model", "d (ms)", "sigma_d (ms)"])
         .with_title("Extension — frame-size model sensitivity (100:0 VBR)");
@@ -447,16 +675,25 @@ pub fn gop_sensitivity(args: &RunArgs) -> Table {
             points.push(p);
         }
     }
-    for ([load, model], out) in cells.into_iter().zip(sweep_single_switch(&points, args)) {
+    let sw = sweep_single_switch(&points, args);
+    let mut records = Vec::new();
+    for ([load, model], out) in cells.iter().zip(&sw.outs) {
         t.row([
-            load,
-            model,
+            load.clone(),
+            model.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
         ]);
+        records.push(point_json(&[("load", load), ("frame_model", model)], out));
     }
     println!("{t}");
-    t
+    ExperimentRun {
+        name: "gop_sensitivity",
+        table: t,
+        points: records,
+        sim_cycles: sw.cycles,
+        trace: sw.trace,
+    }
 }
 
 #[cfg(test)]
@@ -470,6 +707,7 @@ mod tests {
             warmup_secs: 0.02,
             measure_secs: 0.04,
             jobs: Some(2),
+            ..RunArgs::default()
         }
     }
 
@@ -482,13 +720,26 @@ mod tests {
 
     #[test]
     fn table3_rows_match_loads() {
-        let t = table3(&quick());
-        assert_eq!(t.row_count(), 8);
+        let run = table3(&quick());
+        assert_eq!(run.table.row_count(), 8);
+        assert_eq!(run.points.len(), 8);
+        assert!(run.sim_cycles > 0);
     }
 
     #[test]
     fn fig3_produces_full_grid() {
-        let t = fig3(&quick());
-        assert_eq!(t.row_count(), LOADS.len() * 2);
+        let run = fig3(&quick());
+        assert_eq!(run.table.row_count(), LOADS.len() * 2);
+        assert_eq!(run.points.len(), LOADS.len() * 2);
+    }
+
+    #[test]
+    fn json_document_is_nan_free() {
+        let run = fig3(&quick());
+        let doc = run.to_json(1.5).to_string();
+        assert!(doc.starts_with("{\"experiment\":\"fig3\""));
+        assert!(doc.contains("\"throughput\":{\"wall_secs\":1.5"));
+        assert!(!doc.contains("NaN"), "NaN leaked into JSON: {doc}");
+        assert!(!doc.contains("inf"), "inf leaked into JSON: {doc}");
     }
 }

@@ -23,8 +23,11 @@
 pub mod experiments;
 pub mod sweep;
 
+use std::path::PathBuf;
+
 use flitnet::VcPartition;
 use mediaworm::{sim, RouterConfig, SimOutcome};
+use metrics::{Json, Table};
 use topo::Topology;
 use traffic::{StreamClass, WorkloadBuilder, WorkloadSpec};
 
@@ -42,6 +45,11 @@ pub struct RunArgs {
     /// Worker-thread cap for sweeps (`--jobs`); `None` falls back to
     /// `MEDIAWORM_JOBS`, then to the machine's available parallelism.
     pub jobs: Option<usize>,
+    /// Also write machine-readable results to `BENCH_<name>.json`.
+    pub json: bool,
+    /// Record a JSONL flit-event trace of every simulated point to this
+    /// path. Traces are large; combine with `--quick`.
+    pub trace: Option<PathBuf>,
 }
 
 impl RunArgs {
@@ -84,6 +92,12 @@ impl RunArgs {
                     }
                     args.jobs = Some(n);
                 }
+                "--json" => args.json = true,
+                "--trace" => {
+                    args.trace = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--trace needs a path")),
+                    ));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -125,6 +139,8 @@ impl Default for RunArgs {
             warmup_secs: 0.1,
             measure_secs: 0.4,
             jobs: None,
+            json: false,
+            trace: None,
         }
     }
 }
@@ -134,7 +150,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <experiment> [--quick] [--seed N] [--warmup SECS] [--measure SECS] [--jobs N]"
+        "usage: <experiment> [--quick] [--seed N] [--warmup SECS] [--measure SECS] [--jobs N] \
+         [--json] [--trace PATH]"
     );
     std::process::exit(2);
 }
@@ -187,15 +204,32 @@ impl Point {
     /// Runs this point over `topology` with an explicit workload seed
     /// (sweeps derive one per task; see [`sweep`]).
     pub fn run_on_seeded(&self, topology: &Topology, args: &RunArgs, seed: u64) -> SimOutcome {
-        let workload = WorkloadBuilder::new(topology.node_count(), self.partition())
+        let workload = self.workload(topology, seed);
+        let (w, m) = args.windows();
+        sim::run(topology, workload, &self.router, w, m)
+    }
+
+    /// [`Point::run_on_seeded`] recording a JSONL flit-event trace,
+    /// returned alongside the outcome.
+    pub fn run_on_seeded_traced(
+        &self,
+        topology: &Topology,
+        args: &RunArgs,
+        seed: u64,
+    ) -> (SimOutcome, Vec<u8>) {
+        let workload = self.workload(topology, seed);
+        let (w, m) = args.windows();
+        sim::run_traced(topology, workload, &self.router, w, m)
+    }
+
+    fn workload(&self, topology: &Topology, seed: u64) -> traffic::Workload {
+        WorkloadBuilder::new(topology.node_count(), self.partition())
             .spec(self.spec.clone())
             .load(self.load)
             .mix(self.mix_x, self.mix_y)
             .real_time_class(self.class)
             .seed(seed)
-            .build();
-        let (w, m) = args.windows();
-        sim::run(topology, workload, &self.router, w, m)
+            .build()
     }
 }
 
@@ -218,6 +252,80 @@ pub fn run_fat_mesh(point: &Point, args: &RunArgs) -> SimOutcome {
 /// [`run_fat_mesh`] with an explicit workload seed.
 pub fn run_fat_mesh_seeded(point: &Point, args: &RunArgs, seed: u64) -> SimOutcome {
     point.run_on_seeded(&Topology::fat_mesh(2, 2, 2, 4), args, seed)
+}
+
+/// [`run_single_switch_seeded`] with a JSONL flit-event trace.
+pub fn run_single_switch_traced(point: &Point, args: &RunArgs, seed: u64) -> (SimOutcome, Vec<u8>) {
+    point.run_on_seeded_traced(&Topology::single_switch(8), args, seed)
+}
+
+/// [`run_fat_mesh_seeded`] with a JSONL flit-event trace.
+pub fn run_fat_mesh_traced(point: &Point, args: &RunArgs, seed: u64) -> (SimOutcome, Vec<u8>) {
+    point.run_on_seeded_traced(&Topology::fat_mesh(2, 2, 2, 4), args, seed)
+}
+
+/// The full result of one experiment: the printed table plus the
+/// machine-readable per-point records, simulated-cycle accounting and
+/// (when tracing was requested) the concatenated flit-event trace.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// Short machine-friendly name (`fig3`, `table2`, ...); names the
+    /// `BENCH_<name>.json` output file.
+    pub name: &'static str,
+    /// The paper-style text table the experiment printed.
+    pub table: Table,
+    /// One JSON object per simulated point, in sweep (task) order.
+    pub points: Vec<Json>,
+    /// Total simulated cycles across every point of the sweep.
+    pub sim_cycles: u64,
+    /// Concatenated JSONL flit-event trace, point order; empty unless
+    /// `--trace` was given (PCS points do not produce trace events).
+    pub trace: Vec<u8>,
+}
+
+impl ExperimentRun {
+    /// The machine-readable document `--json` writes: experiment name,
+    /// per-point results, and throughput (wall-clock seconds, simulated
+    /// cycles, cycles per second).
+    pub fn to_json(&self, wall_secs: f64) -> Json {
+        let cycles_per_sec = (wall_secs > 0.0).then(|| self.sim_cycles as f64 / wall_secs);
+        Json::obj([
+            ("experiment", Json::str(self.name)),
+            ("results", Json::arr(self.points.iter().cloned())),
+            (
+                "throughput",
+                Json::obj([
+                    ("wall_secs", Json::num(wall_secs)),
+                    ("sim_cycles", Json::Uint(self.sim_cycles)),
+                    ("cycles_per_sec", Json::opt_num(cycles_per_sec)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Runs one experiment and handles its `--json` / `--trace` outputs: the
+/// standard `main` body of every experiment binary. Returns the run so
+/// callers (`repro-all`) can collect the tables.
+pub fn run_experiment(args: &RunArgs, f: fn(&RunArgs) -> ExperimentRun) -> ExperimentRun {
+    let started = std::time::Instant::now();
+    let run = f(args);
+    let wall_secs = started.elapsed().as_secs_f64();
+    if args.json {
+        let path = format!("BENCH_{}.json", run.name);
+        let doc = format!("{}\n", run.to_json(wall_secs));
+        std::fs::write(&path, doc).expect("write json results");
+        println!("json results written to {path}");
+    }
+    if let Some(path) = &args.trace {
+        std::fs::write(path, &run.trace).expect("write flit trace");
+        println!(
+            "flit trace ({} bytes) written to {}",
+            run.trace.len(),
+            path.display()
+        );
+    }
+    run
 }
 
 /// Formats a jitter pair `(d̄, σ_d)` in milliseconds.
@@ -268,8 +376,30 @@ mod tests {
             warmup_secs: 0.02,
             measure_secs: 0.05,
             jobs: Some(1),
+            ..RunArgs::default()
         };
         let out = run_single_switch(&Point::new(0.4, 100.0, 0.0), &args);
         assert!(out.jitter.intervals > 0);
+    }
+
+    #[test]
+    fn run_args_parse_defaults_exclude_json_and_trace() {
+        let a = RunArgs::default();
+        assert!(!a.json);
+        assert!(a.trace.is_none());
+    }
+
+    #[test]
+    fn experiment_json_handles_zero_wall_time() {
+        let run = ExperimentRun {
+            name: "unit",
+            table: Table::new(["a"]),
+            points: Vec::new(),
+            sim_cycles: 100,
+            trace: Vec::new(),
+        };
+        let doc = run.to_json(0.0).to_string();
+        assert!(doc.contains("\"cycles_per_sec\":null"));
+        assert!(!doc.contains("NaN"));
     }
 }

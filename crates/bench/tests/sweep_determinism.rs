@@ -1,9 +1,13 @@
 //! The sweep harness must produce bit-identical results at any job count:
 //! seeds derive from the task index alone, results are slotted by index,
-//! and replica statistics merge in a fixed order.
+//! and replica statistics merge in a fixed order. The telemetry layer must
+//! obey the same contract — counters and JSONL traces are assembled in
+//! task order, and a disabled (no-op) sink must not change any number.
 
 use mediaworm_bench::sweep::SweepRunner;
-use mediaworm_bench::{experiments, run_single_switch_seeded, Point, RunArgs};
+use mediaworm_bench::{
+    experiments, run_single_switch_seeded, run_single_switch_traced, Point, RunArgs,
+};
 use netsim::RunningStats;
 
 fn args_with_jobs(jobs: usize) -> RunArgs {
@@ -13,17 +17,22 @@ fn args_with_jobs(jobs: usize) -> RunArgs {
         warmup_secs: 0.01,
         measure_secs: 0.03,
         jobs: Some(jobs),
+        ..RunArgs::default()
     }
+}
+
+fn test_points() -> [Point; 3] {
+    [
+        Point::new(0.4, 100.0, 0.0),
+        Point::new(0.5, 80.0, 20.0),
+        Point::new(0.6, 50.0, 50.0),
+    ]
 }
 
 /// Merged per-point replica stats over a small real Point list.
 fn merged_stats(jobs: usize) -> Vec<RunningStats> {
     let args = args_with_jobs(jobs);
-    let points = [
-        Point::new(0.4, 100.0, 0.0),
-        Point::new(0.5, 80.0, 20.0),
-        Point::new(0.6, 50.0, 50.0),
-    ];
+    let points = test_points();
     SweepRunner::from_args(&args).run_stats(points.len(), 2, |p, _replica, seed| {
         let out = run_single_switch_seeded(&points[p], &args, seed);
         let mut s = RunningStats::new();
@@ -58,7 +67,64 @@ fn jobs_1_and_jobs_8_merge_to_identical_stats() {
 
 #[test]
 fn fig5_table_is_identical_at_any_job_count() {
-    let sequential = format!("{}", experiments::fig5(&args_with_jobs(1)));
-    let parallel = format!("{}", experiments::fig5(&args_with_jobs(8)));
+    let sequential = format!("{}", experiments::fig5(&args_with_jobs(1)).table);
+    let parallel = format!("{}", experiments::fig5(&args_with_jobs(8)).table);
     assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn json_records_are_identical_at_any_job_count() {
+    let sequential = experiments::fig3(&args_with_jobs(1));
+    let parallel = experiments::fig3(&args_with_jobs(8));
+    assert_eq!(sequential.sim_cycles, parallel.sim_cycles);
+    assert_eq!(sequential.points.len(), parallel.points.len());
+    for (s, p) in sequential.points.iter().zip(&parallel.points) {
+        assert_eq!(s.to_string(), p.to_string(), "per-point JSON must match");
+    }
+}
+
+#[test]
+fn counters_are_identical_at_any_job_count() {
+    let points = test_points();
+    let collect = |jobs: usize| {
+        let args = args_with_jobs(jobs);
+        SweepRunner::from_args(&args).map(points.len(), |task| {
+            run_single_switch_seeded(&points[task.index], &args, task.seed).counters
+        })
+    };
+    assert_eq!(collect(1), collect(8));
+}
+
+#[test]
+fn traces_are_bit_identical_at_any_job_count() {
+    let points = test_points();
+    let collect = |jobs: usize| {
+        let args = args_with_jobs(jobs);
+        let per_point = SweepRunner::from_args(&args).map(points.len(), |task| {
+            run_single_switch_traced(&points[task.index], &args, task.seed).1
+        });
+        // Concatenated in task order, exactly as the experiments do.
+        per_point.concat()
+    };
+    let sequential = collect(1);
+    assert!(!sequential.is_empty(), "traced runs must produce events");
+    assert_eq!(sequential, collect(8));
+}
+
+#[test]
+fn tracing_does_not_change_results() {
+    let args = args_with_jobs(2);
+    for point in &test_points() {
+        let plain = run_single_switch_seeded(point, &args, 7);
+        let (traced, trace) = run_single_switch_traced(point, &args, 7);
+        assert!(!trace.is_empty());
+        assert_eq!(plain.delivered_msgs, traced.delivered_msgs);
+        assert_eq!(plain.injected_msgs, traced.injected_msgs);
+        assert_eq!(plain.counters, traced.counters);
+        assert_eq!(
+            plain.jitter.mean_ms.to_bits(),
+            traced.jitter.mean_ms.to_bits(),
+            "tracing must not perturb the simulation"
+        );
+    }
 }

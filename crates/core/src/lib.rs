@@ -38,6 +38,8 @@
 //!   [`metrics::JitterSummary`] / best-effort latency.
 //! * [`sim`] — one-call experiment driver used by the `mediaworm-bench`
 //!   binaries.
+//! * [`counters`] — always-on per-router/per-port telemetry counters
+//!   (flits per class, mux conflicts, credit stalls, sampled occupancy).
 //! * [`admission`] — a bandwidth-accounting admission controller (the
 //!   paper's §6 admission-control direction).
 //!
@@ -69,6 +71,7 @@
 
 pub mod admission;
 pub mod config;
+pub mod counters;
 pub mod net;
 pub mod router;
 pub mod scheduler;
@@ -76,7 +79,8 @@ pub mod sim;
 
 pub use admission::AdmissionController;
 pub use config::{CrossbarKind, RouterConfig, SchedPoint, SchedulerKind};
+pub use counters::{NetCounters, PortCounters, RouterCounters};
 pub use net::Network;
 pub use router::Router;
 pub use scheduler::MuxScheduler;
-pub use sim::{run, SimOutcome};
+pub use sim::{run, run_traced, SimOutcome};

@@ -21,11 +21,13 @@ use std::collections::VecDeque;
 
 use flitnet::{CreditLink, Flit, Link, NodeId, PortId, RouterId, VcId};
 use metrics::{DeliveryTracker, LatencyTracker};
+use netsim::telemetry::{FlitEvent, FlitEventKind, NoopSink, TelemetrySink};
 use netsim::{Calendar, Cycles, TimeBase};
 use topo::{PortTarget, Topology};
 use traffic::{ScheduledMessage, Workload};
 
 use crate::config::RouterConfig;
+use crate::counters::NetCounters;
 use crate::router::{CreditReturn, Departure, Router};
 use crate::scheduler::MuxScheduler;
 
@@ -119,6 +121,13 @@ pub struct Network {
     /// Flits sent per link (same indexing as `links`), for utilisation
     /// statistics.
     link_sent: Vec<u64>,
+    /// Start of the current link-statistics window (see
+    /// [`Network::reset_link_stats`]).
+    stats_start: Cycles,
+    /// Whether endpoint inject/deliver events go to the telemetry sink.
+    /// Mirrors the per-router flag; set from the sink at the start of
+    /// [`Network::run_until_with`].
+    trace: bool,
 }
 
 impl Network {
@@ -254,6 +263,8 @@ impl Network {
             active_links: Vec::new(),
             link_active: vec![false; link_count],
             link_sent: vec![0; link_count],
+            stats_start: Cycles::ZERO,
+            trace: false,
         }
     }
 
@@ -316,23 +327,52 @@ impl Network {
         &self.workload
     }
 
+    /// Cycles elapsed in the current link-statistics window.
+    fn stats_window(&self) -> Cycles {
+        self.now - self.stats_start
+    }
+
+    /// Zeroes the per-link flit counters and restarts the utilisation
+    /// window at the current cycle.
+    ///
+    /// Utilisation queries divide by cycles elapsed *since this call*
+    /// (or since construction), so a caller can exclude the start-up
+    /// transient — CBR streams begin at random phases within the first
+    /// frame interval, which otherwise dilutes a whole-run average.
+    pub fn reset_link_stats(&mut self) {
+        self.link_sent.fill(0);
+        self.stats_start = self.now;
+    }
+
     /// Utilisation of router `r`'s output link on port `p`: flits sent
-    /// divided by elapsed cycles (0.0 before the clock advances).
+    /// divided by cycles elapsed in the statistics window (0.0 before
+    /// the clock advances past the window start).
     pub fn link_utilization(&self, r: flitnet::RouterId, p: PortId) -> f64 {
-        if self.now == Cycles::ZERO {
+        let window = self.stats_window();
+        if window == Cycles::ZERO {
             return 0.0;
         }
         let l = self.out_link[r.index()][p.index()];
-        self.link_sent[l] as f64 / self.now.as_f64()
+        self.link_sent[l] as f64 / window.as_f64()
     }
 
     /// Utilisation of `node`'s injection link.
     pub fn injection_utilization(&self, node: NodeId) -> f64 {
-        if self.now == Cycles::ZERO {
+        let window = self.stats_window();
+        if window == Cycles::ZERO {
             return 0.0;
         }
         let l = self.endpoints[node.index()].link;
-        self.link_sent[l] as f64 / self.now.as_f64()
+        self.link_sent[l] as f64 / window.as_f64()
+    }
+
+    /// Network-wide telemetry counter totals summed over all routers.
+    pub fn counters(&self) -> NetCounters {
+        let mut t = NetCounters::default();
+        for r in &self.routers {
+            t.absorb(&r.counters().totals());
+        }
+        t
     }
 
     /// Sums router allocator diagnostics
@@ -383,8 +423,20 @@ impl Network {
 
     /// Runs the simulation until cycle `end`.
     pub fn run_until(&mut self, end: Cycles) {
+        self.run_until_with(end, &mut NoopSink);
+    }
+
+    /// Runs the simulation until cycle `end`, streaming flit events into
+    /// `sink`.
+    ///
+    /// Tracing is armed from `sink.is_enabled()` once, up front, so a
+    /// [`NoopSink`] run executes the exact same instruction stream as
+    /// [`Network::run_until`] — the per-flit guard is a cached boolean,
+    /// not a virtual call.
+    pub fn run_until_with(&mut self, end: Cycles, sink: &mut dyn TelemetrySink) {
+        self.set_tracing(sink.is_enabled());
         while self.now < end {
-            self.step();
+            self.step_with(sink);
             if self.flits_in_flight == 0 {
                 // Idle: jump to the next injection (always > now, since
                 // inject() drained everything due this cycle).
@@ -407,19 +459,35 @@ impl Network {
         }
     }
 
+    /// Arms or disarms flit-event tracing on the endpoints and every
+    /// router.
+    fn set_tracing(&mut self, on: bool) {
+        self.trace = on;
+        for r in &mut self.routers {
+            r.set_tracing(on);
+        }
+    }
+
     /// Executes one cycle at the current time.
     pub fn step(&mut self) {
+        self.step_with(&mut NoopSink);
+    }
+
+    /// Executes one cycle, streaming flit events into `sink`. Callers
+    /// driving the network step by step must arm tracing themselves (it
+    /// is off by default); [`Network::run_until_with`] does it for them.
+    pub fn step_with(&mut self, sink: &mut dyn TelemetrySink) {
         let now = self.now;
-        self.inject(now);
-        self.deliver(now);
-        self.route_and_arbitrate(now);
-        self.crossbar(now);
+        self.inject(now, sink);
+        self.deliver(now, sink);
+        self.route_and_arbitrate(now, sink);
+        self.crossbar(now, sink);
         self.output(now);
         self.ni_send(now);
     }
 
     /// Phase 1: fire due injections into the NI queues.
-    fn inject(&mut self, now: Cycles) {
+    fn inject(&mut self, now: Cycles, sink: &mut dyn TelemetrySink) {
         while let Some((_, i)) = self.calendar.pop_due(now) {
             let msg = self.staged[i].take().expect("staged message present");
             let ep = &mut self.endpoints[msg.src.index()];
@@ -427,6 +495,21 @@ impl Network {
             for flit in &msg.flits {
                 ep.queues[v].push_back(*flit);
                 ep.sched.on_arrival(v, now, flit);
+            }
+            if self.trace {
+                // One event per message; `port` holds the source node id
+                // (there is no router at the injection point).
+                let head = &msg.flits[0];
+                sink.record(&FlitEvent {
+                    cycle: now.get(),
+                    kind: FlitEventKind::Inject,
+                    router: None,
+                    port: msg.src.get(),
+                    vc: msg.vc_in.get(),
+                    stream: head.stream.get(),
+                    msg: head.msg.get(),
+                    real_time: head.class.is_real_time(),
+                });
             }
             self.flits_in_flight += msg.flits.len() as u64;
             self.injected_msgs += 1;
@@ -442,7 +525,7 @@ impl Network {
     /// Only links on the active list are scanned; a link leaves the list
     /// once both its flit and credit channels have drained and rejoins it
     /// on the next send.
-    fn deliver(&mut self, now: Cycles) {
+    fn deliver(&mut self, now: Cycles, sink: &mut dyn TelemetrySink) {
         let mut i = 0;
         while i < self.active_links.len() {
             let l = self.active_links[i];
@@ -453,7 +536,14 @@ impl Network {
                         self.routers[router].receive_flit(now, port, flit);
                     }
                     RxSide::Node => {
-                        Self::sink_flit(&mut self.sinks, &mut self.flits_in_flight, now, flit);
+                        Self::sink_flit(
+                            &mut self.sinks,
+                            &mut self.flits_in_flight,
+                            now,
+                            flit,
+                            self.trace,
+                            sink,
+                        );
                     }
                 }
             }
@@ -476,11 +566,32 @@ impl Network {
         }
     }
 
-    fn sink_flit(sinks: &mut Sinks, in_flight: &mut u64, now: Cycles, flit: Flit) {
+    fn sink_flit(
+        sinks: &mut Sinks,
+        in_flight: &mut u64,
+        now: Cycles,
+        flit: Flit,
+        trace: bool,
+        tsink: &mut dyn TelemetrySink,
+    ) {
         *in_flight -= 1;
         sinks.delivered_flits += 1;
         if !flit.kind.is_tail() {
             return;
+        }
+        if trace {
+            // One event per message, on its tail flit; `port` holds the
+            // destination node id.
+            tsink.record(&FlitEvent {
+                cycle: now.get(),
+                kind: FlitEventKind::Deliver,
+                router: None,
+                port: flit.dest.get(),
+                vc: 0,
+                stream: flit.stream.get(),
+                msg: flit.msg.get(),
+                real_time: flit.class.is_real_time(),
+            });
         }
         sinks.delivered_msgs += 1;
         if flit.class.is_real_time() {
@@ -500,26 +611,26 @@ impl Network {
     }
 
     /// Phase 3: stages 2–3 on every router.
-    fn route_and_arbitrate(&mut self, now: Cycles) {
+    fn route_and_arbitrate(&mut self, now: Cycles, sink: &mut dyn TelemetrySink) {
         let topology = &self.topology;
         for (r, router) in self.routers.iter_mut().enumerate() {
             if !router.has_work() {
                 continue;
             }
             let rid = RouterId(r as u32);
-            router.arbitrate(now, |flit| topology.route(rid, flit.dest));
+            router.arbitrate(now, |flit| topology.route(rid, flit.dest), sink);
         }
     }
 
     /// Phase 4: crossbars; send freed-slot credits back upstream.
-    fn crossbar(&mut self, now: Cycles) {
+    fn crossbar(&mut self, now: Cycles, sink: &mut dyn TelemetrySink) {
         let mut credits = std::mem::take(&mut self.credit_buf);
         for r in 0..self.routers.len() {
             if !self.routers[r].has_work() {
                 continue;
             }
             credits.clear();
-            self.routers[r].crossbar(now, &mut credits);
+            self.routers[r].crossbar(now, &mut credits, sink);
             for c in &credits {
                 let feeder = self.feed_link[r][c.port.index()];
                 self.links[feeder].credit.send(now, c.vc);
@@ -716,7 +827,11 @@ mod tests {
         let cfg = RouterConfig::default();
         let mut net = Network::new(&topology, small_workload(0.5, 9), &cfg);
         let tb = net.timebase();
-        net.run_until(tb.cycles_from_ms(60.0));
+        // CBR streams start at random phases within the first 33 ms frame
+        // interval; measure a window that excludes that ramp-up.
+        net.run_until(tb.cycles_from_ms(40.0));
+        net.reset_link_stats();
+        net.run_until(tb.cycles_from_ms(100.0));
         // Injection links should run near the offered 0.5 load; ejection
         // links likewise (uniform destinations).
         let mut total_inj = 0.0;
@@ -734,6 +849,54 @@ mod tests {
         }
         let mean_out = total_out / 8.0;
         assert!((mean_out - 0.5).abs() < 0.06, "mean output util {mean_out}");
+    }
+
+    #[test]
+    fn counters_balance_with_delivered_flits() {
+        let topology = Topology::single_switch(8);
+        let cfg = RouterConfig::default();
+        let mut net = Network::new(&topology, small_workload(0.3, 7), &cfg);
+        let tb = net.timebase();
+        net.run_until(tb.cycles_from_ms(20.0));
+        let c = net.counters();
+        // Single switch, all-real-time workload: every delivered flit
+        // crossed exactly one router output.
+        assert_eq!(c.be_flits, 0);
+        assert!(c.rt_flits >= net.delivered_flits());
+        assert!(c.rt_flits <= net.delivered_flits() + net.flits_in_flight());
+    }
+
+    #[test]
+    fn traced_run_emits_inject_and_deliver_events() {
+        use netsim::JsonlSink;
+        let topology = Topology::single_switch(8);
+        let cfg = RouterConfig::default();
+        let mut net = Network::new(&topology, small_workload(0.3, 8), &cfg);
+        let tb = net.timebase();
+        let mut sink = JsonlSink::new();
+        net.run_until_with(tb.cycles_from_ms(5.0), &mut sink);
+        let text = String::from_utf8(sink.into_bytes()).expect("utf8");
+        let injects = text.matches("\"event\":\"inject\"").count() as u64;
+        let delivers = text.matches("\"event\":\"deliver\"").count() as u64;
+        assert_eq!(injects, net.injected_msgs());
+        assert_eq!(delivers, net.delivered_msgs());
+        assert!(text.matches("\"event\":\"route\"").count() > 0);
+        assert!(text.matches("\"event\":\"arbitrate\"").count() > 0);
+    }
+
+    #[test]
+    fn noop_sink_run_matches_plain_run() {
+        let topology = Topology::single_switch(8);
+        let cfg = RouterConfig::default();
+        let mut plain = Network::new(&topology, small_workload(0.4, 11), &cfg);
+        let mut wired = Network::new(&topology, small_workload(0.4, 11), &cfg);
+        let tb = plain.timebase();
+        let end = tb.cycles_from_ms(25.0);
+        plain.run_until(end);
+        wired.run_until_with(end, &mut NoopSink);
+        assert_eq!(plain.delivered_flits(), wired.delivered_flits());
+        assert_eq!(plain.injected_msgs(), wired.injected_msgs());
+        assert_eq!(plain.counters(), wired.counters());
     }
 
     #[test]

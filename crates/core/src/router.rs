@@ -29,9 +29,11 @@
 use std::collections::VecDeque;
 
 use flitnet::{Flit, MsgId, PortId, RouterId, VcBuffer, VcId, VcPartition};
+use netsim::telemetry::{FlitEvent, FlitEventKind, TelemetrySink};
 use netsim::Cycles;
 
 use crate::config::{CrossbarKind, RouterConfig, SchedPoint, SchedulerKind};
+use crate::counters::{RouterCounters, OCCUPANCY_SAMPLE_PERIOD};
 use crate::scheduler::MuxScheduler;
 
 /// Cycles a head flit spends in stages 2–3 (routing + arbitration) before
@@ -129,6 +131,11 @@ pub struct Router {
     /// Allocator diagnostics: (active cycles, input-slots with an eligible
     /// flit that did not move, input-slots with nothing eligible).
     diag: (u64, u64, u64),
+    /// Per-port/per-VC telemetry counters (always on: plain integer adds).
+    counters: RouterCounters,
+    /// Cached `sink.is_enabled()`: flit-event emission is guarded by this
+    /// plain bool so a disabled sink costs nothing on the hot path.
+    trace: bool,
 }
 
 impl Router {
@@ -195,7 +202,21 @@ impl Router {
             out_mask: vec![false; m],
             flits_crossed: 0,
             diag: (0, 0, 0),
+            counters: RouterCounters::new(n_ports, m),
+            trace: false,
         }
+    }
+
+    /// Enables or disables flit-event emission to the telemetry sink
+    /// passed to [`Router::arbitrate`] / [`Router::crossbar`]. The driver
+    /// sets this once per run from `sink.is_enabled()`.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = on;
+    }
+
+    /// The router's telemetry counters.
+    pub fn counters(&self) -> &RouterCounters {
+        &self.counters
     }
 
     /// Router id.
@@ -245,7 +266,10 @@ impl Router {
     /// the stream's requested VC) and is owned by the message until its
     /// tail passes the crossbar — the paper's message-granularity output
     /// arbitration.
-    pub fn arbitrate<'t, F>(&mut self, now: Cycles, candidates: F)
+    ///
+    /// Each successful grant emits a `Route` event to `sink` when tracing
+    /// is enabled (see [`Router::set_tracing`]).
+    pub fn arbitrate<'t, F>(&mut self, now: Cycles, candidates: F, sink: &mut dyn TelemetrySink)
     where
         F: Fn(&Flit) -> &'t [PortId],
     {
@@ -336,6 +360,18 @@ impl Router {
             });
             self.inputs[p].vcs[v].head_seen_at = None;
             self.outputs[o].vcs[out_vc].owner = Some(head.msg);
+            if self.trace {
+                sink.record(&FlitEvent {
+                    cycle: now.get(),
+                    kind: FlitEventKind::Route,
+                    router: Some(self.id.get()),
+                    port: o as u32,
+                    vc: out_vc as u32,
+                    stream: head.stream.get(),
+                    msg: head.msg.get(),
+                    real_time: head.class.is_real_time(),
+                });
+            }
         }
     }
 
@@ -363,7 +399,14 @@ impl Router {
     }
 
     /// Moves input `(p, v)`'s head flit through the crossbar.
-    fn xbar_move(&mut self, p: usize, v: usize, now: Cycles, credits: &mut Vec<CreditReturn>) {
+    fn xbar_move(
+        &mut self,
+        p: usize,
+        v: usize,
+        now: Cycles,
+        credits: &mut Vec<CreditReturn>,
+        sink: &mut dyn TelemetrySink,
+    ) {
         let grant = self.inputs[p].vcs[v]
             .grant
             .expect("eligible VC has a grant");
@@ -383,6 +426,18 @@ impl Router {
         out.sched.on_arrival(grant.out_vc, now, &flit);
         out.vcs[grant.out_vc].buf.push_back((now, flit));
         self.flits_crossed += 1;
+        if self.trace {
+            sink.record(&FlitEvent {
+                cycle: now.get(),
+                kind: FlitEventKind::Arbitrate,
+                router: Some(self.id.get()),
+                port: p as u32,
+                vc: v as u32,
+                stream: flit.stream.get(),
+                msg: flit.msg.get(),
+                real_time: flit.class.is_real_time(),
+            });
+        }
         if flit.kind.is_tail() {
             self.inputs[p].vcs[v].grant = None;
             // The output VC hands over at tail crossing: its staging
@@ -407,22 +462,43 @@ impl Router {
     ///
     /// Full crossbar: every granted VC moves — each output VC has its own
     /// crossbar port.
-    pub fn crossbar(&mut self, now: Cycles, credits: &mut Vec<CreditReturn>) {
+    ///
+    /// Each flit that crosses emits an `Arbitrate` event to `sink` when
+    /// tracing is enabled. On a multiplexed crossbar, eligible VCs that
+    /// lose their cycle are counted as mux conflicts; every
+    /// [`OCCUPANCY_SAMPLE_PERIOD`] cycles the input-buffer occupancy is
+    /// sampled into the counters.
+    pub fn crossbar(
+        &mut self,
+        now: Cycles,
+        credits: &mut Vec<CreditReturn>,
+        sink: &mut dyn TelemetrySink,
+    ) {
         let n = self.inputs.len();
         let m = self.cfg.vcs_per_pc() as usize;
         self.diag.0 += 1;
+        if now.get().is_multiple_of(OCCUPANCY_SAMPLE_PERIOD) {
+            self.counters.occupancy_samples += 1;
+            for (p, ip) in self.inputs.iter().enumerate() {
+                let buffered: usize = ip.vcs.iter().map(|vc| vc.buf.len()).sum();
+                self.counters.ports[p].occupancy_flits += buffered as u64;
+            }
+        }
         match self.cfg.crossbar_kind() {
             CrossbarKind::Multiplexed => {
                 let mut eligible = std::mem::take(&mut self.xbar_mask);
                 for p in 0..n {
-                    let mut any = false;
+                    let mut n_eligible = 0u64;
                     for (v, e) in eligible.iter_mut().enumerate() {
                         *e = self.xbar_eligible(p, v, now);
-                        any |= *e;
+                        n_eligible += u64::from(*e);
                     }
+                    // Every eligible VC beyond the one served loses this
+                    // cycle to the input multiplexer: a mux conflict.
+                    self.counters.ports[p].mux_conflicts += n_eligible.saturating_sub(1);
                     if let Some(v) = self.inputs[p].sched.choose(&eligible) {
-                        self.xbar_move(p, v, now, credits);
-                    } else if any {
+                        self.xbar_move(p, v, now, credits, sink);
+                    } else if n_eligible > 0 {
                         self.diag.1 += 1;
                     } else {
                         self.diag.2 += 1;
@@ -434,7 +510,7 @@ impl Router {
                 for p in 0..n {
                     for v in 0..m {
                         if self.xbar_eligible(p, v, now) {
-                            self.xbar_move(p, v, now, credits);
+                            self.xbar_move(p, v, now, credits, sink);
                         }
                     }
                 }
@@ -455,13 +531,17 @@ impl Router {
     pub fn output_stage(&mut self, now: Cycles, departures: &mut Vec<Departure>) {
         let mut eligible = std::mem::take(&mut self.out_mask);
         for (p, out) in self.outputs.iter_mut().enumerate() {
+            let pc = &mut self.counters.ports[p];
             for (v, e) in eligible.iter_mut().enumerate() {
                 let ovc = &out.vcs[v];
-                *e = ovc
+                let staged = ovc
                     .buf
                     .front()
-                    .is_some_and(|(at, _)| now >= *at + Cycles(1))
-                    && ovc.credits > 0;
+                    .is_some_and(|(at, _)| now >= *at + Cycles(1));
+                *e = staged && ovc.credits > 0;
+                // A staged head that only lacks a credit is stalled by
+                // downstream flow control — the per-VC backpressure signal.
+                pc.credit_stalls[v] += u64::from(staged && ovc.credits == 0);
             }
             let Some(v) = out.sched.choose(&eligible) else {
                 continue;
@@ -469,6 +549,11 @@ impl Router {
             let (_, flit) = out.vcs[v].buf.pop_front().expect("eligible VC has a flit");
             out.sched.on_service(v);
             out.vcs[v].credits -= 1;
+            if flit.class.is_real_time() {
+                pc.rt_flits += 1;
+            } else {
+                pc.be_flits += 1;
+            }
             departures.push(Departure {
                 port: PortId(p as u32),
                 flit,
@@ -594,9 +679,14 @@ mod tests {
     fn drive(router: &mut Router, now: Cycles) -> (Vec<CreditReturn>, Vec<Departure>) {
         // Route straight to the port matching the destination id.
         const PORTS: [PortId; 4] = [PortId(0), PortId(1), PortId(2), PortId(3)];
-        router.arbitrate(now, |f| std::slice::from_ref(&PORTS[f.dest.index()]));
+        let mut sink = netsim::telemetry::NoopSink;
+        router.arbitrate(
+            now,
+            |f| std::slice::from_ref(&PORTS[f.dest.index()]),
+            &mut sink,
+        );
         let mut credits = Vec::new();
-        router.crossbar(now, &mut credits);
+        router.crossbar(now, &mut credits, &mut sink);
         let mut departs = Vec::new();
         router.output_stage(now, &mut departs);
         (credits, departs)
@@ -930,11 +1020,16 @@ mod tests {
             r.receive_flit(Cycles(0), PortId(0), f);
         }
         let mut per_cycle_max = 0usize;
+        let mut sink = netsim::telemetry::NoopSink;
         for t in 0..40u64 {
             const PORTS: [PortId; 4] = [PortId(0), PortId(1), PortId(2), PortId(3)];
-            r.arbitrate(Cycles(t), |f| std::slice::from_ref(&PORTS[f.dest.index()]));
+            r.arbitrate(
+                Cycles(t),
+                |f| std::slice::from_ref(&PORTS[f.dest.index()]),
+                &mut sink,
+            );
             let mut credits = Vec::new();
-            r.crossbar(Cycles(t), &mut credits);
+            r.crossbar(Cycles(t), &mut credits, &mut sink);
             per_cycle_max = per_cycle_max.max(credits.len());
             let mut departs = Vec::new();
             r.output_stage(Cycles(t), &mut departs);
@@ -954,11 +1049,16 @@ mod tests {
         for f in msg_flits(2, 10, 2, 1, 100.0) {
             r.receive_flit(Cycles(0), PortId(0), f);
         }
+        let mut sink = netsim::telemetry::NoopSink;
         for t in 0..60u64 {
             const PORTS: [PortId; 4] = [PortId(0), PortId(1), PortId(2), PortId(3)];
-            r.arbitrate(Cycles(t), |f| std::slice::from_ref(&PORTS[f.dest.index()]));
+            r.arbitrate(
+                Cycles(t),
+                |f| std::slice::from_ref(&PORTS[f.dest.index()]),
+                &mut sink,
+            );
             let mut credits = Vec::new();
-            r.crossbar(Cycles(t), &mut credits);
+            r.crossbar(Cycles(t), &mut credits, &mut sink);
             assert!(
                 credits.len() <= 1,
                 "muxed crossbar: one flit per input port"
@@ -980,11 +1080,12 @@ mod tests {
             r.receive_flit(Cycles(0), PortId(1), f);
         }
         let mut used_ports = std::collections::HashSet::new();
+        let mut sink = netsim::telemetry::NoopSink;
         for t in 0..100u64 {
             const FAT: [PortId; 2] = [PortId(2), PortId(3)];
-            r.arbitrate(Cycles(t), |_| &FAT[..]);
+            r.arbitrate(Cycles(t), |_| &FAT[..], &mut sink);
             let mut credits = Vec::new();
-            r.crossbar(Cycles(t), &mut credits);
+            r.crossbar(Cycles(t), &mut credits, &mut sink);
             let mut departs = Vec::new();
             r.output_stage(Cycles(t), &mut departs);
             for d in departs {
@@ -995,5 +1096,108 @@ mod tests {
         // the multiplexed crossbar holds an output per message, so the
         // second message is steered to the free parallel link.
         assert_eq!(used_ports.len(), 2, "used {used_ports:?}");
+    }
+
+    #[test]
+    fn counters_track_forwarded_flits_and_mux_conflicts() {
+        let mut r = new_router(&cfg());
+        // Two worms on the same input port, different VCs: the input mux
+        // serves one flit per cycle, so the other VC loses — a conflict.
+        for f in msg_flits(1, 10, 1, 0, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        for f in msg_flits(2, 10, 2, 1, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        for t in 0..80u64 {
+            drive(&mut r, Cycles(t));
+        }
+        let totals = r.counters().totals();
+        assert_eq!(totals.rt_flits, 20, "all 20 VBR flits forwarded");
+        assert_eq!(totals.be_flits, 0);
+        assert!(
+            r.counters().ports[0].mux_conflicts > 0,
+            "competing VCs on port 0 must register conflicts"
+        );
+        // Cycle 0 is a sampling cycle and the buffers held flits then.
+        assert!(totals.occupancy_samples > 0);
+        assert!(totals.occupancy_flits > 0);
+    }
+
+    #[test]
+    fn counters_record_credit_stall_cycles() {
+        let c = cfg();
+        let mut r = Router::new(
+            RouterId(0),
+            4,
+            &c,
+            VcPartition::all_real_time(c.vcs_per_pc()),
+        );
+        // Only 2 credits: the worm's remaining flits stall at the output.
+        r.init_credits(PortId(2), VcId(0), 2);
+        for f in msg_flits(1, 5, 2, 0, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        for t in 0..40u64 {
+            drive(&mut r, Cycles(t));
+        }
+        let stalls = r.counters().ports[2].credit_stalls[0];
+        assert!(stalls > 10, "starved output VC must count stalls: {stalls}");
+        assert_eq!(r.counters().totals().credit_stall_cycles, stalls);
+    }
+
+    #[test]
+    fn tracing_emits_route_and_arbitrate_events() {
+        use netsim::telemetry::{JsonlSink, TelemetrySink as _};
+        let mut r = new_router(&cfg());
+        r.set_tracing(true);
+        let mut sink = JsonlSink::new();
+        for f in msg_flits(1, 3, 2, 0, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        const PORTS: [PortId; 4] = [PortId(0), PortId(1), PortId(2), PortId(3)];
+        for t in 0..30u64 {
+            let now = Cycles(t);
+            r.arbitrate(
+                now,
+                |f| std::slice::from_ref(&PORTS[f.dest.index()]),
+                &mut sink,
+            );
+            let mut credits = Vec::new();
+            r.crossbar(now, &mut credits, &mut sink);
+            let mut departs = Vec::new();
+            r.output_stage(now, &mut departs);
+        }
+        assert!(sink.is_enabled());
+        let text = String::from_utf8(sink.into_bytes()).expect("utf8");
+        // One route grant for the message, one arbitrate event per flit.
+        assert_eq!(text.matches("\"event\":\"route\"").count(), 1);
+        assert_eq!(text.matches("\"event\":\"arbitrate\"").count(), 3);
+        assert!(text.contains("\"router\":0"));
+    }
+
+    #[test]
+    fn disabled_tracing_emits_nothing() {
+        use netsim::telemetry::JsonlSink;
+        let mut r = new_router(&cfg());
+        // Tracing defaults to off even with an enabled sink wired in.
+        let mut sink = JsonlSink::new();
+        for f in msg_flits(1, 3, 2, 0, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        const PORTS: [PortId; 4] = [PortId(0), PortId(1), PortId(2), PortId(3)];
+        for t in 0..30u64 {
+            let now = Cycles(t);
+            r.arbitrate(
+                now,
+                |f| std::slice::from_ref(&PORTS[f.dest.index()]),
+                &mut sink,
+            );
+            let mut credits = Vec::new();
+            r.crossbar(now, &mut credits, &mut sink);
+            let mut departs = Vec::new();
+            r.output_stage(now, &mut departs);
+        }
+        assert_eq!(sink.events(), 0);
     }
 }

@@ -18,7 +18,7 @@
 
 use std::collections::VecDeque;
 
-use flitnet::Flit;
+use flitnet::{Flit, StreamId};
 use netsim::Cycles;
 
 use crate::config::SchedulerKind;
@@ -33,6 +33,9 @@ struct VcState {
     /// The Vtick of the message currently using this VC (set by its head
     /// flit, discarded — i.e. simply overwritten — after the tail).
     vtick: f64,
+    /// The stream (connection) the VC currently serves. `auxVC` is a
+    /// per-connection register, so it is reset when this changes.
+    stream: Option<StreamId>,
 }
 
 /// A scheduler for one multiplexing point with a fixed number of VCs.
@@ -102,6 +105,13 @@ impl MuxScheduler {
         let state = &mut self.vcs[vc];
         if flit.kind.is_head() {
             state.vtick = flit.vtick;
+            // Zhang's auxVC is a per-connection register. When the VC is
+            // recycled to a different stream, the new connection must not
+            // inherit (and be penalized by) the old connection's clock.
+            if state.stream != Some(flit.stream) {
+                state.aux_vc = 0.0;
+                state.stream = Some(flit.stream);
+            }
         }
         let stamp = match self.kind {
             SchedulerKind::VirtualClock => {
@@ -133,17 +143,22 @@ impl MuxScheduler {
         );
         match self.kind {
             SchedulerKind::VirtualClock | SchedulerKind::Fifo => {
+                // Scan from the VC after the last one served so that exact
+                // stamp ties rotate across VCs instead of pinning to the
+                // lowest index (which starves high-index VCs under
+                // saturation). Strict < keeps the first VC in scan order on
+                // a tie, so the result is still fully deterministic.
+                let n = self.vcs.len();
                 let mut best: Option<(f64, usize)> = None;
-                for (vc, &ok) in eligible.iter().enumerate() {
-                    if !ok {
+                for off in 1..=n {
+                    let vc = (self.rr_cursor + off) % n;
+                    if !eligible[vc] {
                         continue;
                     }
                     let stamp = *self.vcs[vc]
                         .stamps
                         .front()
                         .expect("eligible VC must have a queued flit");
-                    // Strict < keeps ties at the lowest VC index: stable,
-                    // deterministic behaviour.
                     if best.is_none_or(|(s, _)| stamp < s) {
                         best = Some((stamp, vc));
                     }
@@ -362,6 +377,70 @@ mod tests {
             s.on_service(vc);
         }
         assert_eq!(s.pending(0), 0);
+    }
+
+    #[test]
+    fn equal_stamps_share_service_across_vcs() {
+        // Regression: equal stamps used to always pick the lowest VC
+        // index, starving high-index VCs under saturation. Ties now
+        // rotate (deterministically) via the service cursor.
+        let mut s = MuxScheduler::new(SchedulerKind::Fifo, 4);
+        for vc in 0..4 {
+            for _ in 0..100 {
+                // All flits arrive on the same cycle → all stamps equal.
+                s.on_arrival(vc, Cycles(0), &flit(FlitKind::Body, 1.0));
+            }
+        }
+        let mut served = [0u32; 4];
+        for _ in 0..200 {
+            let vc = s.choose(&[true, true, true, true]).unwrap();
+            served[vc] += 1;
+            s.on_service(vc);
+        }
+        assert_eq!(served, [50, 50, 50, 50], "equal-stamp VCs must share");
+    }
+
+    #[test]
+    fn aux_vc_resets_when_vc_recycled_to_new_stream() {
+        let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 2);
+        // Stream A: slow (Vtick 1000) uses VC 0 and finishes.
+        let mut a = flit(FlitKind::HeadTail, 1000.0);
+        a.stream = StreamId(1);
+        s.on_arrival(0, Cycles(0), &a); // auxVC(0) = 1000
+        let vc = s.choose(&[true, false]).unwrap();
+        s.on_service(vc);
+        // VC 0 is recycled to stream B (Vtick 10) at cycle 100 while a
+        // fresh stream C (Vtick 50) starts on VC 1 at the same cycle.
+        let mut b = flit(FlitKind::Head, 10.0);
+        b.stream = StreamId(2);
+        s.on_arrival(0, Cycles(100), &b); // reset → stamp 100 + 10 = 110
+        let mut c = flit(FlitKind::Head, 50.0);
+        c.stream = StreamId(3);
+        s.on_arrival(1, Cycles(100), &c); // stamp 100 + 50 = 150
+                                          // Without the reset B would inherit A's clock (stamp 1010) and
+                                          // lose to C despite being the faster stream on a clean VC.
+        assert_eq!(s.choose(&[true, true]), Some(0));
+    }
+
+    #[test]
+    fn aux_vc_accumulates_within_one_stream() {
+        let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 2);
+        // Two back-to-back messages of the SAME stream on VC 0: the
+        // second head must keep the connection clock (no reset).
+        let mut a1 = flit(FlitKind::HeadTail, 100.0);
+        a1.stream = StreamId(1);
+        s.on_arrival(0, Cycles(0), &a1); // auxVC = 100
+        let mut a2 = flit(FlitKind::HeadTail, 100.0);
+        a2.stream = StreamId(1);
+        s.on_arrival(0, Cycles(0), &a2); // auxVC = 200 (accumulated)
+        let mut b = flit(FlitKind::Head, 150.0);
+        b.stream = StreamId(2);
+        s.on_arrival(1, Cycles(0), &b); // stamp 150
+        let first = s.choose(&[true, true]).unwrap();
+        assert_eq!(first, 0, "a1 (stamp 100) goes first");
+        s.on_service(first);
+        // b (150) must beat a2 (200): the stream kept its clock.
+        assert_eq!(s.choose(&[true, true]), Some(1));
     }
 
     #[test]

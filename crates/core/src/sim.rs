@@ -5,10 +5,12 @@
 //! [`SimOutcome`].
 
 use metrics::JitterSummary;
+use netsim::telemetry::{JsonlSink, NoopSink, TelemetrySink};
 use topo::Topology;
 use traffic::Workload;
 
 use crate::config::RouterConfig;
+use crate::counters::NetCounters;
 use crate::net::Network;
 
 /// The condensed result of one simulation run.
@@ -31,6 +33,20 @@ pub struct SimOutcome {
     pub injected_msgs: u64,
     /// Messages delivered over the whole run.
     pub delivered_msgs: u64,
+    /// Simulated cycles the run covered (warm-up + measurement).
+    pub cycles: u64,
+    /// Router telemetry counter totals over the whole run.
+    pub counters: NetCounters,
+}
+
+impl SimOutcome {
+    /// Mean best-effort latency in microseconds, `None` when the workload
+    /// had no best-effort component (avoids NaN in serialized output).
+    pub fn be_mean_latency_us_opt(&self) -> Option<f64> {
+        self.be_mean_latency_us
+            .is_finite()
+            .then_some(self.be_mean_latency_us)
+    }
 }
 
 impl SimOutcome {
@@ -74,6 +90,51 @@ pub fn run(
     warmup_secs: f64,
     measure_secs: f64,
 ) -> SimOutcome {
+    run_with(
+        topology,
+        workload,
+        cfg,
+        warmup_secs,
+        measure_secs,
+        &mut NoopSink,
+    )
+}
+
+/// Like [`run`], but additionally records a JSONL flit-event trace
+/// (inject/route/arbitrate/deliver) and returns its bytes alongside the
+/// outcome.
+///
+/// The trace is buffered in memory; keep traced runs short (a few
+/// simulated milliseconds) — every flit movement through a crossbar is an
+/// event.
+pub fn run_traced(
+    topology: &Topology,
+    workload: Workload,
+    cfg: &RouterConfig,
+    warmup_secs: f64,
+    measure_secs: f64,
+) -> (SimOutcome, Vec<u8>) {
+    let mut sink = JsonlSink::new();
+    let outcome = run_with(
+        topology,
+        workload,
+        cfg,
+        warmup_secs,
+        measure_secs,
+        &mut sink,
+    );
+    (outcome, sink.into_bytes())
+}
+
+/// Shared body of [`run`] and [`run_traced`].
+fn run_with(
+    topology: &Topology,
+    workload: Workload,
+    cfg: &RouterConfig,
+    warmup_secs: f64,
+    measure_secs: f64,
+    sink: &mut dyn TelemetrySink,
+) -> SimOutcome {
     assert!(warmup_secs > 0.0, "warm-up must be positive");
     assert!(measure_secs > 0.0, "measurement window must be positive");
     let (rt_load, be_load) = workload.realized_load();
@@ -83,7 +144,7 @@ pub fn run(
     let warmup = tb.cycles_from_secs(warmup_secs);
     let end = tb.cycles_from_secs(warmup_secs + measure_secs);
     net.set_warmup_end(warmup);
-    net.run_until(end);
+    net.run_until_with(end, sink);
     SimOutcome {
         jitter: net.delivery().summary(),
         be_mean_latency_us: net.latency().mean_us(),
@@ -93,6 +154,8 @@ pub fn run(
         oversubscribed,
         injected_msgs: net.injected_msgs(),
         delivered_msgs: net.delivered_msgs(),
+        cycles: end.get(),
+        counters: net.counters(),
     }
 }
 
@@ -147,6 +210,34 @@ mod tests {
             out.jitter.mean_ms,
             out.jitter.std_ms
         );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_numbers() {
+        let topology = Topology::single_switch(8);
+        let cfg = RouterConfig::default();
+        let plain = run(&topology, workload(0.4, 100.0, 0.0, 5), &cfg, 0.01, 0.02);
+        let (traced, trace) = run_traced(&topology, workload(0.4, 100.0, 0.0, 5), &cfg, 0.01, 0.02);
+        assert_eq!(plain.delivered_msgs, traced.delivered_msgs);
+        assert_eq!(plain.counters, traced.counters);
+        assert_eq!(plain.cycles, traced.cycles);
+        assert!(!trace.is_empty(), "traced run must produce events");
+        assert!(trace.ends_with(b"\n"), "JSONL trace ends with newline");
+    }
+
+    #[test]
+    fn outcome_carries_counters_and_cycles() {
+        let out = run(
+            &Topology::single_switch(8),
+            workload(0.5, 80.0, 20.0, 6),
+            &RouterConfig::default(),
+            0.01,
+            0.02,
+        );
+        assert!(out.cycles > 0);
+        assert!(out.counters.rt_flits > 0);
+        assert!(out.counters.be_flits > 0);
+        assert_eq!(out.be_mean_latency_us_opt(), Some(out.be_mean_latency_us));
     }
 
     #[test]

@@ -29,6 +29,42 @@ impl JitterSummary {
     pub fn is_jitter_free(&self, source_interval_ms: f64, tol_ms: f64) -> bool {
         (self.mean_ms - source_interval_ms).abs() <= tol_ms && self.std_ms <= tol_ms
     }
+
+    /// Whether no interval was measured (all statistics undefined).
+    pub fn is_empty(&self) -> bool {
+        self.intervals == 0
+    }
+
+    /// Mean interval, `None` when undefined (no intervals measured).
+    pub fn mean_ms_opt(&self) -> Option<f64> {
+        finite(self.mean_ms)
+    }
+
+    /// Interval standard deviation, `None` when undefined (fewer than two
+    /// intervals — unlike the raw `std_ms`, which reports a lone interval
+    /// as `0.0` for the tables).
+    pub fn std_ms_opt(&self) -> Option<f64> {
+        if self.intervals < 2 {
+            return None;
+        }
+        finite(self.std_ms)
+    }
+
+    /// Largest interval, `None` when undefined.
+    pub fn max_ms_opt(&self) -> Option<f64> {
+        finite(self.max_ms)
+    }
+
+    /// 99th-percentile interval, `None` when undefined.
+    pub fn p99_ms_opt(&self) -> Option<f64> {
+        finite(self.p99_ms)
+    }
+}
+
+/// `Some(x)` only for finite values: empty-tracker NaN and the ±∞ that
+/// seed min/max registers both map to `None`.
+fn finite(x: f64) -> Option<f64> {
+    x.is_finite().then_some(x)
 }
 
 /// Records frame-completion times per stream and accumulates the
@@ -260,6 +296,31 @@ mod tests {
         let t = DeliveryTracker::new(tb());
         assert!(t.summary().p99_ms.is_nan());
         assert!(t.worst_stream().is_none());
+    }
+
+    #[test]
+    fn empty_summary_opt_accessors_are_none() {
+        let s = DeliveryTracker::new(tb()).summary();
+        assert!(s.is_empty());
+        assert_eq!(s.mean_ms_opt(), None);
+        assert_eq!(s.std_ms_opt(), None);
+        assert_eq!(s.max_ms_opt(), None);
+        assert_eq!(s.p99_ms_opt(), None);
+    }
+
+    #[test]
+    fn populated_summary_opt_accessors_match_raw() {
+        let mut t = DeliveryTracker::new(tb());
+        let frame = tb().cycles_from_ms(33.0).get();
+        for k in 0..10u64 {
+            t.record_frame(StreamId(0), Cycles(k * frame));
+        }
+        let s = t.summary();
+        assert!(!s.is_empty());
+        assert_eq!(s.mean_ms_opt(), Some(s.mean_ms));
+        assert_eq!(s.std_ms_opt(), Some(s.std_ms));
+        assert_eq!(s.max_ms_opt(), Some(s.max_ms));
+        assert_eq!(s.p99_ms_opt(), Some(s.p99_ms));
     }
 
     #[test]

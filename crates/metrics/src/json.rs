@@ -1,0 +1,197 @@
+//! A minimal JSON document builder for machine-readable reports.
+//!
+//! The workspace is fully offline (no serde), so the bench harness builds
+//! its `BENCH_<name>.json` files from this hand-rolled tree. Two rules
+//! keep the output well-formed and deterministic:
+//!
+//! * **No NaN/Infinity ever**: [`Json::num`] maps non-finite floats to
+//!   `null` (JSON has no NaN literal), so empty trackers can never poison
+//!   a report.
+//! * **Insertion order is preserved**: objects are ordered vectors, not
+//!   hash maps, so the same inputs always serialize to the same bytes.
+//!
+//! # Example
+//!
+//! ```
+//! use metrics::Json;
+//!
+//! let doc = Json::obj([
+//!     ("name", Json::str("fig5")),
+//!     ("mean_us", Json::num(42.5)),
+//!     ("empty", Json::num(f64::NAN)), // → null
+//! ]);
+//! assert_eq!(doc.to_string(), r#"{"name":"fig5","mean_us":42.5,"empty":null}"#);
+//! ```
+
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// An unsigned integer (counters can exceed `i64`).
+    Uint(u64),
+    /// A finite float. Use [`Json::num`] to construct safely.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A float value, mapping NaN/±Infinity to `null`.
+    pub fn num(x: f64) -> Json {
+        if x.is_finite() {
+            Json::Num(x)
+        } else {
+            Json::Null
+        }
+    }
+
+    /// An optional float: `None` and non-finite both become `null`.
+    pub fn opt_num(x: Option<f64>) -> Json {
+        match x {
+            Some(v) => Json::num(v),
+            None => Json::Null,
+        }
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Appends a key/value pair (panics if `self` is not an object).
+    pub fn push(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.into(), value)),
+            _ => panic!("Json::push on a non-object"),
+        }
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::Uint(u) => write!(f, "{u}"),
+            Json::Num(x) => {
+                debug_assert!(x.is_finite(), "Json::Num must be finite; use Json::num");
+                if x.is_finite() {
+                    // `{}` on f64 always produces a valid JSON number
+                    // (e.g. "42.5", "1e300"), never "inf"/"NaN" for
+                    // finite inputs.
+                    write!(f, "{x}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => escape(s, f),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Int(-3).to_string(), "-3");
+        assert_eq!(Json::Uint(u64::MAX).to_string(), "18446744073709551615");
+        assert_eq!(Json::num(2.5).to_string(), "2.5");
+        assert_eq!(Json::str("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::num(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::num(f64::NEG_INFINITY).to_string(), "null");
+        assert_eq!(Json::opt_num(None).to_string(), "null");
+        assert_eq!(Json::opt_num(Some(f64::NAN)).to_string(), "null");
+        assert_eq!(Json::opt_num(Some(1.0)).to_string(), "1");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::str("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let mut doc = Json::obj([("z", Json::Int(1))]);
+        doc.push("a", Json::Int(2));
+        assert_eq!(doc.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let doc = Json::arr([
+            Json::obj([("k", Json::Null)]),
+            Json::arr([Json::Int(1), Json::Int(2)]),
+        ]);
+        assert_eq!(doc.to_string(), r#"[{"k":null},[1,2]]"#);
+    }
+}

@@ -16,9 +16,11 @@
 #![warn(missing_docs)]
 
 pub mod delivery;
+pub mod json;
 pub mod latency;
 pub mod report;
 
 pub use delivery::{DeliveryTracker, JitterSummary};
+pub use json::Json;
 pub use latency::LatencyTracker;
 pub use report::Table;

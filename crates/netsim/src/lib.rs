@@ -16,6 +16,8 @@
 //!   of `rand` alone.
 //! * [`stats`] — online mean/variance (Welford), histograms and percentile
 //!   helpers used to compute the paper's d̄ / σ_d metrics.
+//! * [`telemetry`] — the [`TelemetrySink`] trait plus the no-op and JSONL
+//!   sinks that the simulators feed flit lifecycle events into.
 //!
 //! # Example
 //!
@@ -42,9 +44,11 @@ pub mod calendar;
 pub mod dist;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use calendar::Calendar;
 pub use rng::SimRng;
 pub use stats::{Histogram, RunningStats};
+pub use telemetry::{FlitEvent, FlitEventKind, JsonlSink, NoopSink, TelemetrySink};
 pub use time::{Cycles, TimeBase};

@@ -42,5 +42,5 @@ pub mod netmodel;
 pub mod sim;
 
 pub use config::PcsConfig;
-pub use netmodel::PcsNetwork;
+pub use netmodel::{PcsCounters, PcsNetwork};
 pub use sim::{run, PcsOutcome};

@@ -17,17 +17,44 @@
 use std::collections::{HashMap, VecDeque};
 
 use flitnet::{Flit, NodeId, VcId};
+use mediaworm::counters::OCCUPANCY_SAMPLE_PERIOD;
 use mediaworm::{MuxScheduler, SchedulerKind};
 use metrics::DeliveryTracker;
 use netsim::{Cycles, TimeBase};
 
 use crate::config::PcsConfig;
 
+/// Telemetry counters of a [`PcsNetwork`], mirroring the MediaWorm
+/// router's counters where PCS has an analogous resource (PCS has no
+/// credits, so there is no credit-stall counter).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcsCounters {
+    /// Flits transmitted by the link multiplexers (input + output side).
+    pub flits_forwarded: u64,
+    /// Link-mux conflicts: one per eligible circuit VC that lost its
+    /// transmission cycle.
+    pub mux_conflicts: u64,
+    /// Occupancy sampling events taken.
+    pub occupancy_samples: u64,
+    /// Summed sampled queue occupancy (flits) over all links.
+    pub occupancy_flits: u64,
+}
+
+impl PcsCounters {
+    /// Mean sampled queue occupancy in flits, `None` without samples.
+    pub fn mean_occupancy(&self) -> Option<f64> {
+        (self.occupancy_samples > 0)
+            .then(|| self.occupancy_flits as f64 / self.occupancy_samples as f64)
+    }
+}
+
 /// One physical link shared by up to `vcs` circuits.
 #[derive(Debug)]
 struct LinkMux {
     queues: Vec<VecDeque<Flit>>,
     sched: MuxScheduler,
+    forwarded: u64,
+    conflicts: u64,
 }
 
 impl LinkMux {
@@ -35,6 +62,8 @@ impl LinkMux {
         LinkMux {
             queues: (0..vcs).map(|_| VecDeque::new()).collect(),
             sched: MuxScheduler::new(SchedulerKind::VirtualClock, vcs),
+            forwarded: 0,
+            conflicts: 0,
         }
     }
 
@@ -44,18 +73,24 @@ impl LinkMux {
     }
 
     fn transmit(&mut self, scratch: &mut [bool]) -> Option<Flit> {
-        let mut any = false;
+        let mut n_eligible = 0u64;
         for (v, e) in scratch.iter_mut().enumerate() {
             *e = !self.queues[v].is_empty();
-            any |= *e;
+            n_eligible += u64::from(*e);
         }
-        if !any {
+        if n_eligible == 0 {
             return None;
         }
         let v = self.sched.choose(scratch)?;
         let flit = self.queues[v].pop_front().expect("eligible VC has a flit");
         self.sched.on_service(v);
+        self.forwarded += 1;
+        self.conflicts += n_eligible - 1;
         Some(flit)
+    }
+
+    fn occupancy(&self) -> u64 {
+        self.queues.iter().map(|q| q.len() as u64).sum()
     }
 
     fn is_empty(&self) -> bool {
@@ -82,6 +117,10 @@ pub struct PcsNetwork {
     flits_in_flight: u64,
     delivered_msgs: u64,
     scratch: Vec<bool>,
+    /// Occupancy sampling events taken so far.
+    occupancy_samples: u64,
+    /// Summed sampled queue occupancy across all links.
+    occupancy_flits: u64,
     /// Whether each input/output link transmitted a data flit on the most
     /// recent cycle — a probe arriving then is blocked and nacked (§3.5:
     /// deterministic routing, no backtracking).
@@ -106,6 +145,8 @@ impl PcsNetwork {
             flits_in_flight: 0,
             delivered_msgs: 0,
             scratch: vec![false; vcs],
+            occupancy_samples: 0,
+            occupancy_flits: 0,
             in_busy: vec![false; cfg.nodes],
             out_busy: vec![false; cfg.nodes],
         }
@@ -158,6 +199,15 @@ impl PcsNetwork {
 
     /// Advances the model by one cycle.
     pub fn step(&mut self, now: Cycles) {
+        if now.get().is_multiple_of(OCCUPANCY_SAMPLE_PERIOD) {
+            self.occupancy_samples += 1;
+            self.occupancy_flits += self
+                .input_links
+                .iter()
+                .chain(&self.output_links)
+                .map(LinkMux::occupancy)
+                .sum::<u64>();
+        }
         // Pipe exits → output link queues.
         while self.pipe.front().is_some_and(|(at, _, _)| *at <= now) {
             let (_, dest, flit) = self.pipe.pop_front().expect("peeked");
@@ -226,6 +276,20 @@ impl PcsNetwork {
     /// Discards measurements before `at`.
     pub fn set_warmup_end(&mut self, at: Cycles) {
         self.delivery.set_warmup_end(at);
+    }
+
+    /// Telemetry counter totals summed over every link multiplexer.
+    pub fn counters(&self) -> PcsCounters {
+        let mut c = PcsCounters {
+            occupancy_samples: self.occupancy_samples,
+            occupancy_flits: self.occupancy_flits,
+            ..PcsCounters::default()
+        };
+        for l in self.input_links.iter().chain(&self.output_links) {
+            c.flits_forwarded += l.forwarded;
+            c.mux_conflicts += l.conflicts;
+        }
+        c
     }
 }
 
@@ -321,6 +385,41 @@ mod tests {
         }
         assert_eq!(done.len(), 2);
         assert!(done[1] - done[0] <= 3, "finish times {done:?}");
+    }
+
+    #[test]
+    fn counters_track_forwarding_and_conflicts() {
+        let mut net = network();
+        let (i1, o1) = net.try_establish(NodeId(0), NodeId(1)).unwrap();
+        let (i2, o2) = net.try_establish(NodeId(0), NodeId(1)).unwrap();
+        for f in msg(0, 1, 1, i1.get(), o1.get(), 50) {
+            net.inject(Cycles(0), NodeId(0), f);
+        }
+        for f in msg(1, 2, 1, i2.get(), o2.get(), 50) {
+            net.inject(Cycles(0), NodeId(0), f);
+        }
+        for t in 0..400u64 {
+            net.step(Cycles(t));
+        }
+        let c = net.counters();
+        // Every flit crosses one input link and one output link.
+        assert_eq!(c.flits_forwarded, 200);
+        // Two circuits competed on the shared input link the whole time
+        // (the output link drains as fast as it fills, so it rarely has
+        // two backlogged VCs at once).
+        assert!(c.mux_conflicts >= 90, "conflicts {}", c.mux_conflicts);
+        // Cycle 0 is a sampling cycle and the queues held 100 flits then.
+        assert!(c.occupancy_samples >= 1);
+        assert_eq!(c.mean_occupancy().map(|m| m > 0.0), Some(true));
+    }
+
+    #[test]
+    fn idle_network_counters_are_empty() {
+        let net = network();
+        let c = net.counters();
+        assert_eq!(c.flits_forwarded, 0);
+        assert_eq!(c.mux_conflicts, 0);
+        assert_eq!(c.mean_occupancy(), None);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use netsim::{Calendar, Cycles, SimRng};
 use traffic::{RealTimeStream, StreamClass};
 
 use crate::config::PcsConfig;
-use crate::netmodel::PcsNetwork;
+use crate::netmodel::{PcsCounters, PcsNetwork};
 
 /// Result of one PCS run.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +31,10 @@ pub struct PcsOutcome {
     pub dropped: u64,
     /// Streams offered (distinct connections sought).
     pub offered: u64,
+    /// Simulated cycles the run covered (warm-up + measurement).
+    pub cycles: u64,
+    /// Link-multiplexer telemetry counters over the whole run.
+    pub counters: PcsCounters,
 }
 
 /// A stream waiting to connect or connected.
@@ -166,6 +170,8 @@ pub fn run(
         established,
         dropped: attempts - established,
         offered,
+        cycles: end.get(),
+        counters: net.counters(),
     }
 }
 
@@ -175,7 +181,7 @@ mod tests {
 
     #[test]
     fn low_load_eventually_establishes_everything() {
-        let out = run(0.4, &PcsConfig::paper_default(), 0.05, 0.1, 1);
+        let out = run(0.4, &PcsConfig::paper_default(), 0.05, 0.3, 1);
         // 0.4 × 25 = 10 streams per node, well under 24 VCs both sides:
         // every stream connects eventually, but probes that meet in-flight
         // data are nacked first (Table 3 shows drops at every load).
@@ -223,5 +229,13 @@ mod tests {
         let out = run(0.7, &PcsConfig::paper_default(), 0.05, 0.1, 5);
         assert_eq!(out.attempts, out.established + out.dropped);
         assert!(out.established <= out.offered);
+    }
+
+    #[test]
+    fn outcome_carries_counters_and_cycles() {
+        let out = run(0.5, &PcsConfig::paper_default(), 0.05, 0.1, 6);
+        assert!(out.cycles > 0);
+        assert!(out.counters.flits_forwarded > 0);
+        assert!(out.counters.mean_occupancy().is_some());
     }
 }

@@ -223,16 +223,28 @@ proptest! {
         }
     }
 
-    /// FIFO ties (equal stamps) resolve to the lowest VC index,
-    /// deterministically.
+    /// FIFO ties (equal stamps) rotate deterministically through the VCs:
+    /// serving a tied winner moves the tie-break cursor past it, so every
+    /// VC is visited exactly once per round instead of pinning to the
+    /// lowest index.
     #[test]
     fn fifo_tie_break_is_deterministic(n_vcs in 2usize..8) {
         let mut s = MuxScheduler::new(SchedulerKind::Fifo, n_vcs);
         for vc in 0..n_vcs {
+            // Two tied flits per VC so every VC stays eligible for a full
+            // rotation.
+            s.on_arrival(vc, Cycles(7), &flit(FlitKind::HeadTail, 1.0, vc as u32));
             s.on_arrival(vc, Cycles(7), &flit(FlitKind::HeadTail, 1.0, vc as u32));
         }
-        let eligible = vec![true; n_vcs];
-        prop_assert_eq!(s.choose(&eligible), Some(0));
+        let mut eligible = vec![true; n_vcs];
+        for round in 0..2 * n_vcs {
+            for (vc, e) in eligible.iter_mut().enumerate() {
+                *e = s.pending(vc) > 0;
+            }
+            let pick = s.choose(&eligible);
+            prop_assert_eq!(pick, Some((round + 1) % n_vcs));
+            s.on_service(pick.unwrap());
+        }
     }
 
     /// Stream workloads conserve frame bytes: the flits of each frame's
