@@ -107,6 +107,11 @@ fn point_json(labels: &[(&str, &str)], out: &SimOutcome) -> Json {
     o.push("injected_msgs", Json::Uint(out.injected_msgs));
     o.push("delivered_msgs", Json::Uint(out.delivered_msgs));
     o.push("counters", out.counters.to_json());
+    o.push("audit_violations", Json::Uint(out.audit_violations));
+    o.push(
+        "stall",
+        out.stall.as_ref().map_or(Json::Null, |s| s.to_json()),
+    );
     o
 }
 
@@ -129,6 +134,16 @@ fn pcs_json(labels: &[(&str, &str)], out: &PcsOutcome) -> Json {
                 Json::opt_num(out.counters.mean_occupancy()),
             ),
         ]),
+    );
+    o.push(
+        "stall",
+        out.stall.map_or(Json::Null, |s| {
+            Json::obj([
+                ("cycle", Json::Uint(s.cycle)),
+                ("stalled_for", Json::Uint(s.stalled_for)),
+                ("flits_in_flight", Json::Uint(s.flits_in_flight)),
+            ])
+        }),
     );
     o
 }

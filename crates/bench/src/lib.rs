@@ -26,7 +26,7 @@ pub mod sweep;
 use std::path::PathBuf;
 
 use flitnet::VcPartition;
-use mediaworm::{sim, RouterConfig, SimOutcome};
+use mediaworm::{sim, RouterConfig, SimOpts, SimOutcome};
 use metrics::{Json, Table};
 use topo::Topology;
 use traffic::{StreamClass, WorkloadBuilder, WorkloadSpec};
@@ -50,6 +50,9 @@ pub struct RunArgs {
     /// Record a JSONL flit-event trace of every simulated point to this
     /// path. Traces are large; combine with `--quick`.
     pub trace: Option<PathBuf>,
+    /// Run every point with the flow-control invariant audit enabled
+    /// (`--audit`); violation counts land in the per-point JSON records.
+    pub audit: bool,
 }
 
 impl RunArgs {
@@ -93,6 +96,7 @@ impl RunArgs {
                     args.jobs = Some(n);
                 }
                 "--json" => args.json = true,
+                "--audit" => args.audit = true,
                 "--trace" => {
                     args.trace = Some(PathBuf::from(
                         it.next().unwrap_or_else(|| usage("--trace needs a path")),
@@ -129,6 +133,16 @@ impl RunArgs {
         }
         std::thread::available_parallelism().map_or(1, |n| n.get())
     }
+
+    /// The [`SimOpts`] these args imply: the standard watchdog always,
+    /// plus the invariant audit when `--audit` was given.
+    pub fn sim_opts(&self) -> SimOpts {
+        if self.audit {
+            SimOpts::audited()
+        } else {
+            SimOpts::standard()
+        }
+    }
 }
 
 impl Default for RunArgs {
@@ -141,6 +155,7 @@ impl Default for RunArgs {
             jobs: None,
             json: false,
             trace: None,
+            audit: false,
         }
     }
 }
@@ -151,7 +166,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <experiment> [--quick] [--seed N] [--warmup SECS] [--measure SECS] [--jobs N] \
-         [--json] [--trace PATH]"
+         [--json] [--audit] [--trace PATH]"
     );
     std::process::exit(2);
 }
@@ -206,7 +221,7 @@ impl Point {
     pub fn run_on_seeded(&self, topology: &Topology, args: &RunArgs, seed: u64) -> SimOutcome {
         let workload = self.workload(topology, seed);
         let (w, m) = args.windows();
-        sim::run(topology, workload, &self.router, w, m)
+        sim::run_opts(topology, workload, &self.router, w, m, args.sim_opts())
     }
 
     /// [`Point::run_on_seeded`] recording a JSONL flit-event trace,
@@ -219,7 +234,7 @@ impl Point {
     ) -> (SimOutcome, Vec<u8>) {
         let workload = self.workload(topology, seed);
         let (w, m) = args.windows();
-        sim::run_traced(topology, workload, &self.router, w, m)
+        sim::run_opts_traced(topology, workload, &self.router, w, m, args.sim_opts())
     }
 
     fn workload(&self, topology: &Topology, seed: u64) -> traffic::Workload {

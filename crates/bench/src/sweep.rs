@@ -25,17 +25,27 @@ use netsim::RunningStats;
 
 use crate::RunArgs;
 
-/// Derives the RNG seed for sweep task `index` from the sweep's base
-/// seed. A fixed-key splitmix64 finalizer over the pair: adjacent indices
-/// give statistically independent streams, and the result depends only on
-/// `(base_seed, index)` — not on scheduling.
-pub fn derive_seed(base_seed: u64, index: u64) -> u64 {
-    let mut z = base_seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+/// The splitmix64 output finalizer.
+fn splitmix_finalize(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Derives the RNG seed for sweep task `index` from the sweep's base
+/// seed. A splitmix64 finalizer over the pair: adjacent indices give
+/// statistically independent streams, and the result depends only on
+/// `(base_seed, index)` — not on scheduling.
+///
+/// The base seed is finalized *before* the index is mixed in. Combining
+/// them linearly in one pre-image (`base + index·M`) made structurally
+/// related pairs collide exactly — `(b, i)` and `(b + M, i − 1)` produced
+/// identical seeds, so two sweeps with related `--seed` values silently
+/// shared replica streams. Avalanching the base first leaves no linear
+/// relation for the index term to cancel.
+pub fn derive_seed(base_seed: u64, index: u64) -> u64 {
+    let h = splitmix_finalize(base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
+    splitmix_finalize(h.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
 }
 
 /// One unit of sweep work: which point, and the seed to run it with.
@@ -186,6 +196,42 @@ mod tests {
     fn different_base_seeds_give_different_streams() {
         assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
         assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+    }
+
+    #[test]
+    fn structurally_related_pairs_do_not_collide() {
+        // Regression: with the old linear pre-image `base + index·M`,
+        // (b, i) and (b + M, i − 1) collided exactly for every b and i.
+        const M: u64 = 0xBF58_476D_1CE4_E5B9;
+        for b in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX / 2] {
+            for i in 1u64..8 {
+                assert_ne!(
+                    derive_seed(b, i),
+                    derive_seed(b.wrapping_add(M), i - 1),
+                    "b={b} i={i}"
+                );
+            }
+        }
+        // Same trap for the golden-ratio constant now used on the index.
+        const G: u64 = 0x9E37_79B9_7F4A_7C15;
+        for i in 1u64..8 {
+            assert_ne!(derive_seed(7, i), derive_seed(7u64.wrapping_add(G), i - 1));
+        }
+    }
+
+    #[test]
+    fn cross_pair_grid_is_collision_free() {
+        // 64 bases × 64 indices: every (base, index) pair gets a distinct
+        // seed, including across bases (cross-pair, not just per-sweep).
+        let mut seen = std::collections::HashSet::new();
+        for b in 0u64..64 {
+            for i in 0u64..64 {
+                assert!(
+                    seen.insert(derive_seed(b * 0x10_0001, i)),
+                    "collision at b={b} i={i}"
+                );
+            }
+        }
     }
 
     #[test]

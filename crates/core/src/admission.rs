@@ -70,6 +70,22 @@ impl std::fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
+/// Why a release failed: the stream was never admitted (or was already
+/// released).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReleaseError {
+    /// The stream the caller tried to release.
+    pub stream: StreamId,
+}
+
+impl std::fmt::Display for ReleaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "release failed: stream {} was not admitted", self.stream)
+    }
+}
+
+impl std::error::Error for ReleaseError {}
+
 impl AdmissionController {
     /// Creates a controller for `topology` with links of `link_bps` and a
     /// real-time utilisation ceiling of `threshold` (fraction of link
@@ -145,7 +161,10 @@ impl AdmissionController {
         for key in &links {
             let used = self.reserved.get(key).copied().unwrap_or(0.0);
             let would = (used + rate_bps) / self.link_bps;
-            if would > self.threshold + 1e-12 {
+            // Relative epsilon: an absolute one is meaningless across the
+            // ~1e8 dynamic range of link rates, and repeated admit/release
+            // cycles accumulate relative rounding error.
+            if would > self.threshold * (1.0 + 1e-9) {
                 return Err(AdmissionError {
                     link: (RouterId(key.0), PortId(key.1)),
                     would_be_utilisation: would,
@@ -161,21 +180,26 @@ impl AdmissionController {
 
     /// Releases a previously admitted stream's reservations.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the stream was not admitted.
-    pub fn release(&mut self, stream: StreamId, rate_bps: f64) {
+    /// Returns [`ReleaseError`] if the stream was never admitted (or was
+    /// already released); the controller's state is unchanged.
+    pub fn release(&mut self, stream: StreamId, rate_bps: f64) -> Result<(), ReleaseError> {
         let links = self
             .routes
             .remove(&stream.get())
-            .unwrap_or_else(|| panic!("stream {stream} was not admitted"));
+            .ok_or(ReleaseError { stream })?;
         for key in links {
             let used = self.reserved.get_mut(&key).expect("reservation exists");
-            *used -= rate_bps;
-            if *used <= 1e-9 {
+            // Clamp at zero: subtraction can undershoot by a few ulps and a
+            // negative reservation would let later admissions overshoot the
+            // threshold.
+            *used = (*used - rate_bps).max(0.0);
+            if *used <= self.link_bps * 1e-12 {
                 self.reserved.remove(&key);
             }
         }
+        Ok(())
     }
 
     /// Current real-time utilisation of router `r`'s output port `p`.
@@ -234,8 +258,46 @@ mod tests {
             ac.admit(StreamId(k), NodeId(0), NodeId(1), 4e6).unwrap();
         }
         assert!(ac.admit(StreamId(10), NodeId(0), NodeId(1), 4e6).is_err());
-        ac.release(StreamId(0), 4e6);
+        ac.release(StreamId(0), 4e6).unwrap();
         assert!(ac.admit(StreamId(10), NodeId(0), NodeId(1), 4e6).is_ok());
+    }
+
+    #[test]
+    fn release_of_unknown_stream_is_an_error_not_a_panic() {
+        let t = Topology::single_switch(8);
+        let mut ac = AdmissionController::new(&t, 400e6, 0.5);
+        assert_eq!(
+            ac.release(StreamId(7), 4e6),
+            Err(ReleaseError {
+                stream: StreamId(7)
+            })
+        );
+        ac.admit(StreamId(7), NodeId(0), NodeId(1), 4e6).unwrap();
+        ac.release(StreamId(7), 4e6).unwrap();
+        // Double release is also an error, and state stays consistent.
+        assert!(ac.release(StreamId(7), 4e6).is_err());
+        assert_eq!(ac.admitted(), 0);
+    }
+
+    #[test]
+    fn churn_does_not_accumulate_float_drift() {
+        let t = Topology::single_switch(8);
+        let mut ac = AdmissionController::new(&t, 400e6, 0.7);
+        // 4e6 × 1.1 / 3 is not exactly representable, so every cycle of
+        // admit/release leaves ulp-scale residue unless releases clamp.
+        let rate = 4e6 * 1.1 / 3.0;
+        for round in 0..10_000u32 {
+            ac.admit(StreamId(round), NodeId(0), NodeId(1), rate)
+                .unwrap();
+            ac.release(StreamId(round), rate).unwrap();
+        }
+        // After full churn the controller must still admit the exact
+        // threshold-filling population it accepts when fresh.
+        let full = (0.7 * 400e6 / rate) as u32;
+        for k in 0..full {
+            ac.admit(StreamId(k), NodeId(0), NodeId(1), rate).unwrap();
+        }
+        assert_eq!(ac.admitted(), full as usize);
     }
 
     #[test]

@@ -42,6 +42,10 @@
 //!   (flits per class, mux conflicts, credit stalls, sampled occupancy).
 //! * [`admission`] — a bandwidth-accounting admission controller (the
 //!   paper's §6 admission-control direction).
+//! * [`audit`] — opt-in flow-control invariant audits (credit/flit
+//!   conservation, worm well-formedness) and the progress watchdog that
+//!   classifies stalls as deadlock vs. starvation with a structured
+//!   [`StallReport`].
 //!
 //! ## Quick start
 //!
@@ -70,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod audit;
 pub mod config;
 pub mod counters;
 pub mod net;
@@ -77,10 +82,11 @@ pub mod router;
 pub mod scheduler;
 pub mod sim;
 
-pub use admission::AdmissionController;
+pub use admission::{AdmissionController, AdmissionError, ReleaseError};
+pub use audit::{AuditConfig, StallKind, StallReport, VcHold, WatchdogConfig};
 pub use config::{CrossbarKind, RouterConfig, SchedPoint, SchedulerKind};
 pub use counters::{NetCounters, PortCounters, RouterCounters};
 pub use net::Network;
 pub use router::Router;
 pub use scheduler::MuxScheduler;
-pub use sim::{run, run_traced, SimOutcome};
+pub use sim::{run, run_opts, run_opts_traced, run_traced, SimOpts, SimOutcome};

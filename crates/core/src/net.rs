@@ -21,11 +21,13 @@ use std::collections::VecDeque;
 
 use flitnet::{CreditLink, Flit, Link, NodeId, PortId, RouterId, VcId};
 use metrics::{DeliveryTracker, LatencyTracker};
+use netsim::audit::AuditLog;
 use netsim::telemetry::{FlitEvent, FlitEventKind, NoopSink, TelemetrySink};
 use netsim::{Calendar, Cycles, TimeBase};
 use topo::{PortTarget, Topology};
 use traffic::{ScheduledMessage, Workload};
 
+use crate::audit::{AuditConfig, StallKind, StallReport, WatchdogConfig};
 use crate::config::RouterConfig;
 use crate::counters::NetCounters;
 use crate::router::{CreditReturn, Departure, Router};
@@ -71,6 +73,26 @@ struct Endpoint {
     /// the network compact; pacing between competing worms is the
     /// *router's* job (that is where the paper puts Virtual Clock).
     current: Option<usize>,
+}
+
+/// State of the (opt-in) invariant audit sweep.
+#[derive(Debug)]
+struct AuditState {
+    cfg: AuditConfig,
+    log: AuditLog,
+    /// Next cycle an audit sweep is due (tolerant of idle-cycle jumps).
+    next_at: Cycles,
+}
+
+/// State of the (opt-in) progress watchdog.
+#[derive(Debug)]
+struct WatchdogState {
+    cfg: WatchdogConfig,
+    /// Progress signature at the last observed progress (see
+    /// [`Network::progress_signature`]).
+    last_signature: u64,
+    /// Cycle of the last observed progress (or idle network).
+    last_progress_at: Cycles,
 }
 
 /// Destination-side accounting.
@@ -128,6 +150,19 @@ pub struct Network {
     /// Mirrors the per-router flag; set from the sink at the start of
     /// [`Network::run_until_with`].
     trace: bool,
+    /// Downstream input-buffer depth per VC (the audit's conservation
+    /// checks need the capacity the credits were initialised from).
+    buf_flits: u32,
+    /// Monotone count of flits put on any link. Never reset (unlike
+    /// `link_sent`, which [`Network::reset_link_stats`] zeroes), so the
+    /// watchdog can use it as a forwarding-progress signal.
+    total_link_sends: u64,
+    /// Invariant audit sweep; `None` (the default) costs nothing.
+    audit: Option<AuditState>,
+    /// Progress watchdog; `None` (the default) costs nothing.
+    watchdog: Option<WatchdogState>,
+    /// The stall report, once the watchdog has tripped.
+    stall: Option<StallReport>,
 }
 
 impl Network {
@@ -265,6 +300,11 @@ impl Network {
             link_sent: vec![0; link_count],
             stats_start: Cycles::ZERO,
             trace: false,
+            buf_flits: cfg.buf_flits_value(),
+            total_link_sends: 0,
+            audit: None,
+            watchdog: None,
+            stall: None,
         }
     }
 
@@ -433,10 +473,22 @@ impl Network {
     /// [`NoopSink`] run executes the exact same instruction stream as
     /// [`Network::run_until`] — the per-flit guard is a cached boolean,
     /// not a virtual call.
+    /// When the audit or the watchdog is enabled (see
+    /// [`Network::enable_audit`] / [`Network::enable_watchdog`]), each
+    /// cycle additionally runs the safety checks; a detected stall stops
+    /// the run early with a [`StallReport`] available from
+    /// [`Network::stall_report`].
     pub fn run_until_with(&mut self, end: Cycles, sink: &mut dyn TelemetrySink) {
         self.set_tracing(sink.is_enabled());
+        let checked = self.audit.is_some() || self.watchdog.is_some();
         while self.now < end {
             self.step_with(sink);
+            if checked {
+                self.safety_check();
+                if self.stall.is_some() {
+                    break;
+                }
+            }
             if self.flits_in_flight == 0 {
                 // Idle: jump to the next injection (always > now, since
                 // inject() drained everything due this cycle).
@@ -654,6 +706,7 @@ impl Network {
                 self.links[l].flit.send(now, d.flit);
                 Self::activate_link(&mut self.link_active, &mut self.active_links, l);
                 self.link_sent[l] += 1;
+                self.total_link_sends += 1;
             }
         }
         self.depart_buf = departures;
@@ -691,6 +744,300 @@ impl Network {
             self.links[ep.link].flit.send(now, flit);
             Self::activate_link(&mut self.link_active, &mut self.active_links, ep.link);
             self.link_sent[ep.link] += 1;
+            self.total_link_sends += 1;
+        }
+    }
+
+    // ---- audit + watchdog ------------------------------------------------
+
+    /// Enables the invariant audit sweep. Violations accumulate in the
+    /// log returned by [`Network::audit_log`]. Off by default: a run
+    /// without this call executes the exact same instruction stream as
+    /// before the audit layer existed.
+    pub fn enable_audit(&mut self, cfg: AuditConfig) {
+        self.audit = Some(AuditState {
+            cfg,
+            log: AuditLog::new(),
+            next_at: self.now,
+        });
+    }
+
+    /// Enables the progress watchdog. When flits are in flight but no
+    /// forwarding progress happens for `cfg.stall_cycles` cycles,
+    /// [`Network::run_until_with`] stops early and
+    /// [`Network::stall_report`] describes the stall.
+    pub fn enable_watchdog(&mut self, cfg: WatchdogConfig) {
+        self.watchdog = Some(WatchdogState {
+            cfg,
+            last_signature: self.progress_signature(),
+            last_progress_at: self.now,
+        });
+    }
+
+    /// The audit log, if auditing is enabled.
+    pub fn audit_log(&self) -> Option<&AuditLog> {
+        self.audit.as_ref().map(|a| &a.log)
+    }
+
+    /// The watchdog's stall report, if the run stalled.
+    pub fn stall_report(&self) -> Option<&StallReport> {
+        self.stall.as_ref()
+    }
+
+    /// Runs one audit sweep immediately (enabling auditing with the
+    /// default config if needed) and returns the violations found by
+    /// *this* sweep.
+    pub fn audit_now(&mut self) -> u64 {
+        let mut st = self.audit.take().unwrap_or_else(|| AuditState {
+            cfg: AuditConfig::default(),
+            log: AuditLog::new(),
+            next_at: self.now,
+        });
+        let found = self.audit_pass(self.now, &mut st.log);
+        self.audit = Some(st);
+        found
+    }
+
+    /// Mints a spurious credit on router `router`'s output `(port, vc)`
+    /// — a deliberate credit-accounting bug for mutation-testing the
+    /// audit layer (a credit that matches no freed downstream slot).
+    pub fn inject_credit_fault(&mut self, router: RouterId, port: PortId, vc: VcId) {
+        self.routers[router.index()].receive_credit(port, vc);
+    }
+
+    /// Forwarding-progress signature: strictly increases whenever any
+    /// flit moves (onto a link, across a crossbar, or into a sink).
+    fn progress_signature(&self) -> u64 {
+        let crossed: u64 = self.routers.iter().map(Router::flits_crossed).sum();
+        self.sinks.delivered_flits + crossed + self.total_link_sends
+    }
+
+    /// Per-cycle safety checks: the periodic audit sweep and the
+    /// watchdog's progress test. Only called when at least one of the two
+    /// is enabled.
+    fn safety_check(&mut self) {
+        let now = self.now;
+        if let Some(mut st) = self.audit.take() {
+            if now >= st.next_at {
+                self.audit_pass(now, &mut st.log);
+                st.next_at = now + Cycles(st.cfg.interval);
+            }
+            self.audit = Some(st);
+        }
+        if let Some(mut wd) = self.watchdog.take() {
+            let sig = self.progress_signature();
+            if self.flits_in_flight == 0 || sig != wd.last_signature {
+                wd.last_signature = sig;
+                wd.last_progress_at = now;
+            } else if (now - wd.last_progress_at).get() >= wd.cfg.stall_cycles {
+                self.stall = Some(self.build_stall_report(now - wd.last_progress_at));
+                wd.last_progress_at = now;
+            }
+            self.watchdog = Some(wd);
+        }
+    }
+
+    /// One full audit sweep: router-local invariants, credit conservation
+    /// around every link, and global flit conservation. Returns the
+    /// violations found by this sweep.
+    fn audit_pass(&self, now: Cycles, log: &mut AuditLog) -> u64 {
+        use netsim::audit::{Violation, ViolationKind};
+        let before = log.total();
+        for r in &self.routers {
+            r.audit(now, log);
+        }
+        let cap = self.buf_flits;
+        let vcs = self.routers[0].partition().total();
+        for lp in &self.links {
+            match (lp.tx, lp.rx) {
+                (
+                    TxSide::RouterOut { router: r, port: p },
+                    RxSide::RouterIn {
+                        router: r2,
+                        port: p2,
+                    },
+                ) => {
+                    for v in 0..vcs {
+                        let vc = VcId(v);
+                        let held = self.routers[r].credits_of(p, vc);
+                        if held > cap {
+                            log.record(Violation {
+                                cycle: now.get(),
+                                router: Some(r as u32),
+                                port: p.get(),
+                                vc: v,
+                                kind: ViolationKind::CreditOverflow,
+                                detail: format!("{held} credits for a {cap}-slot buffer"),
+                            });
+                        }
+                        let returning =
+                            lp.credit.iter_in_flight().filter(|c| *c == vc).count() as u32;
+                        let on_wire =
+                            lp.flit.iter_in_flight().filter(|f| f.vc == vc).count() as u32;
+                        let buffered = self.routers[r2].input_buffered(p2, vc) as u32;
+                        let total = held + returning + on_wire + buffered;
+                        if total != cap {
+                            log.record(Violation {
+                                cycle: now.get(),
+                                router: Some(r as u32),
+                                port: p.get(),
+                                vc: v,
+                                kind: ViolationKind::CreditConservation,
+                                detail: format!(
+                                    "{held} held + {returning} returning + {on_wire} on wire + \
+                                     {buffered} buffered = {total}, capacity {cap}"
+                                ),
+                            });
+                        }
+                    }
+                }
+                (TxSide::RouterOut { router: r, port: p }, RxSide::Node) => {
+                    // Endpoints never return credits: the credit channel
+                    // of an ejection link must stay idle, and the
+                    // endpoint credit pool can only drain.
+                    if !lp.credit.is_idle() {
+                        log.record(Violation {
+                            cycle: now.get(),
+                            router: Some(r as u32),
+                            port: p.get(),
+                            vc: 0,
+                            kind: ViolationKind::CreditConservation,
+                            detail: format!(
+                                "{} credits in flight on an ejection link",
+                                lp.credit.in_flight()
+                            ),
+                        });
+                    }
+                    for v in 0..vcs {
+                        let held = self.routers[r].credits_of(p, VcId(v));
+                        if held > ENDPOINT_CREDITS {
+                            log.record(Violation {
+                                cycle: now.get(),
+                                router: Some(r as u32),
+                                port: p.get(),
+                                vc: v,
+                                kind: ViolationKind::CreditOverflow,
+                                detail: format!(
+                                    "{held} credits exceed the endpoint pool {ENDPOINT_CREDITS}"
+                                ),
+                            });
+                        }
+                    }
+                }
+                (
+                    TxSide::Ni { node },
+                    RxSide::RouterIn {
+                        router: r2,
+                        port: p2,
+                    },
+                ) => {
+                    for v in 0..vcs {
+                        let vc = VcId(v);
+                        let held = self.endpoints[node].credits[v as usize];
+                        if held > cap {
+                            log.record(Violation {
+                                cycle: now.get(),
+                                router: None,
+                                port: node as u32,
+                                vc: v,
+                                kind: ViolationKind::CreditOverflow,
+                                detail: format!("{held} NI credits for a {cap}-slot buffer"),
+                            });
+                        }
+                        let returning =
+                            lp.credit.iter_in_flight().filter(|c| *c == vc).count() as u32;
+                        let on_wire =
+                            lp.flit.iter_in_flight().filter(|f| f.vc == vc).count() as u32;
+                        let buffered = self.routers[r2].input_buffered(p2, vc) as u32;
+                        let total = held + returning + on_wire + buffered;
+                        if total != cap {
+                            log.record(Violation {
+                                cycle: now.get(),
+                                router: None,
+                                port: node as u32,
+                                vc: v,
+                                kind: ViolationKind::CreditConservation,
+                                detail: format!(
+                                    "{held} NI credits + {returning} returning + {on_wire} on \
+                                     wire + {buffered} buffered = {total}, capacity {cap}"
+                                ),
+                            });
+                        }
+                    }
+                }
+                (TxSide::Ni { .. }, RxSide::Node) => {
+                    unreachable!("an injection link never ends at a node")
+                }
+            }
+        }
+        // Global flit conservation: everything injected but undelivered
+        // must be somewhere — an NI queue, a link, or a router buffer.
+        let in_nis: u64 = self
+            .endpoints
+            .iter()
+            .map(|ep| ep.queues.iter().map(VecDeque::len).sum::<usize>() as u64)
+            .sum();
+        let on_links: u64 = self.links.iter().map(|lp| lp.flit.in_flight() as u64).sum();
+        let in_routers: u64 = self
+            .routers
+            .iter()
+            .map(|r| {
+                let (rt, be) = r.occupancy_by_class();
+                (rt + be) as u64
+            })
+            .sum();
+        let present = in_nis + on_links + in_routers;
+        if present != self.flits_in_flight {
+            log.record(Violation {
+                cycle: now.get(),
+                router: None,
+                port: 0,
+                vc: 0,
+                kind: ViolationKind::FlitConservation,
+                detail: format!(
+                    "{in_nis} queued + {on_links} on links + {in_routers} in routers = \
+                     {present}, but {} flits are in flight",
+                    self.flits_in_flight
+                ),
+            });
+        }
+        log.total() - before
+    }
+
+    /// Builds the watchdog's structured stall report: the waits-for graph
+    /// over held output VCs, classified deadlock (cycle) vs. starvation.
+    fn build_stall_report(&self, stalled_for: Cycles) -> StallReport {
+        let topology = &self.topology;
+        let downstream = |r: usize, p: PortId| -> Option<(usize, PortId)> {
+            match topology.target_of(RouterId(r as u32), p) {
+                PortTarget::Router { router, port } => Some((router.index(), port)),
+                PortTarget::Node(_) => None,
+            }
+        };
+        let route = |r: usize, f: &Flit| topology.route(RouterId(r as u32), f.dest).to_vec();
+        let (mut holders, adj) = crate::audit::build_waits_for(&self.routers, &downstream, &route);
+        let on_cycle = crate::audit::find_cycle_nodes(&adj);
+        let mut any_cycle = false;
+        for (h, on) in holders.iter_mut().zip(&on_cycle) {
+            h.on_cycle = *on;
+            any_cycle |= *on;
+        }
+        let ni_backlog: u64 = self
+            .endpoints
+            .iter()
+            .map(|ep| ep.queues.iter().map(VecDeque::len).sum::<usize>() as u64)
+            .sum();
+        StallReport {
+            cycle: self.now.get(),
+            stalled_for: stalled_for.get(),
+            kind: if any_cycle {
+                StallKind::Deadlock
+            } else {
+                StallKind::Starvation
+            },
+            flits_in_flight: self.flits_in_flight,
+            ni_backlog,
+            holders,
         }
     }
 }
@@ -919,5 +1266,109 @@ mod tests {
         let tb = net.timebase();
         net.run_until(tb.cycles_from_ms(5.0));
         assert!(net.delivered_msgs() > 0);
+    }
+
+    #[test]
+    fn audit_is_clean_on_a_healthy_run() {
+        use crate::audit::AuditConfig;
+        let topology = Topology::single_switch(8);
+        let cfg = RouterConfig::default();
+        let mut net = Network::new(&topology, small_workload(0.5, 13), &cfg);
+        net.enable_audit(AuditConfig { interval: 64 });
+        let tb = net.timebase();
+        net.run_until(tb.cycles_from_ms(10.0));
+        assert!(net.delivered_msgs() > 0);
+        let log = net.audit_log().expect("audit enabled");
+        assert!(
+            log.is_clean(),
+            "healthy run must audit clean, got: {:?}",
+            log.violations()
+        );
+        assert!(net.stall_report().is_none());
+    }
+
+    #[test]
+    fn audit_catches_an_injected_credit_fault() {
+        use crate::audit::AuditConfig;
+        let topology = Topology::single_switch(8);
+        let cfg = RouterConfig::default();
+        let mut net = Network::new(&topology, small_workload(0.5, 14), &cfg);
+        net.enable_audit(AuditConfig::every_cycle());
+        let tb = net.timebase();
+        net.run_until(tb.cycles_from_ms(2.0));
+        assert_eq!(net.audit_log().map(|l| l.total()), Some(0));
+        // Mutation: hand the router a credit no endpoint ever sent. The
+        // per-link credit books no longer balance, and every later sweep
+        // must notice.
+        net.inject_credit_fault(flitnet::RouterId(0), PortId(3), flitnet::VcId(0));
+        let found = net.audit_now();
+        assert!(found > 0, "audit must flag the forged credit");
+        let log = net.audit_log().expect("audit enabled");
+        assert!(!log.is_clean());
+        assert!(log
+            .violations()
+            .iter()
+            .any(|v| v.router == Some(0) && v.port == 3 && v.vc == 0));
+    }
+
+    #[test]
+    fn audited_run_matches_unaudited_numbers() {
+        use crate::audit::{AuditConfig, WatchdogConfig};
+        let topology = Topology::single_switch(8);
+        let cfg = RouterConfig::default();
+        let mut plain = Network::new(&topology, small_workload(0.4, 15), &cfg);
+        let mut checked = Network::new(&topology, small_workload(0.4, 15), &cfg);
+        checked.enable_audit(AuditConfig { interval: 256 });
+        checked.enable_watchdog(WatchdogConfig::default());
+        let tb = plain.timebase();
+        let end = tb.cycles_from_ms(20.0);
+        plain.run_until(end);
+        checked.run_until(end);
+        // Observability must not perturb the simulation.
+        assert_eq!(plain.delivered_flits(), checked.delivered_flits());
+        assert_eq!(plain.injected_msgs(), checked.injected_msgs());
+        assert_eq!(plain.counters(), checked.counters());
+        assert!(checked.audit_log().expect("enabled").is_clean());
+        assert!(checked.stall_report().is_none());
+    }
+
+    #[test]
+    fn watchdog_classifies_clockwise_ring_deadlock() {
+        use crate::audit::{StallKind, WatchdogConfig};
+        // A unidirectional ring with a single VC and no dateline has a
+        // cyclic channel dependency; deep worms at high load must deadlock.
+        let topology = Topology::ring(3, 1);
+        let spec = WorkloadSpec {
+            msg_flits: 64,
+            ..WorkloadSpec::paper_default()
+        };
+        let wl = WorkloadBuilder::new(3, VcPartition::all_real_time(1))
+            .spec(spec)
+            .load(0.9)
+            .mix(100.0, 0.0)
+            .real_time_class(StreamClass::Cbr)
+            .seed(16)
+            .build();
+        let cfg = RouterConfig::new(1).buf_flits(4);
+        let mut net = Network::new(&topology, wl, &cfg);
+        net.enable_watchdog(WatchdogConfig {
+            stall_cycles: 5_000,
+        });
+        let tb = net.timebase();
+        let end = tb.cycles_from_ms(500.0);
+        net.run_until(end);
+        let stall = net
+            .stall_report()
+            .expect("1-VC clockwise ring must deadlock");
+        assert_eq!(stall.kind, StallKind::Deadlock);
+        assert!(stall.flits_in_flight > 0);
+        assert!(
+            stall.holders.iter().filter(|h| h.on_cycle).count() >= 2,
+            "a deadlock cycle spans at least two holders: {:?}",
+            stall.holders
+        );
+        // The run stops at detection instead of spinning to the end.
+        assert!(net.now() < end);
+        assert_eq!(stall.stalled_for, 5_000);
     }
 }

@@ -588,6 +588,132 @@ impl Router {
         self.inputs[port.index()].vcs[vc.index()].buf.len()
     }
 
+    /// The granted `(output port, output VC)` of input `(port, vc)`, if a
+    /// message currently holds one (audit/watchdog visibility).
+    pub fn grant_of(&self, port: PortId, vc: VcId) -> Option<(PortId, VcId)> {
+        self.inputs[port.index()].vcs[vc.index()]
+            .grant
+            .map(|g| (PortId(g.out_port as u32), VcId(g.out_vc as u32)))
+    }
+
+    /// The message currently owning output `(port, vc)`, if any
+    /// (audit/watchdog visibility).
+    pub fn output_owner(&self, port: PortId, vc: VcId) -> Option<MsgId> {
+        self.outputs[port.index()].vcs[vc.index()].owner
+    }
+
+    /// Flits staged in output `(port, vc)`'s stage-5 buffer
+    /// (audit/watchdog visibility).
+    pub fn output_staged(&self, port: PortId, vc: VcId) -> usize {
+        self.outputs[port.index()].vcs[vc.index()].buf.len()
+    }
+
+    /// The flit at the front of input `(port, vc)`'s buffer, if any
+    /// (audit/watchdog visibility).
+    pub fn input_head(&self, port: PortId, vc: VcId) -> Option<&Flit> {
+        self.inputs[port.index()].vcs[vc.index()].buf.head()
+    }
+
+    /// The class split of this router's VCs.
+    pub fn partition(&self) -> &VcPartition {
+        &self.partition
+    }
+
+    /// Audit pass over router-local invariants, filing violations into
+    /// `log`:
+    ///
+    /// * every input and output VC buffer holds a well-formed run of worms
+    ///   (head→body→tail, no interleaving);
+    /// * the per-flit arrival bookkeeping stays parallel to the buffer;
+    /// * no output staging buffer exceeds its configured capacity;
+    /// * every input-VC grant points at an output VC owned by the granted
+    ///   message.
+    ///
+    /// Credit conservation needs both link endpoints, so the network-level
+    /// audit checks it; see `Network::audit_now`.
+    pub fn audit(&self, now: Cycles, log: &mut netsim::audit::AuditLog) {
+        use netsim::audit::{Violation, ViolationKind};
+        let router = Some(self.id.get());
+        for (p, ip) in self.inputs.iter().enumerate() {
+            for (v, ivc) in ip.vcs.iter().enumerate() {
+                if let Some(detail) = flitnet::worm_order_violation(ivc.buf.iter()) {
+                    log.record(Violation {
+                        cycle: now.get(),
+                        router,
+                        port: p as u32,
+                        vc: v as u32,
+                        kind: ViolationKind::WormOrder,
+                        detail,
+                    });
+                }
+                if ivc.arrivals.len() != ivc.buf.len() {
+                    log.record(Violation {
+                        cycle: now.get(),
+                        router,
+                        port: p as u32,
+                        vc: v as u32,
+                        kind: ViolationKind::FlitConservation,
+                        detail: format!(
+                            "arrival bookkeeping out of step: {} arrivals for {} buffered flits",
+                            ivc.arrivals.len(),
+                            ivc.buf.len()
+                        ),
+                    });
+                }
+                if let Some(grant) = ivc.grant {
+                    let owner = self.outputs[grant.out_port].vcs[grant.out_vc].owner;
+                    let held_by = ivc.buf.head().map(|f| f.msg);
+                    let mismatch = match (owner, held_by) {
+                        (None, _) => Some("granted output VC has no owner".to_string()),
+                        (Some(o), Some(h)) if o != h => Some(format!(
+                            "granted output VC owned by msg {o} but input head is msg {h}"
+                        )),
+                        _ => None,
+                    };
+                    if let Some(detail) = mismatch {
+                        log.record(Violation {
+                            cycle: now.get(),
+                            router,
+                            port: p as u32,
+                            vc: v as u32,
+                            kind: ViolationKind::GrantWithoutOwner,
+                            detail,
+                        });
+                    }
+                }
+            }
+        }
+        for (p, op) in self.outputs.iter().enumerate() {
+            for (v, ovc) in op.vcs.iter().enumerate() {
+                if ovc.buf.len() > ovc.cap {
+                    log.record(Violation {
+                        cycle: now.get(),
+                        router,
+                        port: p as u32,
+                        vc: v as u32,
+                        kind: ViolationKind::StagingOverflow,
+                        detail: format!(
+                            "{} staged flits in a {}-slot buffer",
+                            ovc.buf.len(),
+                            ovc.cap
+                        ),
+                    });
+                }
+                if let Some(detail) = flitnet::worm_order_violation(ovc.buf.iter().map(|(_, f)| f))
+                {
+                    log.record(Violation {
+                        cycle: now.get(),
+                        router,
+                        port: p as u32,
+                        vc: v as u32,
+                        kind: ViolationKind::WormOrder,
+                        detail,
+                    });
+                }
+            }
+        }
+    }
+
     /// Prints a human-readable dump of every VC's state (diagnostics).
     pub fn debug_dump(&self) {
         for (p, ip) in self.inputs.iter().enumerate() {

@@ -9,12 +9,43 @@ use netsim::telemetry::{JsonlSink, NoopSink, TelemetrySink};
 use topo::Topology;
 use traffic::Workload;
 
+use crate::audit::{AuditConfig, StallReport, WatchdogConfig};
 use crate::config::RouterConfig;
 use crate::counters::NetCounters;
 use crate::net::Network;
 
+/// Opt-in safety layers for a run (see [`crate::audit`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimOpts {
+    /// Invariant audit sweep; `None` is off.
+    pub audit: Option<AuditConfig>,
+    /// Progress watchdog; `None` is off.
+    pub watchdog: Option<WatchdogConfig>,
+}
+
+impl SimOpts {
+    /// The default for [`run`]: watchdog on (an O(routers) check per busy
+    /// cycle that turns silent stalls into structured reports), audit
+    /// off.
+    pub fn standard() -> SimOpts {
+        SimOpts {
+            audit: None,
+            watchdog: Some(WatchdogConfig::default()),
+        }
+    }
+
+    /// Audit and watchdog both on (CI audit mode, the bench `--audit`
+    /// flag).
+    pub fn audited() -> SimOpts {
+        SimOpts {
+            audit: Some(AuditConfig::default()),
+            watchdog: Some(WatchdogConfig::default()),
+        }
+    }
+}
+
 /// The condensed result of one simulation run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimOutcome {
     /// Frame-delivery jitter of the real-time streams (d̄, σ_d).
     pub jitter: JitterSummary,
@@ -37,6 +68,12 @@ pub struct SimOutcome {
     pub cycles: u64,
     /// Router telemetry counter totals over the whole run.
     pub counters: NetCounters,
+    /// The watchdog's stall report, if the run stalled (the run stops at
+    /// the stall instead of spinning to the end cycle).
+    pub stall: Option<StallReport>,
+    /// Flow-control invariant violations the audit sweep observed (0 when
+    /// auditing is off — see [`SimOpts`]).
+    pub audit_violations: u64,
 }
 
 impl SimOutcome {
@@ -96,6 +133,28 @@ pub fn run(
         cfg,
         warmup_secs,
         measure_secs,
+        SimOpts::standard(),
+        &mut NoopSink,
+    )
+}
+
+/// Like [`run`], with explicit [`SimOpts`] (audit mode, watchdog tuning,
+/// or both off for an exact pre-audit instruction stream).
+pub fn run_opts(
+    topology: &Topology,
+    workload: Workload,
+    cfg: &RouterConfig,
+    warmup_secs: f64,
+    measure_secs: f64,
+    opts: SimOpts,
+) -> SimOutcome {
+    run_with(
+        topology,
+        workload,
+        cfg,
+        warmup_secs,
+        measure_secs,
+        opts,
         &mut NoopSink,
     )
 }
@@ -114,6 +173,25 @@ pub fn run_traced(
     warmup_secs: f64,
     measure_secs: f64,
 ) -> (SimOutcome, Vec<u8>) {
+    run_opts_traced(
+        topology,
+        workload,
+        cfg,
+        warmup_secs,
+        measure_secs,
+        SimOpts::standard(),
+    )
+}
+
+/// Like [`run_traced`], with explicit [`SimOpts`].
+pub fn run_opts_traced(
+    topology: &Topology,
+    workload: Workload,
+    cfg: &RouterConfig,
+    warmup_secs: f64,
+    measure_secs: f64,
+    opts: SimOpts,
+) -> (SimOutcome, Vec<u8>) {
     let mut sink = JsonlSink::new();
     let outcome = run_with(
         topology,
@@ -121,18 +199,20 @@ pub fn run_traced(
         cfg,
         warmup_secs,
         measure_secs,
+        opts,
         &mut sink,
     );
     (outcome, sink.into_bytes())
 }
 
-/// Shared body of [`run`] and [`run_traced`].
+/// Shared body of [`run`] / [`run_opts`] / [`run_traced`].
 fn run_with(
     topology: &Topology,
     workload: Workload,
     cfg: &RouterConfig,
     warmup_secs: f64,
     measure_secs: f64,
+    opts: SimOpts,
     sink: &mut dyn TelemetrySink,
 ) -> SimOutcome {
     assert!(warmup_secs > 0.0, "warm-up must be positive");
@@ -140,6 +220,12 @@ fn run_with(
     let (rt_load, be_load) = workload.realized_load();
     let oversubscribed = workload.is_oversubscribed();
     let mut net = Network::new(topology, workload, cfg);
+    if let Some(a) = opts.audit {
+        net.enable_audit(a);
+    }
+    if let Some(w) = opts.watchdog {
+        net.enable_watchdog(w);
+    }
     let tb = net.timebase();
     let warmup = tb.cycles_from_secs(warmup_secs);
     let end = tb.cycles_from_secs(warmup_secs + measure_secs);
@@ -156,6 +242,8 @@ fn run_with(
         delivered_msgs: net.delivered_msgs(),
         cycles: end.get(),
         counters: net.counters(),
+        stall: net.stall_report().cloned(),
+        audit_violations: net.audit_log().map_or(0, |l| l.total()),
     }
 }
 
@@ -238,6 +326,41 @@ mod tests {
         assert!(out.counters.rt_flits > 0);
         assert!(out.counters.be_flits > 0);
         assert_eq!(out.be_mean_latency_us_opt(), Some(out.be_mean_latency_us));
+    }
+
+    #[test]
+    fn watchdog_never_trips_on_saturated_but_progressing_loads() {
+        // The fig. 3 operating range, including past saturation: slow is
+        // not stuck, and the default watchdog must not cry wolf.
+        for &load in &[0.6, 0.8, 0.96] {
+            let out = run(
+                &Topology::single_switch(8),
+                workload(load, 80.0, 20.0, 21),
+                &RouterConfig::default(),
+                0.01,
+                0.03,
+            );
+            assert!(
+                out.stall.is_none(),
+                "load {load} tripped the watchdog: {:?}",
+                out.stall
+            );
+            assert!(out.delivered_msgs > 0);
+        }
+    }
+
+    #[test]
+    fn audited_opts_report_zero_violations_on_healthy_runs() {
+        let out = run_opts(
+            &Topology::single_switch(8),
+            workload(0.5, 80.0, 20.0, 22),
+            &RouterConfig::default(),
+            0.01,
+            0.02,
+            SimOpts::audited(),
+        );
+        assert_eq!(out.audit_violations, 0);
+        assert!(out.stall.is_none());
     }
 
     #[test]

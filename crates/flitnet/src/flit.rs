@@ -160,6 +160,57 @@ impl Flit {
     }
 }
 
+/// Checks that a FIFO flit sequence is a well-formed run of worm
+/// segments, the core wormhole invariant audited per VC buffer:
+///
+/// * within a message, `seq_in_msg` increments by one, nothing follows a
+///   tail, and no second head appears;
+/// * across messages, the earlier message's tail must come before the
+///   later message's head (worms never interleave on one VC).
+///
+/// The sequence may begin mid-message (the head has already moved on) and
+/// end mid-message (the tail has not arrived yet). Returns a description
+/// of the first violation, or `None` when the sequence is well-formed.
+pub fn worm_order_violation<'a, I>(flits: I) -> Option<String>
+where
+    I: IntoIterator<Item = &'a Flit>,
+{
+    let mut prev: Option<&Flit> = None;
+    for f in flits {
+        if let Some(p) = prev {
+            if p.msg == f.msg {
+                if p.kind.is_tail() {
+                    return Some(format!("flit of msg {} follows its own tail", f.msg));
+                }
+                if f.kind.is_head() {
+                    return Some(format!("second head inside msg {}", f.msg));
+                }
+                if f.seq_in_msg != p.seq_in_msg + 1 {
+                    return Some(format!(
+                        "msg {} flit sequence jumps {} -> {}",
+                        f.msg, p.seq_in_msg, f.seq_in_msg
+                    ));
+                }
+            } else {
+                if !p.kind.is_tail() {
+                    return Some(format!(
+                        "msg {} interleaves into msg {} before its tail",
+                        f.msg, p.msg
+                    ));
+                }
+                if !f.kind.is_head() {
+                    return Some(format!(
+                        "msg {} enters the buffer mid-worm (first flit {:?})",
+                        f.msg, f.kind
+                    ));
+                }
+            }
+        }
+        prev = Some(f);
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +288,55 @@ mod tests {
     fn flit_is_small_enough_to_copy_cheaply() {
         // Guard against accidental growth of the hot-path struct.
         assert!(std::mem::size_of::<Flit>() <= 96);
+    }
+
+    #[test]
+    fn worm_order_accepts_well_formed_sequences() {
+        let a = Flit::flitify(template(3));
+        let mut b = Flit::flitify(template(2));
+        for f in &mut b {
+            f.msg = MsgId(8);
+        }
+        // Two complete back-to-back worms.
+        let seq: Vec<&Flit> = a.iter().chain(b.iter()).collect();
+        assert_eq!(worm_order_violation(seq), None);
+        // A truncated front (head popped) and a truncated end.
+        assert_eq!(worm_order_violation(a[1..].iter()), None);
+        assert_eq!(worm_order_violation(a[..2].iter()), None);
+        // Empty and single-flit sequences are trivially fine.
+        assert_eq!(worm_order_violation([].into_iter()), None);
+        assert_eq!(worm_order_violation([&a[1]].into_iter()), None);
+    }
+
+    #[test]
+    fn worm_order_rejects_interleaving_and_gaps() {
+        let a = Flit::flitify(template(3));
+        let mut b = Flit::flitify(template(3));
+        for f in &mut b {
+            f.msg = MsgId(8);
+        }
+        // Another worm's head before this worm's tail.
+        let interleaved = [&a[0], &a[1], &b[0]];
+        assert!(worm_order_violation(interleaved.into_iter())
+            .expect("interleaving must be flagged")
+            .contains("interleaves"));
+        // A sequence gap inside one worm.
+        let gapped = [&a[0], &a[2]];
+        assert!(worm_order_violation(gapped.into_iter())
+            .expect("gap must be flagged")
+            .contains("jumps"));
+        // A worm continuing after its own tail.
+        let mut after_tail = a[2];
+        after_tail.kind = FlitKind::Body;
+        after_tail.seq_in_msg = 3;
+        let ghost = [&a[2], &after_tail];
+        assert!(worm_order_violation(ghost.into_iter())
+            .expect("post-tail flit must be flagged")
+            .contains("tail"));
+        // A successor worm starting with a body flit.
+        let cut = [&a[2], &b[1]];
+        assert!(worm_order_violation(cut.into_iter())
+            .expect("mid-worm entry must be flagged")
+            .contains("mid-worm"));
     }
 }

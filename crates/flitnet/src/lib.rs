@@ -26,7 +26,7 @@ pub mod partition;
 pub mod vcbuf;
 
 pub use class::TrafficClass;
-pub use flit::{Flit, FlitKind, BEST_EFFORT_VTICK};
+pub use flit::{worm_order_violation, Flit, FlitKind, BEST_EFFORT_VTICK};
 pub use ids::{FrameId, MsgId, NodeId, PortId, RouterId, StreamId, VcId};
 pub use link::{CreditLink, Link};
 pub use partition::VcPartition;

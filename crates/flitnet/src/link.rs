@@ -98,6 +98,14 @@ impl Link {
     pub fn is_idle(&self) -> bool {
         self.in_flight.is_empty()
     }
+
+    /// Iterates over the flits currently on the wire, in send order.
+    ///
+    /// Read-only visibility for the audit layer's conservation checks;
+    /// the router/NI hot path never calls this.
+    pub fn iter_in_flight(&self) -> impl Iterator<Item = &Flit> {
+        self.in_flight.iter().map(|(_, f)| f)
+    }
 }
 
 /// The upstream credit-return path paired with a [`Link`].
@@ -147,6 +155,18 @@ impl CreditLink {
     /// Whether no credits are in flight.
     pub fn is_idle(&self) -> bool {
         self.in_flight.is_empty()
+    }
+
+    /// Number of credits currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Iterates over the VCs of the credits currently in flight.
+    ///
+    /// Read-only visibility for the audit layer's conservation checks.
+    pub fn iter_in_flight(&self) -> impl Iterator<Item = VcId> + '_ {
+        self.in_flight.iter().map(|(_, vc)| *vc)
     }
 }
 
@@ -236,5 +256,21 @@ mod tests {
         assert_eq!(link.in_flight(), 2);
         let _ = link.recv(Cycles(5));
         assert_eq!(link.in_flight(), 1);
+    }
+
+    #[test]
+    fn audit_iterators_see_in_flight_state() {
+        let mut link = Link::new(Cycles(5));
+        link.send(Cycles(0), flit(0));
+        link.send(Cycles(1), flit(1));
+        let seqs: Vec<u32> = link.iter_in_flight().map(|f| f.seq_in_msg).collect();
+        assert_eq!(seqs, vec![0, 1]);
+
+        let mut credits = CreditLink::new(Cycles(2));
+        credits.send(Cycles(0), VcId(3));
+        credits.send(Cycles(0), VcId(1));
+        assert_eq!(credits.in_flight(), 2);
+        let vcs: Vec<VcId> = credits.iter_in_flight().collect();
+        assert_eq!(vcs, vec![VcId(3), VcId(1)]);
     }
 }

@@ -1,0 +1,229 @@
+//! Audit sink: structured flow-control invariant violations.
+//!
+//! The audit layer (enabled per run, mirroring [`telemetry`]'s
+//! free-when-off design) verifies wormhole flow-control invariants —
+//! credit conservation, flit conservation, worm ordering — and files every
+//! violation into an [`AuditLog`]. Like telemetry, this crate sits below
+//! the typed network crates, so violations carry raw integer identifiers.
+//!
+//! The log stores at most [`AuditLog::MAX_STORED`] violations verbatim (a
+//! broken invariant typically re-fires on every audit pass; keeping the
+//! first few is what a human needs) but counts all of them in
+//! [`AuditLog::total`].
+//!
+//! [`telemetry`]: crate::telemetry
+//!
+//! # Example
+//!
+//! ```
+//! use netsim::audit::{AuditLog, Violation, ViolationKind};
+//!
+//! let mut log = AuditLog::new();
+//! assert!(log.is_clean());
+//! log.record(Violation {
+//!     cycle: 512,
+//!     router: Some(1),
+//!     port: 2,
+//!     vc: 0,
+//!     kind: ViolationKind::CreditConservation,
+//!     detail: "5 credits + 16 buffered > 20 capacity".into(),
+//! });
+//! assert_eq!(log.total(), 1);
+//! assert!(log.violations()[0].to_string().contains("credit-conservation"));
+//! ```
+
+use std::fmt;
+
+/// The invariant a [`Violation`] breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// Per-VC credits + in-flight flits/credits + downstream occupancy no
+    /// longer sum to the downstream buffer capacity: a credit was minted or
+    /// lost rather than matched to a freed slot.
+    CreditConservation,
+    /// A sender holds more credits for a VC than the downstream buffer has
+    /// slots.
+    CreditOverflow,
+    /// Flits in flight no longer match the sum of queue, link and buffer
+    /// occupancy: a flit was duplicated or dropped inside the network.
+    FlitConservation,
+    /// A VC buffer's flit sequence is not a well-formed run of worms
+    /// (head→body→tail, no interleaving).
+    WormOrder,
+    /// An output staging queue grew beyond its configured capacity.
+    StagingOverflow,
+    /// An input VC holds a grant on an output VC that has no recorded
+    /// owner, or one owned by a different message.
+    GrantWithoutOwner,
+}
+
+impl ViolationKind {
+    /// The stable lowercase label for this kind (used in JSON output).
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::CreditConservation => "credit-conservation",
+            ViolationKind::CreditOverflow => "credit-overflow",
+            ViolationKind::FlitConservation => "flit-conservation",
+            ViolationKind::WormOrder => "worm-order",
+            ViolationKind::StagingOverflow => "staging-overflow",
+            ViolationKind::GrantWithoutOwner => "grant-without-owner",
+        }
+    }
+}
+
+/// One observed invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Simulation cycle the audit pass observed the violation on.
+    pub cycle: u64,
+    /// Router id, or `None` for endpoint/injection-side violations.
+    pub router: Option<u32>,
+    /// Port (router) or node id (endpoint).
+    pub port: u32,
+    /// Virtual channel involved (0 when the violation is not per-VC).
+    pub vc: u32,
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// Human-readable specifics (observed vs. expected values).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.router {
+            Some(r) => write!(
+                f,
+                "[cycle {}] {} at router {} port {} vc {}: {}",
+                self.cycle,
+                self.kind.label(),
+                r,
+                self.port,
+                self.vc,
+                self.detail
+            ),
+            None => write!(
+                f,
+                "[cycle {}] {} at node {} vc {}: {}",
+                self.cycle,
+                self.kind.label(),
+                self.port,
+                self.vc,
+                self.detail
+            ),
+        }
+    }
+}
+
+/// Accumulates [`Violation`]s across a run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditLog {
+    violations: Vec<Violation>,
+    total: u64,
+}
+
+impl AuditLog {
+    /// Violations stored verbatim; beyond this only [`AuditLog::total`]
+    /// keeps counting.
+    pub const MAX_STORED: usize = 64;
+
+    /// Creates an empty log.
+    pub fn new() -> AuditLog {
+        AuditLog::default()
+    }
+
+    /// Files one violation.
+    pub fn record(&mut self, v: Violation) {
+        self.total += 1;
+        if self.violations.len() < AuditLog::MAX_STORED {
+            self.violations.push(v);
+        }
+    }
+
+    /// Total violations observed, including ones beyond the storage cap.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no violation has been observed.
+    pub fn is_clean(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The stored violations (first [`AuditLog::MAX_STORED`] observed).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(cycle: u64) -> Violation {
+        Violation {
+            cycle,
+            router: Some(3),
+            port: 1,
+            vc: 2,
+            kind: ViolationKind::CreditOverflow,
+            detail: "21 credits for a 20-slot buffer".into(),
+        }
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let log = AuditLog::new();
+        assert!(log.is_clean());
+        assert_eq!(log.total(), 0);
+        assert!(log.violations().is_empty());
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut log = AuditLog::new();
+        log.record(violation(10));
+        log.record(violation(11));
+        assert!(!log.is_clean());
+        assert_eq!(log.total(), 2);
+        assert_eq!(log.violations().len(), 2);
+        assert_eq!(log.violations()[0].cycle, 10);
+    }
+
+    #[test]
+    fn storage_caps_but_total_keeps_counting() {
+        let mut log = AuditLog::new();
+        for c in 0..200 {
+            log.record(violation(c));
+        }
+        assert_eq!(log.total(), 200);
+        assert_eq!(log.violations().len(), AuditLog::MAX_STORED);
+        assert_eq!(log.violations().last().unwrap().cycle, 63);
+    }
+
+    #[test]
+    fn display_includes_site_and_kind() {
+        let text = violation(99).to_string();
+        assert!(text.contains("cycle 99"));
+        assert!(text.contains("credit-overflow"));
+        assert!(text.contains("router 3"));
+        let endpoint = Violation {
+            router: None,
+            ..violation(7)
+        };
+        assert!(endpoint.to_string().contains("node 1"));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            ViolationKind::CreditConservation.label(),
+            "credit-conservation"
+        );
+        assert_eq!(ViolationKind::FlitConservation.label(), "flit-conservation");
+        assert_eq!(ViolationKind::WormOrder.label(), "worm-order");
+        assert_eq!(
+            ViolationKind::GrantWithoutOwner.label(),
+            "grant-without-owner"
+        );
+    }
+}

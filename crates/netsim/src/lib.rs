@@ -18,6 +18,8 @@
 //!   helpers used to compute the paper's d̄ / σ_d metrics.
 //! * [`telemetry`] — the [`TelemetrySink`] trait plus the no-op and JSONL
 //!   sinks that the simulators feed flit lifecycle events into.
+//! * [`audit`] — the [`AuditLog`] of flow-control invariant violations
+//!   that the simulators' audit mode files findings into.
 //!
 //! # Example
 //!
@@ -40,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod calendar;
 pub mod dist;
 pub mod rng;
@@ -47,6 +50,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 
+pub use audit::{AuditLog, Violation, ViolationKind};
 pub use calendar::Calendar;
 pub use rng::SimRng;
 pub use stats::{Histogram, RunningStats};

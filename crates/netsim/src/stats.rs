@@ -170,6 +170,7 @@ pub struct Histogram {
     buckets: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    non_finite: u64,
     count: u64,
 }
 
@@ -188,12 +189,22 @@ impl Histogram {
             buckets: vec![0; n],
             underflow: 0,
             overflow: 0,
+            non_finite: 0,
             count: 0,
         }
     }
 
     /// Records one sample.
+    ///
+    /// Non-finite samples (`NaN`, `±∞`) are tallied separately via
+    /// [`Histogram::non_finite`] and excluded from [`Histogram::count`]
+    /// and percentiles — `NaN as usize` is `0`, so filing them into
+    /// bucket 0 would silently skew the low percentiles.
     pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
         self.count += 1;
         if x < self.lo {
             self.underflow += 1;
@@ -220,6 +231,11 @@ impl Histogram {
     /// Samples at or above the histogram range.
     pub fn overflow(&self) -> u64 {
         self.overflow
+    }
+
+    /// Non-finite samples (`NaN`, `±∞`) rejected by [`Histogram::record`].
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
     }
 
     /// The bucket counts.
@@ -343,5 +359,26 @@ mod tests {
     fn percentile_of_empty_panics() {
         let h = Histogram::new(0.0, 1.0, 4);
         let _ = h.percentile(50.0);
+    }
+
+    #[test]
+    fn histogram_excludes_non_finite_samples() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        // NaN must not land in bucket 0 and must not count as a sample.
+        assert_eq!(h.buckets()[0], 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.non_finite(), 3);
+        // Percentiles only see the finite samples.
+        h.record(5.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.non_finite(), 4);
+        let p50 = h.percentile(50.0);
+        assert!((5.0..=6.0).contains(&p50), "p50 = {p50}");
     }
 }

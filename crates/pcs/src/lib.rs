@@ -43,4 +43,4 @@ pub mod sim;
 
 pub use config::PcsConfig;
 pub use netmodel::{PcsCounters, PcsNetwork};
-pub use sim::{run, PcsOutcome};
+pub use sim::{run, PcsOutcome, PcsStall, PCS_STALL_CYCLES};

@@ -35,6 +35,28 @@ pub struct PcsOutcome {
     pub cycles: u64,
     /// Link-multiplexer telemetry counters over the whole run.
     pub counters: PcsCounters,
+    /// Progress-watchdog report, set if the run was cut short because
+    /// flits were in flight but nothing moved for [`PCS_STALL_CYCLES`].
+    pub stall: Option<PcsStall>,
+}
+
+/// Cycles of zero forwarding progress (with flits in flight) after which
+/// the PCS driver declares the model stalled and stops the run.
+///
+/// Pipelined circuits cannot block each other once established, so any
+/// trip is a model bug — this is a safety net mirroring the wormhole
+/// network's watchdog, not an expected outcome.
+pub const PCS_STALL_CYCLES: u64 = 100_000;
+
+/// A stall detected by the PCS progress watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcsStall {
+    /// Cycle at which the stall was declared.
+    pub cycle: u64,
+    /// Cycles since the last forwarded flit.
+    pub stalled_for: u64,
+    /// Flits stuck in flight.
+    pub flits_in_flight: u64,
 }
 
 /// A stream waiting to connect or connected.
@@ -103,6 +125,9 @@ pub fn run(
     // Probe + ack round trip before data may flow.
     let rtt = Cycles(u64::from(cfg.pipe_cycles) * 2 + 2);
 
+    let mut stall = None;
+    let mut last_forwarded = 0u64;
+    let mut last_progress_at = Cycles::ZERO;
     let mut now = Cycles::ZERO;
     while now < end {
         while let Some((_, ev)) = calendar.pop_due(now) {
@@ -157,9 +182,22 @@ pub fn run(
         }
         net.step(now);
         if net.is_idle() {
+            last_progress_at = now;
             let next = calendar.next_at().unwrap_or(end);
             now = next.max(now + Cycles(1));
         } else {
+            let forwarded = net.counters().flits_forwarded;
+            if forwarded != last_forwarded {
+                last_forwarded = forwarded;
+                last_progress_at = now;
+            } else if (now - last_progress_at).get() >= PCS_STALL_CYCLES {
+                stall = Some(PcsStall {
+                    cycle: now.get(),
+                    stalled_for: (now - last_progress_at).get(),
+                    flits_in_flight: net.flits_in_flight(),
+                });
+                break;
+            }
             now += Cycles(1);
         }
     }
@@ -172,6 +210,7 @@ pub fn run(
         offered,
         cycles: end.get(),
         counters: net.counters(),
+        stall,
     }
 }
 
@@ -237,5 +276,16 @@ mod tests {
         assert!(out.cycles > 0);
         assert!(out.counters.flits_forwarded > 0);
         assert!(out.counters.mean_occupancy().is_some());
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_across_the_load_range() {
+        // Established circuits are pipelined and cannot block each other;
+        // a stall would be a model bug, and even past saturation the
+        // watchdog must stay quiet.
+        for (load, seed) in [(0.4, 7), (0.9, 8), (1.1, 9)] {
+            let out = run(load, &PcsConfig::paper_default(), 0.05, 0.1, seed);
+            assert_eq!(out.stall, None, "load {load} stalled");
+        }
     }
 }

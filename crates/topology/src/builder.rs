@@ -45,6 +45,46 @@ pub(crate) fn single_switch(ports: u32) -> Topology {
     )
 }
 
+/// A unidirectional-routing ring of `n` switches, `endpoints` endpoints
+/// per switch. Router `r`'s port 0 is the clockwise out-link to router
+/// `(r+1) mod n` (arriving on its port 1); ports `2..2+endpoints` carry
+/// the endpoints. All traffic routes clockwise, so worms crossing several
+/// switches close a channel-dependency cycle around the ring — the ring is
+/// deliberately deadlock-prone (no dateline VC scheme) and exists to
+/// validate the progress watchdog.
+pub(crate) fn ring(n: u32, endpoints: u32) -> Topology {
+    assert!(n >= 2, "a ring needs at least two switches");
+    assert!(endpoints >= 1, "each switch needs at least one endpoint");
+
+    let mut specs: Vec<RouterSpec> = Vec::with_capacity(n as usize);
+    let mut attachments = Vec::with_capacity((n * endpoints) as usize);
+    for r in 0..n {
+        let mut ports = Vec::with_capacity((2 + endpoints) as usize);
+        // Port 0: clockwise out-link; port 1: the link from the
+        // counter-clockwise neighbour.
+        ports.push(PortTarget::Router {
+            router: RouterId((r + 1) % n),
+            port: PortId(1),
+        });
+        ports.push(PortTarget::Router {
+            router: RouterId((r + n - 1) % n),
+            port: PortId(0),
+        });
+        for e in 0..endpoints {
+            let node = NodeId(r * endpoints + e);
+            ports.push(PortTarget::Node(node));
+            attachments.push((RouterId(r), PortId(2 + e)));
+        }
+        specs.push(RouterSpec { ports });
+    }
+
+    let routes = RouteTable::build(&specs, &attachments, move |at, _goal| {
+        RouterId((at.get() + 1) % n)
+    });
+
+    Topology::from_parts(format!("ring-{n}-e{endpoints}"), specs, attachments, routes)
+}
+
 /// Grid coordinates of router `r` in a `w`-wide mesh.
 fn coords(r: RouterId, w: u32) -> (u32, u32) {
     (r.get() % w, r.get() / w)

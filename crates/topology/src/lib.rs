@@ -99,6 +99,23 @@ impl Topology {
         builder::fat_tree(leaves, roots, endpoints)
     }
 
+    /// A unidirectional ring of `n` switches with `endpoints` endpoints
+    /// each: port 0 is the clockwise out-link, port 1 the in-link from the
+    /// counter-clockwise neighbour, and all traffic routes clockwise.
+    ///
+    /// With a single VC lane this closes the classic channel-dependency
+    /// cycle around the ring — the topology is **deliberately
+    /// deadlock-prone** (no dateline VC scheme) and exists to exercise the
+    /// core crate's progress watchdog; do not use it for performance
+    /// studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `endpoints == 0`.
+    pub fn ring(n: u32, endpoints: u32) -> Topology {
+        builder::ring(n, endpoints)
+    }
+
     /// Human-readable topology name (for reports).
     pub fn name(&self) -> &str {
         &self.name
@@ -358,6 +375,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ring_shape_and_clockwise_routes() {
+        let t = Topology::ring(3, 2);
+        assert_eq!(t.router_count(), 3);
+        assert_eq!(t.node_count(), 6);
+        for r in 0..3 {
+            assert_eq!(t.ports_of(RouterId(r)), 4);
+            // Port 0 goes clockwise, arriving on the neighbour's port 1.
+            assert_eq!(
+                t.target_of(RouterId(r), PortId(0)),
+                PortTarget::Router {
+                    router: RouterId((r + 1) % 3),
+                    port: PortId(1),
+                }
+            );
+        }
+        // Wiring symmetry.
+        for (rid, spec) in t.routers() {
+            for (pidx, target) in spec.ports.iter().enumerate() {
+                if let PortTarget::Router { router, port } = target {
+                    match t.target_of(*router, *port) {
+                        PortTarget::Router {
+                            router: br,
+                            port: bp,
+                        } => {
+                            assert_eq!(br, rid);
+                            assert_eq!(bp, PortId(pidx as u32));
+                        }
+                        PortTarget::Node(_) => panic!("asymmetric wiring"),
+                    }
+                }
+            }
+        }
+        // All remote traffic leaves on port 0 (clockwise only), even when
+        // counter-clockwise would be shorter; local traffic ejects.
+        let cands = t.route(RouterId(1), NodeId(0)); // node 0 is on router 0
+        assert_eq!(cands, &[PortId(0)]);
+        let (r, p) = t.attachment(NodeId(3));
+        assert_eq!(t.route(r, NodeId(3)), &[p]);
+        // Going all the way round: router 0 → node on router 2 takes 2 hops.
+        assert_eq!(t.hops(NodeId(0), NodeId(4)), 2);
     }
 
     #[test]

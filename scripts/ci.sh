@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the full test suite.
+# Local CI gate: formatting, lints, the full test suite, and audit mode.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
+
+# Audit mode: the flow-control invariant checks must stay clean on healthy
+# runs AND flag an injected credit fault (mutation coverage), and the
+# progress watchdog must classify the crafted deadlock without false
+# positives elsewhere. These run as part of the full suite above; naming
+# them keeps the gate loud if they are ever renamed away.
+cargo test -q -p mediaworm audit
+cargo test -q -p mediaworm watchdog
+cargo test -q -p pcs-router watchdog
