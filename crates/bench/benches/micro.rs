@@ -182,12 +182,64 @@ fn bench_telemetry(c: &mut Criterion) {
     g.finish();
 }
 
+/// A fig. 3-configured network (16-VC switch, 80:20 mix) warmed into
+/// steady state — the configuration whose scan cost the occupancy-driven
+/// active sets attack.
+fn fig3_network(load: f64) -> Network {
+    let topology = Topology::single_switch(8);
+    let wl = WorkloadBuilder::new(8, VcPartition::from_mix(16, 80.0, 20.0))
+        .load(load)
+        .mix(80.0, 20.0)
+        .real_time_class(StreamClass::Vbr)
+        .seed(3)
+        .build();
+    let mut net = Network::new(&topology, wl, &RouterConfig::default());
+    let tb = net.timebase();
+    net.run_until(tb.cycles_from_ms(2.0));
+    net
+}
+
+/// Occupancy-driven stepping vs. the full-scan reference on the fig. 3
+/// configuration: per-cycle work should track flits in flight, not
+/// ports × VCs, so `active` must beat `reference` — most visibly at 16
+/// VCs under high load.
+fn bench_net_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_step");
+    g.sample_size(20);
+    for &load in &[0.3, 0.96] {
+        g.bench_function(format!("active_fig3_load_{load}_10k_cycles"), |b| {
+            b.iter_batched(
+                || fig3_network(load),
+                |mut net| {
+                    let end = net.now() + Cycles(10_000);
+                    net.run_until(end);
+                    black_box(net.delivered_flits())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        g.bench_function(format!("reference_fig3_load_{load}_10k_cycles"), |b| {
+            b.iter_batched(
+                || fig3_network(load),
+                |mut net| {
+                    let end = net.now() + Cycles(10_000);
+                    net.run_until_reference(end);
+                    black_box(net.delivered_flits())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_scheduler,
     bench_calendar,
     bench_normal,
     bench_router_cycle,
+    bench_net_step,
     bench_telemetry
 );
 criterion_main!(benches);

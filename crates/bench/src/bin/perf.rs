@@ -1,0 +1,11 @@
+//! Simulator throughput harness (`--perf` mode): times occupancy-driven
+//! stepping against the full-scan reference and the standard fig. 3
+//! sweep, and writes `BENCH_perf.json`. See `mediaworm_bench::perf`.
+
+fn main() {
+    let args = mediaworm_bench::RunArgs::from_env();
+    let doc = mediaworm_bench::perf::run_perf(&args);
+    let path = "BENCH_perf.json";
+    std::fs::write(path, format!("{doc}\n")).expect("write perf json");
+    println!("json results written to {path}");
+}

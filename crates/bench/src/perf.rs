@@ -1,0 +1,181 @@
+//! Simulator-throughput harness (the `perf` binary / CI perf-smoke job).
+//!
+//! Times the things the ROADMAP's "as fast as the hardware allows" goal
+//! cares about and writes them to `BENCH_perf.json`:
+//!
+//! * **Stepping throughput** (`net_step`): simulated cycles per wall-clock
+//!   second of a fig. 3-configured network (8-port switch, 16 VCs, 80:20
+//!   mix) at a low and a high load point, for both the occupancy-driven
+//!   active-set stepping and the full-scan reference — plus the
+//!   active/reference speedup at each load.
+//! * **Sweep throughput**: wall-clock and cycles/second of the standard
+//!   fig. 3 sweep through the parallel harness, exactly as `--json` runs
+//!   report it.
+//!
+//! The numbers are hardware-dependent; the point of recording them per CI
+//! run is the *trend* (and the speedup ratio, which is dimensionless).
+
+use std::time::Instant;
+
+use flitnet::VcPartition;
+use mediaworm::{Network, RouterConfig};
+use metrics::Json;
+use netsim::Cycles;
+use topo::Topology;
+use traffic::{StreamClass, WorkloadBuilder};
+
+use crate::{experiments, RunArgs};
+
+/// One timed stepping measurement.
+#[derive(Debug, Clone)]
+pub struct StepTiming {
+    /// Offered load of the point.
+    pub load: f64,
+    /// `"active"` (occupancy-driven) or `"reference"` (full scan).
+    pub mode: &'static str,
+    /// Simulated cycles covered by the timed window.
+    pub cycles: u64,
+    /// Wall-clock seconds the window took.
+    pub wall_secs: f64,
+}
+
+impl StepTiming {
+    /// Simulated cycles per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_secs.max(1e-12)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("load", Json::num(self.load)),
+            ("mode", Json::str(self.mode)),
+            ("cycles", Json::Uint(self.cycles)),
+            ("wall_secs", Json::num(self.wall_secs)),
+            ("cycles_per_sec", Json::num(self.cycles_per_sec())),
+        ])
+    }
+}
+
+/// A fig. 3-configured network (16-VC Virtual Clock switch, 80:20 mix)
+/// warmed 2 simulated ms into a busy steady state.
+fn fig3_network(load: f64, seed: u64) -> Network {
+    let topology = Topology::single_switch(8);
+    let wl = WorkloadBuilder::new(8, VcPartition::from_mix(16, 80.0, 20.0))
+        .load(load)
+        .mix(80.0, 20.0)
+        .real_time_class(StreamClass::Vbr)
+        .seed(seed)
+        .build();
+    let mut net = Network::new(&topology, wl, &RouterConfig::default());
+    let tb = net.timebase();
+    net.run_until(tb.cycles_from_ms(2.0));
+    net
+}
+
+/// Times `cycles` of steady-state stepping at `load` in the given mode.
+fn time_stepping(load: f64, seed: u64, cycles: u64, reference: bool) -> StepTiming {
+    let mut net = fig3_network(load, seed);
+    let end = net.now() + Cycles(cycles);
+    let started = Instant::now();
+    if reference {
+        net.run_until_reference(end);
+    } else {
+        net.run_until(end);
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    std::hint::black_box(net.delivered_flits());
+    StepTiming {
+        load,
+        mode: if reference { "reference" } else { "active" },
+        cycles,
+        wall_secs,
+    }
+}
+
+/// Runs the full perf harness and returns the `BENCH_perf.json` document.
+///
+/// Honors `--quick` (shorter stepping windows and the quick sweep),
+/// `--seed` and `--jobs`. Prints a human-readable summary as it goes.
+pub fn run_perf(args: &RunArgs) -> Json {
+    let cycles: u64 = if args.quick { 100_000 } else { 400_000 };
+    println!("== simulator throughput (perf) ==");
+    println!(
+        "   fig3 config: 8-port switch, 16 VCs, 80:20 mix, seed {}",
+        args.seed
+    );
+    println!();
+
+    let mut timings: Vec<StepTiming> = Vec::new();
+    let mut speedups: Vec<(f64, f64)> = Vec::new();
+    for &load in &[0.3, 0.96] {
+        let active = time_stepping(load, args.seed, cycles, false);
+        let reference = time_stepping(load, args.seed, cycles, true);
+        let speedup = active.cycles_per_sec() / reference.cycles_per_sec();
+        println!(
+            "   load {load:.2}: active {:>10.0} cyc/s | reference {:>10.0} cyc/s | speedup {speedup:.2}x",
+            active.cycles_per_sec(),
+            reference.cycles_per_sec(),
+        );
+        speedups.push((load, speedup));
+        timings.push(active);
+        timings.push(reference);
+    }
+    println!();
+
+    // The standard sweep, timed the same way `--json` runs are.
+    let started = Instant::now();
+    let sweep = experiments::fig3(args);
+    let sweep_secs = started.elapsed().as_secs_f64();
+    println!(
+        "   fig3 sweep: {} simulated cycles in {:.2} s ({:.0} cyc/s)",
+        sweep.sim_cycles,
+        sweep_secs,
+        sweep.sim_cycles as f64 / sweep_secs.max(1e-12),
+    );
+
+    Json::obj([
+        ("experiment", Json::str("perf")),
+        (
+            "net_step",
+            Json::arr(timings.iter().map(StepTiming::to_json)),
+        ),
+        (
+            "speedup",
+            Json::arr(speedups.iter().map(|&(load, s)| {
+                Json::obj([
+                    ("load", Json::num(load)),
+                    ("active_over_reference", Json::num(s)),
+                ])
+            })),
+        ),
+        ("sweep", sweep.to_json(sweep_secs)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_timing_reports_finite_throughput() {
+        let t = time_stepping(0.5, 7, 5_000, false);
+        assert_eq!(t.cycles, 5_000);
+        assert!(t.cycles_per_sec().is_finite() && t.cycles_per_sec() > 0.0);
+        let r = time_stepping(0.5, 7, 5_000, true);
+        assert_eq!(r.mode, "reference");
+        assert!(r.cycles_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn perf_json_has_the_expected_shape() {
+        let t = StepTiming {
+            load: 0.96,
+            mode: "active",
+            cycles: 1000,
+            wall_secs: 0.5,
+        };
+        let doc = t.to_json().to_string();
+        assert!(doc.contains("\"mode\":\"active\""));
+        assert!(doc.contains("\"cycles_per_sec\":2000"));
+    }
+}

@@ -16,7 +16,6 @@
 //! next injection event — at MPEG-2 rates the network is idle most of the
 //! time below saturation, and the skip keeps low-load points cheap.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use flitnet::{CreditLink, Flit, Link, NodeId, PortId, RouterId, VcId};
@@ -30,7 +29,7 @@ use traffic::{ScheduledMessage, Workload};
 use crate::audit::{AuditConfig, StallKind, StallReport, WatchdogConfig};
 use crate::config::RouterConfig;
 use crate::counters::NetCounters;
-use crate::router::{CreditReturn, Departure, Router};
+use crate::router::{sorted_insert, CreditReturn, Departure, Router};
 use crate::scheduler::MuxScheduler;
 
 /// Credits given to endpoint-attached output ports: endpoints consume at
@@ -68,6 +67,9 @@ struct Endpoint {
     sched: MuxScheduler,
     credits: Vec<u32>,
     link: usize,
+    /// Flits queued across all VCs: the NI's O(1) idle test (`ni_send`
+    /// visits only endpoints with `queued > 0`).
+    queued: u64,
     /// VC of the worm currently being injected. The NI drains a message's
     /// flits back-to-back when it can (like a DMA engine), so worms enter
     /// the network compact; pacing between competing worms is the
@@ -100,8 +102,11 @@ struct WatchdogState {
 struct Sinks {
     delivery: DeliveryTracker,
     latency: LatencyTracker,
-    /// Per real-time stream: tails seen per in-flight frame.
-    frame_tails: Vec<HashMap<u32, u32>>,
+    /// Per real-time stream: `(frame, tails seen)` for each in-flight
+    /// frame, sorted ascending by frame id. A stream has at most a
+    /// handful of frames in flight, so a sorted small-vec beats a hash
+    /// map on the delivery path (no hashing, no rehash allocation).
+    frame_tails: Vec<Vec<(u32, u32)>>,
     delivered_msgs: u64,
     delivered_flits: u64,
 }
@@ -136,10 +141,22 @@ pub struct Network {
     /// Reusable per-cycle buffer for output-stage departures.
     depart_buf: Vec<Departure>,
     /// Links with at least one flit or credit in flight; `deliver` scans
-    /// only these, so idle links cost nothing per cycle.
+    /// only these, so idle links cost nothing per cycle. Kept sorted
+    /// ascending so the scan visits links in the same order as the
+    /// full-scan reference (delivery order is observable: it fixes the
+    /// float-accumulation order in the trackers and the trace byte
+    /// order).
     active_links: Vec<usize>,
     /// Whether each link is in `active_links` (same indexing as `links`).
     link_active: Vec<bool>,
+    /// Endpoints with flits queued at the NI; `ni_send` scans only these.
+    /// Sorted ascending for the same order-identity reason as
+    /// `active_links`. An endpoint joins on injection and leaves once its
+    /// queues drain (`queued == 0` — which implies no open worm, since a
+    /// message's flits are queued atomically).
+    active_eps: Vec<usize>,
+    /// Whether each endpoint is in `active_eps`.
+    ep_active: Vec<bool>,
     /// Flits sent per link (same indexing as `links`), for utilisation
     /// statistics.
     link_sent: Vec<u64>,
@@ -226,6 +243,7 @@ impl Network {
                 sched: MuxScheduler::new(cfg.scheduler_kind(), m as usize),
                 credits: vec![cfg.buf_flits_value(); m as usize],
                 link: links.len() - 1,
+                queued: 0,
                 current: None,
             });
         }
@@ -297,6 +315,8 @@ impl Network {
             depart_buf: Vec::new(),
             active_links: Vec::new(),
             link_active: vec![false; link_count],
+            active_eps: Vec::new(),
+            ep_active: vec![false; node_count],
             link_sent: vec![0; link_count],
             stats_start: Cycles::ZERO,
             trace: false,
@@ -312,7 +332,16 @@ impl Network {
     fn activate_link(link_active: &mut [bool], active_links: &mut Vec<usize>, l: usize) {
         if !link_active[l] {
             link_active[l] = true;
-            active_links.push(l);
+            sorted_insert(active_links, l);
+        }
+    }
+
+    /// Marks endpoint `n` as having queued flits so `ni_send` will scan
+    /// it.
+    fn activate_ep(ep_active: &mut [bool], active_eps: &mut Vec<usize>, n: usize) {
+        if !ep_active[n] {
+            ep_active[n] = true;
+            sorted_insert(active_eps, n);
         }
     }
 
@@ -479,10 +508,30 @@ impl Network {
     /// the run early with a [`StallReport`] available from
     /// [`Network::stall_report`].
     pub fn run_until_with(&mut self, end: Cycles, sink: &mut dyn TelemetrySink) {
+        self.run_until_impl(end, sink, false);
+    }
+
+    /// Runs the simulation until cycle `end` using the *full-scan
+    /// reference* stepping mode: every phase scans every slot, as the
+    /// code did before the occupancy-driven active sets existed. Kept as
+    /// the oracle for the bit-identity tests — a run here must produce
+    /// exactly the same counters, stall reports and trace bytes as
+    /// [`Network::run_until`].
+    pub fn run_until_reference(&mut self, end: Cycles) {
+        self.run_until_reference_with(end, &mut NoopSink);
+    }
+
+    /// [`Network::run_until_reference`], streaming flit events into
+    /// `sink`.
+    pub fn run_until_reference_with(&mut self, end: Cycles, sink: &mut dyn TelemetrySink) {
+        self.run_until_impl(end, sink, true);
+    }
+
+    fn run_until_impl(&mut self, end: Cycles, sink: &mut dyn TelemetrySink, reference: bool) {
         self.set_tracing(sink.is_enabled());
         let checked = self.audit.is_some() || self.watchdog.is_some();
         while self.now < end {
-            self.step_with(sink);
+            self.step_impl(sink, reference);
             if checked {
                 self.safety_check();
                 if self.stall.is_some() {
@@ -529,13 +578,25 @@ impl Network {
     /// driving the network step by step must arm tracing themselves (it
     /// is off by default); [`Network::run_until_with`] does it for them.
     pub fn step_with(&mut self, sink: &mut dyn TelemetrySink) {
+        self.step_impl(sink, false);
+    }
+
+    fn step_impl(&mut self, sink: &mut dyn TelemetrySink, reference: bool) {
         let now = self.now;
         self.inject(now, sink);
-        self.deliver(now, sink);
-        self.route_and_arbitrate(now, sink);
-        self.crossbar(now, sink);
-        self.output(now);
-        self.ni_send(now);
+        if reference {
+            self.deliver_reference(now, sink);
+        } else {
+            self.deliver(now, sink);
+        }
+        self.route_and_arbitrate(now, sink, reference);
+        self.crossbar(now, sink, reference);
+        self.output(now, reference);
+        if reference {
+            self.ni_send_reference(now);
+        } else {
+            self.ni_send(now);
+        }
     }
 
     /// Phase 1: fire due injections into the NI queues.
@@ -548,6 +609,8 @@ impl Network {
                 ep.queues[v].push_back(*flit);
                 ep.sched.on_arrival(v, now, flit);
             }
+            ep.queued += msg.flits.len() as u64;
+            Self::activate_ep(&mut self.ep_active, &mut self.active_eps, msg.src.index());
             if self.trace {
                 // One event per message; `port` holds the source node id
                 // (there is no router at the injection point).
@@ -581,41 +644,71 @@ impl Network {
         let mut i = 0;
         while i < self.active_links.len() {
             let l = self.active_links[i];
-            let lp = &mut self.links[l];
-            while let Some(flit) = lp.flit.recv(now) {
-                match lp.rx {
-                    RxSide::RouterIn { router, port } => {
-                        self.routers[router].receive_flit(now, port, flit);
-                    }
-                    RxSide::Node => {
-                        Self::sink_flit(
-                            &mut self.sinks,
-                            &mut self.flits_in_flight,
-                            now,
-                            flit,
-                            self.trace,
-                            sink,
-                        );
-                    }
-                }
-            }
-            while let Some(vc) = lp.credit.recv(now) {
-                match lp.tx {
-                    TxSide::RouterOut { router, port } => {
-                        self.routers[router].receive_credit(port, vc);
-                    }
-                    TxSide::Ni { node } => {
-                        self.endpoints[node].credits[vc.index()] += 1;
-                    }
-                }
-            }
-            if lp.flit.is_idle() && lp.credit.is_idle() {
+            if self.deliver_link(l, now, sink) {
                 self.link_active[l] = false;
-                self.active_links.swap_remove(i);
+                // Order-preserving removal keeps the list sorted.
+                self.active_links.remove(i);
             } else {
                 i += 1;
             }
         }
+    }
+
+    /// Phase 2, reference mode: scan *every* link in index order (the
+    /// order the sorted active list reproduces), then prune the active
+    /// list exactly as the optimized scan would have.
+    fn deliver_reference(&mut self, now: Cycles, sink: &mut dyn TelemetrySink) {
+        for l in 0..self.links.len() {
+            let drained = self.deliver_link(l, now, sink);
+            debug_assert!(
+                drained || self.link_active[l],
+                "a busy link must be on the active list"
+            );
+        }
+        let mut i = 0;
+        while i < self.active_links.len() {
+            let l = self.active_links[i];
+            if self.links[l].flit.is_idle() && self.links[l].credit.is_idle() {
+                self.link_active[l] = false;
+                self.active_links.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Drains everything due on link `l` this cycle; returns whether the
+    /// link is now fully idle (nothing left in flight either way).
+    fn deliver_link(&mut self, l: usize, now: Cycles, sink: &mut dyn TelemetrySink) -> bool {
+        let lp = &mut self.links[l];
+        while let Some(flit) = lp.flit.recv(now) {
+            match lp.rx {
+                RxSide::RouterIn { router, port } => {
+                    self.routers[router].receive_flit(now, port, flit);
+                }
+                RxSide::Node => {
+                    Self::sink_flit(
+                        &mut self.sinks,
+                        &mut self.flits_in_flight,
+                        now,
+                        flit,
+                        self.trace,
+                        sink,
+                    );
+                }
+            }
+        }
+        while let Some(vc) = lp.credit.recv(now) {
+            match lp.tx {
+                TxSide::RouterOut { router, port } => {
+                    self.routers[router].receive_credit(port, vc);
+                }
+                TxSide::Ni { node } => {
+                    self.endpoints[node].credits[vc.index()] += 1;
+                }
+            }
+        }
+        lp.flit.is_idle() && lp.credit.is_idle()
     }
 
     fn sink_flit(
@@ -649,12 +742,23 @@ impl Network {
         if flit.class.is_real_time() {
             let s = flit.stream.index();
             if s >= sinks.frame_tails.len() {
-                sinks.frame_tails.resize_with(s + 1, HashMap::new);
+                sinks.frame_tails.resize_with(s + 1, Vec::new);
             }
-            let tails = sinks.frame_tails[s].entry(flit.frame.get()).or_insert(0);
-            *tails += 1;
-            if *tails == flit.msgs_in_frame {
-                sinks.frame_tails[s].remove(&flit.frame.get());
+            let frames = &mut sinks.frame_tails[s];
+            let frame = flit.frame.get();
+            let pos = frames.partition_point(|&(f, _)| f < frame);
+            let tails = match frames.get_mut(pos) {
+                Some(entry) if entry.0 == frame => {
+                    entry.1 += 1;
+                    entry.1
+                }
+                _ => {
+                    frames.insert(pos, (frame, 1));
+                    1
+                }
+            };
+            if tails == flit.msgs_in_frame {
+                frames.remove(pos);
                 sinks.delivery.record_frame(flit.stream, now);
             }
         } else {
@@ -663,26 +767,34 @@ impl Network {
     }
 
     /// Phase 3: stages 2–3 on every router.
-    fn route_and_arbitrate(&mut self, now: Cycles, sink: &mut dyn TelemetrySink) {
+    fn route_and_arbitrate(&mut self, now: Cycles, sink: &mut dyn TelemetrySink, reference: bool) {
         let topology = &self.topology;
         for (r, router) in self.routers.iter_mut().enumerate() {
             if !router.has_work() {
                 continue;
             }
             let rid = RouterId(r as u32);
-            router.arbitrate(now, |flit| topology.route(rid, flit.dest), sink);
+            if reference {
+                router.arbitrate_reference(now, |flit| topology.route(rid, flit.dest), sink);
+            } else {
+                router.arbitrate(now, |flit| topology.route(rid, flit.dest), sink);
+            }
         }
     }
 
     /// Phase 4: crossbars; send freed-slot credits back upstream.
-    fn crossbar(&mut self, now: Cycles, sink: &mut dyn TelemetrySink) {
+    fn crossbar(&mut self, now: Cycles, sink: &mut dyn TelemetrySink, reference: bool) {
         let mut credits = std::mem::take(&mut self.credit_buf);
         for r in 0..self.routers.len() {
             if !self.routers[r].has_work() {
                 continue;
             }
             credits.clear();
-            self.routers[r].crossbar(now, &mut credits, sink);
+            if reference {
+                self.routers[r].crossbar_reference(now, &mut credits, sink);
+            } else {
+                self.routers[r].crossbar(now, &mut credits, sink);
+            }
             for c in &credits {
                 let feeder = self.feed_link[r][c.port.index()];
                 self.links[feeder].credit.send(now, c.vc);
@@ -693,14 +805,18 @@ impl Network {
     }
 
     /// Phase 5: output VC multiplexers onto the links.
-    fn output(&mut self, now: Cycles) {
+    fn output(&mut self, now: Cycles, reference: bool) {
         let mut departures = std::mem::take(&mut self.depart_buf);
         for r in 0..self.routers.len() {
             if !self.routers[r].has_work() {
                 continue;
             }
             departures.clear();
-            self.routers[r].output_stage(now, &mut departures);
+            if reference {
+                self.routers[r].output_stage_reference(now, &mut departures);
+            } else {
+                self.routers[r].output_stage(now, &mut departures);
+            }
             for d in &departures {
                 let l = self.out_link[r][d.port.index()];
                 self.links[l].flit.send(now, d.flit);
@@ -720,32 +836,79 @@ impl Network {
     /// source matters: a worm spread thin over time holds its granted
     /// output VC at every router for the whole stretch.
     fn ni_send(&mut self, now: Cycles) {
-        for ep in &mut self.endpoints {
-            if ep.queues.iter().all(VecDeque::is_empty) {
+        let mut i = 0;
+        while i < self.active_eps.len() {
+            let n = self.active_eps[i];
+            debug_assert!(
+                self.endpoints[n].queued > 0,
+                "active endpoint must have flits"
+            );
+            self.ni_send_one(n, now);
+            if self.endpoints[n].queued == 0 {
+                self.ep_active[n] = false;
+                // Order-preserving removal keeps the list sorted.
+                self.active_eps.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Phase 6, reference mode: scan every endpoint in index order, then
+    /// prune the active list exactly as the optimized scan would have.
+    fn ni_send_reference(&mut self, now: Cycles) {
+        for n in 0..self.endpoints.len() {
+            if self.endpoints[n].queues.iter().all(VecDeque::is_empty) {
+                debug_assert_eq!(
+                    self.endpoints[n].queued, 0,
+                    "queued counter must track queues"
+                );
                 continue;
             }
-            let sendable = |ep: &Endpoint, v: usize| !ep.queues[v].is_empty() && ep.credits[v] > 0;
-            let v = match ep.current {
-                Some(v) if sendable(ep, v) => v,
-                _ => {
-                    for (v, e) in self.scratch.iter_mut().enumerate() {
-                        *e = sendable(ep, v);
-                    }
-                    match ep.sched.choose(&self.scratch) {
-                        Some(v) => v,
-                        None => continue,
-                    }
-                }
-            };
-            let flit = ep.queues[v].pop_front().expect("eligible VC has a flit");
-            ep.sched.on_service(v);
-            ep.credits[v] -= 1;
-            ep.current = if flit.kind.is_tail() { None } else { Some(v) };
-            self.links[ep.link].flit.send(now, flit);
-            Self::activate_link(&mut self.link_active, &mut self.active_links, ep.link);
-            self.link_sent[ep.link] += 1;
-            self.total_link_sends += 1;
+            debug_assert!(
+                self.ep_active[n],
+                "a backlogged NI must be on the active list"
+            );
+            self.ni_send_one(n, now);
         }
+        let mut i = 0;
+        while i < self.active_eps.len() {
+            let n = self.active_eps[i];
+            if self.endpoints[n].queued == 0 {
+                self.ep_active[n] = false;
+                self.active_eps.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Lets endpoint `n`'s NI put (at most) one flit on its injection
+    /// link.
+    fn ni_send_one(&mut self, n: usize, now: Cycles) {
+        let ep = &mut self.endpoints[n];
+        let sendable = |ep: &Endpoint, v: usize| !ep.queues[v].is_empty() && ep.credits[v] > 0;
+        let v = match ep.current {
+            Some(v) if sendable(ep, v) => v,
+            _ => {
+                for (v, e) in self.scratch.iter_mut().enumerate() {
+                    *e = sendable(ep, v);
+                }
+                match ep.sched.choose(&self.scratch) {
+                    Some(v) => v,
+                    None => return,
+                }
+            }
+        };
+        let flit = ep.queues[v].pop_front().expect("eligible VC has a flit");
+        ep.sched.on_service(v);
+        ep.credits[v] -= 1;
+        ep.queued -= 1;
+        ep.current = if flit.kind.is_tail() { None } else { Some(v) };
+        self.links[ep.link].flit.send(now, flit);
+        Self::activate_link(&mut self.link_active, &mut self.active_links, ep.link);
+        self.link_sent[ep.link] += 1;
+        self.total_link_sends += 1;
     }
 
     // ---- audit + watchdog ------------------------------------------------

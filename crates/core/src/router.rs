@@ -40,6 +40,23 @@ use crate::scheduler::MuxScheduler;
 /// it may try to win the crossbar.
 pub const ROUTE_ARB_CYCLES: u64 = 2;
 
+/// Inserts `x` into a sorted ascending list, keeping it sorted. The active
+/// sets iterate in ascending index order — the same order the full scans
+/// visit slots — so maintaining sortedness is what keeps the occupancy-
+/// driven stepping bit-identical to the reference scans.
+pub(crate) fn sorted_insert(list: &mut Vec<usize>, x: usize) {
+    let pos = list.partition_point(|&y| y < x);
+    debug_assert!(list.get(pos) != Some(&x), "duplicate active-set entry {x}");
+    list.insert(pos, x);
+}
+
+/// Removes `x` from a sorted ascending list.
+pub(crate) fn sorted_remove(list: &mut Vec<usize>, x: usize) {
+    let pos = list.partition_point(|&y| y < x);
+    debug_assert_eq!(list.get(pos), Some(&x), "missing active-set entry {x}");
+    list.remove(pos);
+}
+
 /// A granted route for the message currently occupying an input VC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Grant {
@@ -66,6 +83,10 @@ struct InputPort {
     vcs: Vec<InputVc>,
     /// Crossbar input multiplexer scheduler (point A).
     sched: MuxScheduler,
+    /// VC indices holding an active grant (sorted ascending): the granted
+    /// connections the crossbar serves. Maintained at grant (arbitration)
+    /// and release (tail crossing).
+    granted: Vec<usize>,
 }
 
 /// Per-VC output unit: stage-5 staging buffer + downstream credits.
@@ -85,6 +106,13 @@ struct OutputPort {
     vcs: Vec<OutputVc>,
     /// Output VC multiplexer scheduler (point C).
     sched: MuxScheduler,
+    /// VC indices with a non-empty staging buffer (sorted ascending): the
+    /// VCs the output multiplexer considers. Maintained at stage (crossbar
+    /// push) and drain (stage-5 pop). Note the predicate is *non-empty
+    /// staging buffer*, not VC ownership: an owner with nothing staged has
+    /// nothing to transmit, and a tail handover clears the owner while the
+    /// tail still sits staged.
+    staged: Vec<usize>,
 }
 
 /// A flit leaving the router this cycle on `port`.
@@ -121,6 +149,19 @@ pub struct Router {
     outputs: Vec<OutputPort>,
     /// Rotating arbitration start point for fairness.
     arb_cursor: usize,
+    /// Flat input-slot indices `port * vcs_per_pc + vc` with a buffered
+    /// but unrouted head (sorted ascending): the pending-heads list
+    /// arbitration scans. Maintained at `receive_flit`, grant, and tail
+    /// crossing.
+    pending: Vec<usize>,
+    /// Whether each flat input slot is in `pending` (same indexing).
+    pending_mask: Vec<bool>,
+    /// Flits resident in the router (input buffers + output staging):
+    /// makes `has_work` O(1).
+    resident: u64,
+    /// Reusable index scratch for iterating an active set while the
+    /// iteration itself mutates it (arbitration, full-crossbar moves).
+    scratch_idx: Vec<usize>,
     /// Reusable eligibility mask for the crossbar input multiplexers
     /// (avoids a per-cycle allocation on the hot path).
     xbar_mask: Vec<bool>,
@@ -176,6 +217,7 @@ impl Router {
                     })
                     .collect(),
                 sched: MuxScheduler::new(a_kind, m),
+                granted: Vec::new(),
             })
             .collect();
         let outputs = (0..n_ports)
@@ -189,6 +231,7 @@ impl Router {
                     })
                     .collect(),
                 sched: MuxScheduler::new(c_kind, m),
+                staged: Vec::new(),
             })
             .collect();
         Router {
@@ -198,6 +241,10 @@ impl Router {
             inputs,
             outputs,
             arb_cursor: 0,
+            pending: Vec::new(),
+            pending_mask: vec![false; n_ports * m],
+            resident: 0,
+            scratch_idx: Vec::new(),
             xbar_mask: vec![false; m],
             out_mask: vec![false; m],
             flits_crossed: 0,
@@ -244,11 +291,21 @@ impl Router {
     /// Panics if the buffer overflows (credit protocol violation) or the
     /// VC index is out of range.
     pub fn receive_flit(&mut self, now: Cycles, port: PortId, flit: Flit) {
-        let ip = &mut self.inputs[port.index()];
+        let m = self.cfg.vcs_per_pc() as usize;
+        let p = port.index();
+        let ip = &mut self.inputs[p];
         let v = flit.vc.index();
         ip.vcs[v].buf.push(flit);
         ip.vcs[v].arrivals.push_back(now);
         ip.sched.on_arrival(v, now, &flit);
+        self.resident += 1;
+        // An ungranted slot with buffered flits is a pending head (the
+        // buffer always fronts a head when no grant is held).
+        let idx = p * m + v;
+        if ip.vcs[v].grant.is_none() && !self.pending_mask[idx] {
+            self.pending_mask[idx] = true;
+            sorted_insert(&mut self.pending, idx);
+        }
     }
 
     /// Accepts a returned credit for output `(port, vc)`.
@@ -273,9 +330,39 @@ impl Router {
     where
         F: Fn(&Flit) -> &'t [PortId],
     {
-        let n = self.inputs.len();
         let m = self.cfg.vcs_per_pc() as usize;
-        let total = n * m;
+        let total = self.inputs.len() * m;
+        let start = self.arb_cursor;
+        self.arb_cursor = (self.arb_cursor + 1) % total;
+
+        // Visit only pending heads, in the rotated order the full scan
+        // uses: slots >= start first, then the wrap-around. A scratch copy
+        // is scanned because granting removes entries from `pending`.
+        let mut scan = std::mem::take(&mut self.scratch_idx);
+        scan.clear();
+        let split = self.pending.partition_point(|&i| i < start);
+        scan.extend_from_slice(&self.pending[split..]);
+        scan.extend_from_slice(&self.pending[..split]);
+        for &idx in &scan {
+            self.try_route_slot(idx / m, idx % m, now, &candidates, sink);
+        }
+        self.scratch_idx = scan;
+    }
+
+    /// [`Router::arbitrate`] as the original full scan over every input
+    /// slot — the oracle the bit-identity tests compare the pending-heads
+    /// list against. Both paths share [`Router::try_route_slot`] and
+    /// maintain the active sets identically.
+    pub fn arbitrate_reference<'t, F>(
+        &mut self,
+        now: Cycles,
+        candidates: F,
+        sink: &mut dyn TelemetrySink,
+    ) where
+        F: Fn(&Flit) -> &'t [PortId],
+    {
+        let m = self.cfg.vcs_per_pc() as usize;
+        let total = self.inputs.len() * m;
         let start = self.arb_cursor;
         self.arb_cursor = (self.arb_cursor + 1) % total;
 
@@ -286,92 +373,122 @@ impl Router {
             if ivc.grant.is_some() {
                 continue;
             }
-            let Some(head) = ivc.buf.head().copied() else {
+            if ivc.buf.is_empty() {
                 ivc.head_seen_at = None;
                 continue;
-            };
-            // Stage-1 latency: the head becomes visible to the routing
-            // logic the cycle after it was buffered.
-            let arrived = *ivc.arrivals.front().expect("arrivals parallel buf");
-            if now < arrived + Cycles(1) {
+            }
+            debug_assert!(
+                self.pending_mask[idx],
+                "ungranted non-empty slot {idx} missing from the pending list"
+            );
+            self.try_route_slot(p, v, now, &candidates, sink);
+        }
+    }
+
+    /// Stage 2–3 body for one pending input slot: the slot holds buffered
+    /// flits and no grant. Tries to route + arbitrate its head; on success
+    /// the slot moves from the pending-heads list to the port's granted
+    /// list.
+    fn try_route_slot<'t, F>(
+        &mut self,
+        p: usize,
+        v: usize,
+        now: Cycles,
+        candidates: &F,
+        sink: &mut dyn TelemetrySink,
+    ) where
+        F: Fn(&Flit) -> &'t [PortId],
+    {
+        let ivc = &mut self.inputs[p].vcs[v];
+        debug_assert!(ivc.grant.is_none(), "pending slot must be ungranted");
+        let head = *ivc.buf.head().expect("pending slot has a buffered head");
+        // Stage-1 latency: the head becomes visible to the routing
+        // logic the cycle after it was buffered.
+        let arrived = *ivc.arrivals.front().expect("arrivals parallel buf");
+        if now < arrived + Cycles(1) {
+            return;
+        }
+        if !head.kind.is_head() {
+            // A body flit with no grant can only mean the previous
+            // tail released the VC out of order — a simulator bug.
+            unreachable!("non-head flit at an unrouted input VC: port {p} vc {v} flit {head:?}");
+        }
+        let seen = *ivc.head_seen_at.get_or_insert(now);
+        if now < seen.saturating_add(Cycles(ROUTE_ARB_CYCLES)) {
+            return;
+        }
+        // Dynamic output-VC allocation: any free VC of the head's
+        // class partition, preferring the stream's requested VC. With
+        // VC borrowing enabled (§6 future work), a free VC of the
+        // *other* class is taken as a last resort, so idle capacity
+        // is never stranded by the static split.
+        let borrowing = self.cfg.vc_borrowing_enabled();
+        let free_vc = |op: &OutputPort| -> Option<usize> {
+            let preferred = head.out_vc.index();
+            if self.partition.class_of(head.out_vc).is_real_time() == head.class.is_real_time()
+                && op.vcs[preferred].owner.is_none()
+            {
+                return Some(preferred);
+            }
+            let own = self
+                .partition
+                .vcs_for(head.class)
+                .map(VcId::index)
+                .find(|&vc| op.vcs[vc].owner.is_none());
+            if own.is_some() || !borrowing {
+                return own;
+            }
+            (0..op.vcs.len()).find(|&vc| op.vcs[vc].owner.is_none())
+        };
+        // Pick the least-loaded candidate port with a free VC.
+        let mut best: Option<(usize, usize, usize)> = None; // (load, port, vc)
+        for cand in candidates(&head) {
+            let o = cand.index();
+            let op = &self.outputs[o];
+            let Some(vc) = free_vc(op) else {
                 continue;
-            }
-            if !head.kind.is_head() {
-                // A body flit with no grant can only mean the previous
-                // tail released the VC out of order — a simulator bug.
-                unreachable!(
-                    "non-head flit at an unrouted input VC: port {p} vc {v} flit {head:?}"
-                );
-            }
-            let seen = *ivc.head_seen_at.get_or_insert(now);
-            if now < seen.saturating_add(Cycles(ROUTE_ARB_CYCLES)) {
-                continue;
-            }
-            // Dynamic output-VC allocation: any free VC of the head's
-            // class partition, preferring the stream's requested VC. With
-            // VC borrowing enabled (§6 future work), a free VC of the
-            // *other* class is taken as a last resort, so idle capacity
-            // is never stranded by the static split.
-            let borrowing = self.cfg.vc_borrowing_enabled();
-            let free_vc = |op: &OutputPort| -> Option<usize> {
-                let preferred = head.out_vc.index();
-                if self.partition.class_of(head.out_vc).is_real_time() == head.class.is_real_time()
-                    && op.vcs[preferred].owner.is_none()
-                {
-                    return Some(preferred);
-                }
-                let own = self
-                    .partition
-                    .vcs_for(head.class)
-                    .map(VcId::index)
-                    .find(|&vc| op.vcs[vc].owner.is_none());
-                if own.is_some() || !borrowing {
-                    return own;
-                }
-                (0..op.vcs.len()).find(|&vc| op.vcs[vc].owner.is_none())
             };
-            // Pick the least-loaded candidate port with a free VC.
-            let mut best: Option<(usize, usize, usize)> = None; // (load, port, vc)
-            for cand in candidates(&head) {
-                let o = cand.index();
-                let op = &self.outputs[o];
-                let Some(vc) = free_vc(op) else {
-                    continue;
-                };
-                // Load proxy for the fat-link choice (§3.4): staged flits
-                // plus a term per VC currently owned by an in-flight
-                // message.
-                let load: usize = op
-                    .vcs
-                    .iter()
-                    .map(|vc| vc.buf.len() + if vc.owner.is_some() { 4 } else { 0 })
-                    .sum();
-                if best.is_none_or(|(l, _, _)| load < l) {
-                    best = Some((load, o, vc));
-                }
+            // Load proxy for the fat-link choice (§3.4): staged flits
+            // plus a term per VC currently owned by an in-flight
+            // message.
+            let load: usize = op
+                .vcs
+                .iter()
+                .map(|vc| vc.buf.len() + if vc.owner.is_some() { 4 } else { 0 })
+                .sum();
+            if best.is_none_or(|(l, _, _)| load < l) {
+                best = Some((load, o, vc));
             }
-            let Some((_, o, out_vc)) = best else {
-                continue;
-            };
-            self.inputs[p].vcs[v].grant = Some(Grant {
-                out_port: o,
-                out_vc,
-                ready_at: now + Cycles(1),
+        }
+        let Some((_, o, out_vc)) = best else {
+            return;
+        };
+        self.inputs[p].vcs[v].grant = Some(Grant {
+            out_port: o,
+            out_vc,
+            ready_at: now + Cycles(1),
+        });
+        self.inputs[p].vcs[v].head_seen_at = None;
+        self.outputs[o].vcs[out_vc].owner = Some(head.msg);
+        // Routed: the slot leaves the pending-heads list and joins the
+        // port's granted connections.
+        let m = self.cfg.vcs_per_pc() as usize;
+        let idx = p * m + v;
+        debug_assert!(self.pending_mask[idx]);
+        self.pending_mask[idx] = false;
+        sorted_remove(&mut self.pending, idx);
+        sorted_insert(&mut self.inputs[p].granted, v);
+        if self.trace {
+            sink.record(&FlitEvent {
+                cycle: now.get(),
+                kind: FlitEventKind::Route,
+                router: Some(self.id.get()),
+                port: o as u32,
+                vc: out_vc as u32,
+                stream: head.stream.get(),
+                msg: head.msg.get(),
+                real_time: head.class.is_real_time(),
             });
-            self.inputs[p].vcs[v].head_seen_at = None;
-            self.outputs[o].vcs[out_vc].owner = Some(head.msg);
-            if self.trace {
-                sink.record(&FlitEvent {
-                    cycle: now.get(),
-                    kind: FlitEventKind::Route,
-                    router: Some(self.id.get()),
-                    port: o as u32,
-                    vc: out_vc as u32,
-                    stream: head.stream.get(),
-                    msg: head.msg.get(),
-                    real_time: head.class.is_real_time(),
-                });
-            }
         }
     }
 
@@ -425,6 +542,9 @@ impl Router {
         let out = &mut self.outputs[grant.out_port];
         out.sched.on_arrival(grant.out_vc, now, &flit);
         out.vcs[grant.out_vc].buf.push_back((now, flit));
+        if out.vcs[grant.out_vc].buf.len() == 1 {
+            sorted_insert(&mut out.staged, grant.out_vc);
+        }
         self.flits_crossed += 1;
         if self.trace {
             sink.record(&FlitEvent {
@@ -444,6 +564,16 @@ impl Router {
             // buffer is FIFO, so a successor message cannot overtake the
             // worm downstream.
             out.vcs[grant.out_vc].owner = None;
+            // The connection closes: the slot leaves the granted list,
+            // and rejoins the pending-heads list if the next worm's head
+            // is already buffered behind the tail.
+            sorted_remove(&mut self.inputs[p].granted, v);
+            if !self.inputs[p].vcs[v].buf.is_empty() {
+                let idx = p * self.cfg.vcs_per_pc() as usize + v;
+                debug_assert!(!self.pending_mask[idx]);
+                self.pending_mask[idx] = true;
+                sorted_insert(&mut self.pending, idx);
+            }
         }
     }
 
@@ -474,6 +604,28 @@ impl Router {
         credits: &mut Vec<CreditReturn>,
         sink: &mut dyn TelemetrySink,
     ) {
+        self.crossbar_impl(now, credits, sink, false);
+    }
+
+    /// [`Router::crossbar`] with the original full `ports × VCs` scan —
+    /// the oracle the bit-identity tests compare the granted-connections
+    /// list against.
+    pub fn crossbar_reference(
+        &mut self,
+        now: Cycles,
+        credits: &mut Vec<CreditReturn>,
+        sink: &mut dyn TelemetrySink,
+    ) {
+        self.crossbar_impl(now, credits, sink, true);
+    }
+
+    fn crossbar_impl(
+        &mut self,
+        now: Cycles,
+        credits: &mut Vec<CreditReturn>,
+        sink: &mut dyn TelemetrySink,
+        reference: bool,
+    ) {
         let n = self.inputs.len();
         let m = self.cfg.vcs_per_pc() as usize;
         self.diag.0 += 1;
@@ -488,15 +640,41 @@ impl Router {
             CrossbarKind::Multiplexed => {
                 let mut eligible = std::mem::take(&mut self.xbar_mask);
                 for p in 0..n {
+                    // Only granted VCs can be crossbar-eligible; a port
+                    // with no granted connection is an empty slot. The
+                    // mask starts all-false and only granted entries are
+                    // written (and cleared below), so the scheduler sees
+                    // the exact mask the full scan builds.
+                    if !reference && self.inputs[p].granted.is_empty() {
+                        self.diag.2 += 1;
+                        continue;
+                    }
                     let mut n_eligible = 0u64;
-                    for (v, e) in eligible.iter_mut().enumerate() {
-                        *e = self.xbar_eligible(p, v, now);
-                        n_eligible += u64::from(*e);
+                    if reference {
+                        for (v, e) in eligible.iter_mut().enumerate() {
+                            *e = self.xbar_eligible(p, v, now);
+                            n_eligible += u64::from(*e);
+                        }
+                    } else {
+                        for i in 0..self.inputs[p].granted.len() {
+                            let v = self.inputs[p].granted[i];
+                            let e = self.xbar_eligible(p, v, now);
+                            eligible[v] = e;
+                            n_eligible += u64::from(e);
+                        }
                     }
                     // Every eligible VC beyond the one served loses this
                     // cycle to the input multiplexer: a mux conflict.
                     self.counters.ports[p].mux_conflicts += n_eligible.saturating_sub(1);
-                    if let Some(v) = self.inputs[p].sched.choose(&eligible) {
+                    let choice = self.inputs[p].sched.choose(&eligible);
+                    if !reference {
+                        // Clear before moving: a tail crossing mutates
+                        // the granted list.
+                        for i in 0..self.inputs[p].granted.len() {
+                            eligible[self.inputs[p].granted[i]] = false;
+                        }
+                    }
+                    if let Some(v) = choice {
                         self.xbar_move(p, v, now, credits, sink);
                     } else if n_eligible > 0 {
                         self.diag.1 += 1;
@@ -504,15 +682,36 @@ impl Router {
                         self.diag.2 += 1;
                     }
                 }
+                if reference {
+                    // The mask invariant between calls is all-false (the
+                    // optimized path relies on it).
+                    eligible.fill(false);
+                }
                 self.xbar_mask = eligible;
             }
             CrossbarKind::Full => {
-                for p in 0..n {
-                    for v in 0..m {
-                        if self.xbar_eligible(p, v, now) {
-                            self.xbar_move(p, v, now, credits, sink);
+                if reference {
+                    for p in 0..n {
+                        for v in 0..m {
+                            if self.xbar_eligible(p, v, now) {
+                                self.xbar_move(p, v, now, credits, sink);
+                            }
                         }
                     }
+                } else {
+                    // Scratch copy: tail crossings mutate the granted
+                    // list mid-iteration.
+                    let mut scan = std::mem::take(&mut self.scratch_idx);
+                    for p in 0..n {
+                        scan.clear();
+                        scan.extend_from_slice(&self.inputs[p].granted);
+                        for &v in &scan {
+                            if self.xbar_eligible(p, v, now) {
+                                self.xbar_move(p, v, now, credits, sink);
+                            }
+                        }
+                    }
+                    self.scratch_idx = scan;
                 }
             }
         }
@@ -529,24 +728,65 @@ impl Router {
     /// out-parameter so the per-cycle driver can reuse one buffer; the
     /// router never allocates here).
     pub fn output_stage(&mut self, now: Cycles, departures: &mut Vec<Departure>) {
+        self.output_stage_impl(now, departures, false);
+    }
+
+    /// [`Router::output_stage`] with the original full scan over every
+    /// output VC — the oracle the bit-identity tests compare the staged
+    /// list against.
+    pub fn output_stage_reference(&mut self, now: Cycles, departures: &mut Vec<Departure>) {
+        self.output_stage_impl(now, departures, true);
+    }
+
+    fn output_stage_impl(&mut self, now: Cycles, departures: &mut Vec<Departure>, reference: bool) {
         let mut eligible = std::mem::take(&mut self.out_mask);
         for (p, out) in self.outputs.iter_mut().enumerate() {
-            let pc = &mut self.counters.ports[p];
-            for (v, e) in eligible.iter_mut().enumerate() {
-                let ovc = &out.vcs[v];
-                let staged = ovc
-                    .buf
-                    .front()
-                    .is_some_and(|(at, _)| now >= *at + Cycles(1));
-                *e = staged && ovc.credits > 0;
-                // A staged head that only lacks a credit is stalled by
-                // downstream flow control — the per-VC backpressure signal.
-                pc.credit_stalls[v] += u64::from(staged && ovc.credits == 0);
+            // VCs with an empty staging buffer can neither transmit nor
+            // count a credit stall, so a port with nothing staged is a
+            // no-op and the mask write-and-clear can be confined to the
+            // staged list.
+            if !reference && out.staged.is_empty() {
+                continue;
             }
-            let Some(v) = out.sched.choose(&eligible) else {
+            let pc = &mut self.counters.ports[p];
+            if reference {
+                for (v, e) in eligible.iter_mut().enumerate() {
+                    let ovc = &out.vcs[v];
+                    let staged = ovc
+                        .buf
+                        .front()
+                        .is_some_and(|(at, _)| now >= *at + Cycles(1));
+                    *e = staged && ovc.credits > 0;
+                    // A staged head that only lacks a credit is stalled by
+                    // downstream flow control — the per-VC backpressure
+                    // signal.
+                    pc.credit_stalls[v] += u64::from(staged && ovc.credits == 0);
+                }
+            } else {
+                for &v in &out.staged {
+                    let ovc = &out.vcs[v];
+                    let staged = ovc
+                        .buf
+                        .front()
+                        .is_some_and(|(at, _)| now >= *at + Cycles(1));
+                    eligible[v] = staged && ovc.credits > 0;
+                    pc.credit_stalls[v] += u64::from(staged && ovc.credits == 0);
+                }
+            }
+            let choice = out.sched.choose(&eligible);
+            if !reference {
+                for &v in &out.staged {
+                    eligible[v] = false;
+                }
+            }
+            let Some(v) = choice else {
                 continue;
             };
             let (_, flit) = out.vcs[v].buf.pop_front().expect("eligible VC has a flit");
+            if out.vcs[v].buf.is_empty() {
+                sorted_remove(&mut out.staged, v);
+            }
+            self.resident -= 1;
             out.sched.on_service(v);
             out.vcs[v].credits -= 1;
             if flit.class.is_real_time() {
@@ -559,18 +799,22 @@ impl Router {
                 flit,
             });
         }
+        if reference {
+            eligible.fill(false);
+        }
         self.out_mask = eligible;
     }
 
-    /// Whether any flit is buffered anywhere in the router.
+    /// Whether any flit is buffered anywhere in the router. O(1): a
+    /// resident-flit counter is maintained at `receive_flit` and the
+    /// stage-5 drain (crossbar moves are internal and net out to zero).
     pub fn has_work(&self) -> bool {
-        self.inputs
-            .iter()
-            .any(|ip| ip.vcs.iter().any(|vc| !vc.buf.is_empty()))
-            || self
-                .outputs
-                .iter()
-                .any(|op| op.vcs.iter().any(|vc| !vc.buf.is_empty()))
+        self.resident > 0
+    }
+
+    /// Flits resident in the router (input buffers + output staging).
+    pub fn resident_flits(&self) -> u64 {
+        self.resident
     }
 
     /// Total flits that have traversed the crossbar.
@@ -627,7 +871,10 @@ impl Router {
     /// * the per-flit arrival bookkeeping stays parallel to the buffer;
     /// * no output staging buffer exceeds its configured capacity;
     /// * every input-VC grant points at an output VC owned by the granted
-    ///   message.
+    ///   message;
+    /// * the incrementally maintained active sets (pending heads, granted
+    ///   connections, staged output VCs, resident-flit counter) agree with
+    ///   the buffer state they summarize.
     ///
     /// Credit conservation needs both link endpoints, so the network-level
     /// audit checks it; see `Network::audit_now`.
@@ -711,6 +958,85 @@ impl Router {
                     });
                 }
             }
+        }
+        self.audit_active_sets(now, log);
+    }
+
+    /// Audit sub-pass: every active set must equal the full-scan
+    /// recomputation of the predicate it summarizes.
+    fn audit_active_sets(&self, now: Cycles, log: &mut netsim::audit::AuditLog) {
+        use netsim::audit::{Violation, ViolationKind};
+        let router = Some(self.id.get());
+        let m = self.cfg.vcs_per_pc() as usize;
+        let mut desync = |p: usize, v: usize, detail: String| {
+            log.record(Violation {
+                cycle: now.get(),
+                router,
+                port: p as u32,
+                vc: v as u32,
+                kind: ViolationKind::ActiveSetDesync,
+                detail,
+            });
+        };
+        let mut resident = 0u64;
+        for (p, ip) in self.inputs.iter().enumerate() {
+            let granted: Vec<usize> = (0..m).filter(|&v| ip.vcs[v].grant.is_some()).collect();
+            if granted != ip.granted {
+                desync(
+                    p,
+                    0,
+                    format!(
+                        "granted list {:?} but grants held by {granted:?}",
+                        ip.granted
+                    ),
+                );
+            }
+            for (v, ivc) in ip.vcs.iter().enumerate() {
+                resident += ivc.buf.len() as u64;
+                let idx = p * m + v;
+                let should_pend = ivc.grant.is_none() && !ivc.buf.is_empty();
+                if self.pending_mask[idx] != should_pend {
+                    desync(
+                        p,
+                        v,
+                        format!(
+                            "pending mask {} but slot {} a pending head",
+                            self.pending_mask[idx],
+                            if should_pend { "is" } else { "is not" }
+                        ),
+                    );
+                }
+            }
+        }
+        let pending_ok = self.pending.windows(2).all(|w| w[0] < w[1])
+            && self.pending.len() == self.pending_mask.iter().filter(|&&b| b).count()
+            && self.pending.iter().all(|&i| self.pending_mask[i]);
+        if !pending_ok {
+            desync(0, 0, format!("pending list {:?} out of step", self.pending));
+        }
+        for (p, op) in self.outputs.iter().enumerate() {
+            let staged: Vec<usize> = (0..m).filter(|&v| !op.vcs[v].buf.is_empty()).collect();
+            if staged != op.staged {
+                desync(
+                    p,
+                    0,
+                    format!(
+                        "staged list {:?} but non-empty staging buffers {staged:?}",
+                        op.staged
+                    ),
+                );
+            }
+            resident += op.vcs.iter().map(|vc| vc.buf.len() as u64).sum::<u64>();
+        }
+        if resident != self.resident {
+            desync(
+                0,
+                0,
+                format!(
+                    "resident counter {} but {resident} flits buffered",
+                    self.resident
+                ),
+            );
         }
     }
 

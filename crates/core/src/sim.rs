@@ -21,6 +21,11 @@ pub struct SimOpts {
     pub audit: Option<AuditConfig>,
     /// Progress watchdog; `None` is off.
     pub watchdog: Option<WatchdogConfig>,
+    /// Step with the full-scan reference mode instead of the
+    /// occupancy-driven active sets (see
+    /// [`crate::net::Network::run_until_reference`]). Slow; only useful
+    /// as the oracle in bit-identity tests.
+    pub reference: bool,
 }
 
 impl SimOpts {
@@ -31,6 +36,7 @@ impl SimOpts {
         SimOpts {
             audit: None,
             watchdog: Some(WatchdogConfig::default()),
+            reference: false,
         }
     }
 
@@ -40,6 +46,15 @@ impl SimOpts {
         SimOpts {
             audit: Some(AuditConfig::default()),
             watchdog: Some(WatchdogConfig::default()),
+            reference: false,
+        }
+    }
+
+    /// This configuration with full-scan reference stepping.
+    pub fn reference(self) -> SimOpts {
+        SimOpts {
+            reference: true,
+            ..self
         }
     }
 }
@@ -230,7 +245,11 @@ fn run_with(
     let warmup = tb.cycles_from_secs(warmup_secs);
     let end = tb.cycles_from_secs(warmup_secs + measure_secs);
     net.set_warmup_end(warmup);
-    net.run_until_with(end, sink);
+    if opts.reference {
+        net.run_until_reference_with(end, sink);
+    } else {
+        net.run_until_with(end, sink);
+    }
     SimOutcome {
         jitter: net.delivery().summary(),
         be_mean_latency_us: net.latency().mean_us(),

@@ -55,6 +55,10 @@ pub enum ViolationKind {
     /// An input VC holds a grant on an output VC that has no recorded
     /// owner, or one owned by a different message.
     GrantWithoutOwner,
+    /// An incrementally maintained active set (pending heads, granted
+    /// connections, staged output VCs, resident-flit counter) disagrees
+    /// with the buffer state it summarizes.
+    ActiveSetDesync,
 }
 
 impl ViolationKind {
@@ -67,6 +71,7 @@ impl ViolationKind {
             ViolationKind::WormOrder => "worm-order",
             ViolationKind::StagingOverflow => "staging-overflow",
             ViolationKind::GrantWithoutOwner => "grant-without-owner",
+            ViolationKind::ActiveSetDesync => "active-set-desync",
         }
     }
 }
@@ -225,5 +230,6 @@ mod tests {
             ViolationKind::GrantWithoutOwner.label(),
             "grant-without-owner"
         );
+        assert_eq!(ViolationKind::ActiveSetDesync.label(), "active-set-desync");
     }
 }

@@ -7,6 +7,15 @@ cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 
+# The criterion targets must keep compiling even though full benchmark
+# runs stay out of the gate (they are wall-clock heavy).
+cargo bench --no-run
+
+# Active-set stepping must stay bit-identical to the full-scan reference
+# (counters, stall reports, trace bytes); named so the gate gets loud if
+# the suite is renamed away.
+cargo test -q --test stepping_identity
+
 # Audit mode: the flow-control invariant checks must stay clean on healthy
 # runs AND flag an injected credit fault (mutation coverage), and the
 # progress watchdog must classify the crafted deadlock without false

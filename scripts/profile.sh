@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Profiling notes + driver for the simulator hot path.
+#
+# Usage:
+#   scripts/profile.sh            # perf record/report the perf harness
+#   scripts/profile.sh flame      # same, rendered as a flamegraph (needs
+#                                 # inferno or flamegraph.pl on PATH)
+#
+# What to profile: the `perf` binary steps a fig. 3-configured network
+# (8-port switch, 16 VCs) through hundreds of thousands of busy cycles in
+# both stepping modes, so its profile is dominated by exactly the code the
+# occupancy-driven active sets optimize: `Router::arbitrate` /
+# `crossbar` / `output_stage`, `Network::deliver` / `ni_send`, and the
+# schedulers. Expect the *reference* half of the run to show the full-scan
+# loops that the active half avoids.
+#
+# Symbols: the release profile strips nothing by default, but for clean
+# stacks add to Cargo.toml temporarily:
+#   [profile.release]
+#   debug = true
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p mediaworm-bench
+
+if ! command -v perf >/dev/null; then
+    echo "error: 'perf' not found; install linux-tools for your kernel" >&2
+    exit 1
+fi
+
+case "${1:-report}" in
+flame)
+    # perf script | stack collapse | flamegraph SVG. Works with either the
+    # Rust `inferno` tools or Brendan Gregg's flamegraph.pl scripts.
+    perf record -g --call-graph dwarf -o perf.data \
+        ./target/release/perf --quick --jobs 1
+    if command -v inferno-collapse-perf >/dev/null; then
+        perf script -i perf.data | inferno-collapse-perf | inferno-flamegraph >flame.svg
+    else
+        perf script -i perf.data | stackcollapse-perf.pl | flamegraph.pl >flame.svg
+    fi
+    echo "wrote flame.svg"
+    ;;
+report)
+    perf record -g --call-graph dwarf -o perf.data \
+        ./target/release/perf --quick --jobs 1
+    perf report -i perf.data
+    ;;
+*)
+    echo "usage: scripts/profile.sh [flame|report]" >&2
+    exit 2
+    ;;
+esac

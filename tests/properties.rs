@@ -339,4 +339,57 @@ proptest! {
             naive.latency().mean_us().to_bits()
         );
     }
+
+    /// The occupancy-driven active sets must be unobservable: stepping
+    /// with them (`run_until`) and with the full-scan reference
+    /// (`run_until_reference`) reaches the same end state bit for bit,
+    /// for arbitrary seeds and loads across the operating range.
+    #[test]
+    fn active_set_stepping_matches_full_scan_reference(
+        seed in 0u64..1_000_000,
+        load_pct in 20u32..97,
+    ) {
+        use mediaworm::{Network, RouterConfig};
+        use topo::Topology;
+        use traffic::{StreamClass, WorkloadBuilder};
+
+        let build = || {
+            WorkloadBuilder::new(8, VcPartition::from_mix(16, 80.0, 20.0))
+                .load(f64::from(load_pct) / 100.0)
+                .mix(80.0, 20.0)
+                .real_time_class(StreamClass::Vbr)
+                .seed(seed)
+                .build()
+        };
+        let topology = Topology::single_switch(8);
+        let cfg = RouterConfig::default();
+        let mut active = Network::new(&topology, build(), &cfg);
+        let mut reference = Network::new(&topology, build(), &cfg);
+        let tb = active.timebase();
+        let warmup = tb.cycles_from_ms(2.0);
+        let end = tb.cycles_from_ms(8.0);
+        active.set_warmup_end(warmup);
+        reference.set_warmup_end(warmup);
+        active.run_until(end);
+        reference.run_until_reference(end);
+
+        prop_assert_eq!(active.injected_msgs(), reference.injected_msgs());
+        prop_assert_eq!(active.delivered_msgs(), reference.delivered_msgs());
+        prop_assert_eq!(active.delivered_flits(), reference.delivered_flits());
+        prop_assert_eq!(active.flits_in_flight(), reference.flits_in_flight());
+        prop_assert_eq!(active.counters(), reference.counters());
+        prop_assert_eq!(active.alloc_diag(), reference.alloc_diag());
+        let (a, r) = (active.delivery().summary(), reference.delivery().summary());
+        prop_assert_eq!(a.intervals, r.intervals);
+        prop_assert_eq!(a.frames, r.frames);
+        prop_assert_eq!(a.mean_ms.to_bits(), r.mean_ms.to_bits());
+        prop_assert_eq!(a.std_ms.to_bits(), r.std_ms.to_bits());
+        prop_assert_eq!(a.max_ms.to_bits(), r.max_ms.to_bits());
+        prop_assert_eq!(a.p99_ms.to_bits(), r.p99_ms.to_bits());
+        prop_assert_eq!(active.latency().count(), reference.latency().count());
+        prop_assert_eq!(
+            active.latency().mean_us().to_bits(),
+            reference.latency().mean_us().to_bits()
+        );
+    }
 }

@@ -1,0 +1,243 @@
+//! Occupancy-driven stepping vs. the full-scan reference.
+//!
+//! The active-set stepping mode (`Network::run_until`) must be *bit-
+//! identical* to the full-scan reference (`Network::run_until_reference`):
+//! the active lists are iterated in the exact order the full scans visit
+//! the same slots, so every arbitration, every counter increment, every
+//! float accumulation and every trace byte must match. These tests pin
+//! that contract over the fig. 3 operating range, multi-hop topologies,
+//! both crossbar kinds, and the deadlock-prone ring (the stall report and
+//! its waits-for graph must classify identically).
+
+use flitnet::VcPartition;
+use mediaworm::{
+    sim, CrossbarKind, Network, RouterConfig, SchedulerKind, SimOpts, SimOutcome, WatchdogConfig,
+};
+use topo::Topology;
+use traffic::{StreamClass, Workload, WorkloadBuilder, WorkloadSpec};
+
+/// The fig. 3 load grid (fractions of link bandwidth).
+const LOADS: [f64; 5] = [0.6, 0.7, 0.8, 0.9, 0.96];
+
+fn fig3_workload(load: f64, seed: u64) -> Workload {
+    WorkloadBuilder::new(8, VcPartition::from_mix(16, 80.0, 20.0))
+        .load(load)
+        .mix(80.0, 20.0)
+        .real_time_class(StreamClass::Vbr)
+        .seed(seed)
+        .build()
+}
+
+/// Every observable of the two outcomes must match, floats bit-for-bit.
+fn assert_outcomes_identical(fast: &SimOutcome, slow: &SimOutcome, what: &str) {
+    assert_eq!(fast.injected_msgs, slow.injected_msgs, "{what}: injected");
+    assert_eq!(
+        fast.delivered_msgs, slow.delivered_msgs,
+        "{what}: delivered"
+    );
+    assert_eq!(fast.counters, slow.counters, "{what}: telemetry counters");
+    assert_eq!(fast.stall, slow.stall, "{what}: stall classification");
+    assert_eq!(
+        fast.audit_violations, slow.audit_violations,
+        "{what}: audit violations"
+    );
+    assert_eq!(
+        fast.jitter.mean_ms.to_bits(),
+        slow.jitter.mean_ms.to_bits(),
+        "{what}: jitter mean"
+    );
+    assert_eq!(
+        fast.jitter.std_ms.to_bits(),
+        slow.jitter.std_ms.to_bits(),
+        "{what}: jitter std"
+    );
+    assert_eq!(
+        fast.jitter.p99_ms.to_bits(),
+        slow.jitter.p99_ms.to_bits(),
+        "{what}: jitter p99"
+    );
+    assert_eq!(
+        fast.be_mean_latency_us.to_bits(),
+        slow.be_mean_latency_us.to_bits(),
+        "{what}: best-effort latency"
+    );
+    assert_eq!(fast.be_msgs, slow.be_msgs, "{what}: best-effort count");
+}
+
+#[test]
+fn fig3_load_grid_is_bit_identical_to_reference() {
+    let topology = Topology::single_switch(8);
+    for kind in [SchedulerKind::VirtualClock, SchedulerKind::Fifo] {
+        for &load in &LOADS {
+            let cfg = RouterConfig::default().scheduler(kind);
+            let fast = sim::run_opts(
+                &topology,
+                fig3_workload(load, 42),
+                &cfg,
+                0.01,
+                0.03,
+                SimOpts::standard(),
+            );
+            let slow = sim::run_opts(
+                &topology,
+                fig3_workload(load, 42),
+                &cfg,
+                0.01,
+                0.03,
+                SimOpts::standard().reference(),
+            );
+            assert!(fast.delivered_msgs > 0, "{kind:?} load {load} must flow");
+            assert_outcomes_identical(&fast, &slow, &format!("{kind:?} load {load}"));
+        }
+    }
+}
+
+#[test]
+fn full_crossbar_is_bit_identical_to_reference() {
+    let topology = Topology::single_switch(8);
+    let cfg = RouterConfig::default().crossbar(CrossbarKind::Full);
+    for &load in &[0.7, 0.96] {
+        let fast = sim::run_opts(
+            &topology,
+            fig3_workload(load, 11),
+            &cfg,
+            0.01,
+            0.03,
+            SimOpts::standard(),
+        );
+        let slow = sim::run_opts(
+            &topology,
+            fig3_workload(load, 11),
+            &cfg,
+            0.01,
+            0.03,
+            SimOpts::standard().reference(),
+        );
+        assert_outcomes_identical(&fast, &slow, &format!("full crossbar load {load}"));
+    }
+}
+
+#[test]
+fn fat_mesh_multi_hop_is_bit_identical_to_reference() {
+    let topology = Topology::fat_mesh(2, 2, 2, 4);
+    let wl = |seed| {
+        WorkloadBuilder::new(16, VcPartition::from_mix(16, 80.0, 20.0))
+            .load(0.5)
+            .mix(80.0, 20.0)
+            .real_time_class(StreamClass::Vbr)
+            .seed(seed)
+            .build()
+    };
+    let cfg = RouterConfig::default();
+    let fast = sim::run_opts(&topology, wl(5), &cfg, 0.01, 0.03, SimOpts::standard());
+    let slow = sim::run_opts(
+        &topology,
+        wl(5),
+        &cfg,
+        0.01,
+        0.03,
+        SimOpts::standard().reference(),
+    );
+    assert!(fast.delivered_msgs > 0);
+    assert_outcomes_identical(&fast, &slow, "fat mesh");
+}
+
+#[test]
+fn traces_are_bit_identical_to_reference() {
+    let topology = Topology::single_switch(8);
+    let cfg = RouterConfig::default();
+    for &load in &[0.6, 0.96] {
+        let (fast, fast_trace) = sim::run_opts_traced(
+            &topology,
+            fig3_workload(load, 42),
+            &cfg,
+            0.005,
+            0.01,
+            SimOpts::standard(),
+        );
+        let (slow, slow_trace) = sim::run_opts_traced(
+            &topology,
+            fig3_workload(load, 42),
+            &cfg,
+            0.005,
+            0.01,
+            SimOpts::standard().reference(),
+        );
+        assert!(!fast_trace.is_empty(), "traced run must produce events");
+        assert_eq!(
+            fast_trace, slow_trace,
+            "load {load}: trace bytes must match"
+        );
+        assert_outcomes_identical(&fast, &slow, &format!("traced load {load}"));
+    }
+}
+
+#[test]
+fn audited_run_is_bit_identical_to_reference() {
+    // The audit sweep recomputes the active sets from scratch every
+    // interval (`ActiveSetDesync`), so an audited identity run doubles as
+    // a continuous consistency check of the incremental state.
+    let topology = Topology::single_switch(8);
+    let cfg = RouterConfig::default();
+    let fast = sim::run_opts(
+        &topology,
+        fig3_workload(0.9, 17),
+        &cfg,
+        0.01,
+        0.03,
+        SimOpts::audited(),
+    );
+    let slow = sim::run_opts(
+        &topology,
+        fig3_workload(0.9, 17),
+        &cfg,
+        0.01,
+        0.03,
+        SimOpts::audited().reference(),
+    );
+    assert_eq!(
+        fast.audit_violations, 0,
+        "optimized stepping must audit clean"
+    );
+    assert_outcomes_identical(&fast, &slow, "audited load 0.9");
+}
+
+#[test]
+fn ring_deadlock_classification_is_identical_to_reference() {
+    // The deadlock-prone 1-VC clockwise ring: both stepping modes must
+    // stall at the same cycle with byte-equal stall reports (same holders,
+    // same waits-for edges, same cycle membership).
+    let build = || {
+        let topology = Topology::ring(3, 1);
+        let spec = WorkloadSpec {
+            msg_flits: 64,
+            ..WorkloadSpec::paper_default()
+        };
+        let wl = WorkloadBuilder::new(3, VcPartition::all_real_time(1))
+            .spec(spec)
+            .load(0.9)
+            .mix(100.0, 0.0)
+            .real_time_class(StreamClass::Cbr)
+            .seed(16)
+            .build();
+        let cfg = RouterConfig::new(1).buf_flits(4);
+        let mut net = Network::new(&topology, wl, &cfg);
+        net.enable_watchdog(WatchdogConfig {
+            stall_cycles: 5_000,
+        });
+        net
+    };
+    let mut fast = build();
+    let mut slow = build();
+    let end = fast.timebase().cycles_from_ms(500.0);
+    fast.run_until(end);
+    slow.run_until_reference(end);
+    let fast_stall = fast.stall_report().expect("ring must deadlock");
+    let slow_stall = slow.stall_report().expect("reference ring must deadlock");
+    assert_eq!(fast_stall, slow_stall, "stall reports must be identical");
+    assert_eq!(fast.now(), slow.now(), "both stop at the detection cycle");
+    assert_eq!(fast.injected_msgs(), slow.injected_msgs());
+    assert_eq!(fast.delivered_flits(), slow.delivered_flits());
+    assert_eq!(fast.flits_in_flight(), slow.flits_in_flight());
+    assert_eq!(fast.counters(), slow.counters());
+}
