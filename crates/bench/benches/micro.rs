@@ -233,6 +233,52 @@ fn bench_net_step(c: &mut Criterion) {
     g.finish();
 }
 
+/// An 8x8 mesh (64 nodes, 4 VCs) warmed into steady state, for the
+/// threads axis of the `net_step` group.
+fn mesh_network(load: f64) -> Network {
+    let topology = Topology::mesh(8, 8, 1);
+    let wl = WorkloadBuilder::new(topology.node_count(), VcPartition::from_mix(4, 80.0, 20.0))
+        .load(load)
+        .mix(80.0, 20.0)
+        .real_time_class(StreamClass::Vbr)
+        .seed(3)
+        .build();
+    let mut net = Network::new(&topology, wl, &RouterConfig::new(4));
+    let tb = net.timebase();
+    net.run_until(tb.cycles_from_ms(0.5));
+    net
+}
+
+/// Threads axis on an 8x8 mesh: sequential stepping vs. the
+/// deterministic barrier-phased parallel stepper at 2 and 4 workers.
+/// On a single-core host the >1-thread points measure the barrier
+/// overhead, not a speedup.
+fn bench_net_step_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_step");
+    g.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        g.bench_function(
+            format!("mesh8x8_load_0.4_threads_{threads}_5k_cycles"),
+            |b| {
+                b.iter_batched(
+                    || mesh_network(0.4),
+                    |mut net| {
+                        let end = net.now() + Cycles(5_000);
+                        if threads <= 1 {
+                            net.run_until(end);
+                        } else {
+                            net.run_until_parallel(end, threads);
+                        }
+                        black_box(net.delivered_flits())
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_scheduler,
@@ -240,6 +286,7 @@ criterion_group!(
     bench_normal,
     bench_router_cycle,
     bench_net_step,
+    bench_net_step_threads,
     bench_telemetry
 );
 criterion_main!(benches);

@@ -106,6 +106,7 @@ fn point_json(labels: &[(&str, &str)], out: &SimOutcome) -> Json {
     o.push("be_msgs", Json::Uint(out.be_msgs));
     o.push("injected_msgs", Json::Uint(out.injected_msgs));
     o.push("delivered_msgs", Json::Uint(out.delivered_msgs));
+    o.push("in_flight_at_end", Json::Uint(out.in_flight_at_end));
     o.push("counters", out.counters.to_json());
     o.push("audit_violations", Json::Uint(out.audit_violations));
     o.push(

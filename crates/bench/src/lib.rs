@@ -44,8 +44,14 @@ pub struct RunArgs {
     /// Measurement window in simulated seconds.
     pub measure_secs: f64,
     /// Worker-thread cap for sweeps (`--jobs`); `None` falls back to
-    /// `MEDIAWORM_JOBS`, then to the machine's available parallelism.
+    /// `MEDIAWORM_JOBS`, then to the machine's available parallelism
+    /// divided by the per-point thread count (so jobs × threads stays
+    /// within the core budget).
     pub jobs: Option<usize>,
+    /// Threads stepping each simulated network (`--threads`); `None`
+    /// falls back to `MEDIAWORM_THREADS`, then to 1 (sequential).
+    /// Results are bit-identical at any thread count.
+    pub threads: Option<usize>,
     /// Also write machine-readable results to `BENCH_<name>.json`.
     pub json: bool,
     /// Record a JSONL flit-event trace of every simulated point to this
@@ -96,6 +102,16 @@ impl RunArgs {
                     }
                     args.jobs = Some(n);
                 }
+                "--threads" => {
+                    let n: usize = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--threads needs a positive count"));
+                    if n == 0 {
+                        usage("--threads needs a positive count");
+                    }
+                    args.threads = Some(n);
+                }
                 "--json" => args.json = true,
                 "--audit" => args.audit = true,
                 "--trace" => {
@@ -120,7 +136,10 @@ impl RunArgs {
     }
 
     /// The sweep worker count: `--jobs`, else `MEDIAWORM_JOBS`, else the
-    /// machine's available parallelism (at least 1).
+    /// machine's available parallelism divided by
+    /// [`RunArgs::effective_threads`] — the two axes compose, so the
+    /// default keeps jobs × threads within the core count (always at
+    /// least 1 of each).
     pub fn effective_jobs(&self) -> usize {
         if let Some(n) = self.jobs {
             return n.max(1);
@@ -132,17 +151,33 @@ impl RunArgs {
         {
             return n;
         }
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        (cores / self.effective_threads()).max(1)
+    }
+
+    /// Threads stepping each simulated network: `--threads`, else
+    /// `MEDIAWORM_THREADS`, else 1 (the sequential stepper).
+    pub fn effective_threads(&self) -> usize {
+        if let Some(n) = self.threads {
+            return n.max(1);
+        }
+        std::env::var("MEDIAWORM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
     }
 
     /// The [`SimOpts`] these args imply: the standard watchdog always,
-    /// plus the invariant audit when `--audit` was given.
+    /// plus the invariant audit when `--audit` was given, on
+    /// [`RunArgs::effective_threads`] stepping threads.
     pub fn sim_opts(&self) -> SimOpts {
-        if self.audit {
+        let base = if self.audit {
             SimOpts::audited()
         } else {
             SimOpts::standard()
-        }
+        };
+        base.threads(self.effective_threads())
     }
 }
 
@@ -154,6 +189,7 @@ impl Default for RunArgs {
             warmup_secs: 0.1,
             measure_secs: 0.4,
             jobs: None,
+            threads: None,
             json: false,
             trace: None,
             audit: false,
@@ -167,7 +203,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <experiment> [--quick] [--seed N] [--warmup SECS] [--measure SECS] [--jobs N] \
-         [--json] [--audit] [--trace PATH]"
+         [--threads N] [--json] [--audit] [--trace PATH]"
     );
     std::process::exit(2);
 }

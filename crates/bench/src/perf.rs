@@ -8,6 +8,10 @@
 //!   mix) at a low and a high load point, for both the occupancy-driven
 //!   active-set stepping and the full-scan reference — plus the
 //!   active/reference speedup at each load.
+//! * **Threads axis** (`net_step_mesh` / `threads_speedup`): cycles per
+//!   second of an 8x8-mesh run through the deterministic parallel stepper
+//!   at 1, 2 and 4 worker threads, with the host core count recorded so
+//!   the ratios can be read honestly.
 //! * **Sweep throughput**: wall-clock and cycles/second of the standard
 //!   fig. 3 sweep through the parallel harness, exactly as `--json` runs
 //!   report it.
@@ -33,6 +37,8 @@ pub struct StepTiming {
     pub load: f64,
     /// `"active"` (occupancy-driven) or `"reference"` (full scan).
     pub mode: &'static str,
+    /// Worker threads used for the window (1 = sequential stepping).
+    pub threads: usize,
     /// Simulated cycles covered by the timed window.
     pub cycles: u64,
     /// Wall-clock seconds the window took.
@@ -49,6 +55,7 @@ impl StepTiming {
         Json::obj([
             ("load", Json::num(self.load)),
             ("mode", Json::str(self.mode)),
+            ("threads", Json::Uint(self.threads as u64)),
             ("cycles", Json::Uint(self.cycles)),
             ("wall_secs", Json::num(self.wall_secs)),
             ("cycles_per_sec", Json::num(self.cycles_per_sec())),
@@ -87,6 +94,45 @@ fn time_stepping(load: f64, seed: u64, cycles: u64, reference: bool) -> StepTimi
     StepTiming {
         load,
         mode: if reference { "reference" } else { "active" },
+        threads: 1,
+        cycles,
+        wall_secs,
+    }
+}
+
+/// An 8x8 mesh (64 nodes, 4 VCs) warmed 0.5 simulated ms into steady
+/// state, for the threads-axis stepping measurements.
+fn mesh_network(load: f64, seed: u64) -> Network {
+    let topology = Topology::mesh(8, 8, 1);
+    let wl = WorkloadBuilder::new(topology.node_count(), VcPartition::from_mix(4, 80.0, 20.0))
+        .load(load)
+        .mix(80.0, 20.0)
+        .real_time_class(StreamClass::Vbr)
+        .seed(seed)
+        .build();
+    let mut net = Network::new(&topology, wl, &RouterConfig::new(4));
+    let tb = net.timebase();
+    net.run_until(tb.cycles_from_ms(0.5));
+    net
+}
+
+/// Times `cycles` of steady-state 8x8-mesh stepping with `threads`
+/// workers (1 = the sequential active-set path).
+fn time_mesh_stepping(load: f64, seed: u64, cycles: u64, threads: usize) -> StepTiming {
+    let mut net = mesh_network(load, seed);
+    let end = net.now() + Cycles(cycles);
+    let started = Instant::now();
+    if threads <= 1 {
+        net.run_until(end);
+    } else {
+        net.run_until_parallel(end, threads);
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    std::hint::black_box(net.delivered_flits());
+    StepTiming {
+        load,
+        mode: "mesh-8x8",
+        threads,
         cycles,
         wall_secs,
     }
@@ -122,6 +168,31 @@ pub fn run_perf(args: &RunArgs) -> Json {
     }
     println!();
 
+    // Threads axis: the deterministic parallel stepper over an 8x8 mesh
+    // at 1/2/4 worker threads. The host core count is recorded alongside
+    // so the ratios can be read honestly — on a single-core host the
+    // barrier handoffs can only add overhead, and the >1-thread points
+    // document that cost rather than a speedup.
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mesh_cycles: u64 = if args.quick { 20_000 } else { 80_000 };
+    let mesh_load = 0.4;
+    println!("   mesh 8x8 threads axis (load {mesh_load:.2}, host cores {host_cores}):");
+    let mut mesh_timings: Vec<StepTiming> = Vec::new();
+    let mut thread_speedups: Vec<(usize, f64)> = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        let t = time_mesh_stepping(mesh_load, args.seed, mesh_cycles, threads);
+        let over_one = mesh_timings
+            .first()
+            .map_or(1.0, |base| t.cycles_per_sec() / base.cycles_per_sec());
+        println!(
+            "   threads {threads}: {:>10.0} cyc/s | {over_one:.2}x over 1 thread",
+            t.cycles_per_sec(),
+        );
+        thread_speedups.push((threads, over_one));
+        mesh_timings.push(t);
+    }
+    println!();
+
     // The standard sweep, timed the same way `--json` runs are.
     let started = Instant::now();
     let sweep = experiments::fig3(args);
@@ -135,6 +206,7 @@ pub fn run_perf(args: &RunArgs) -> Json {
 
     Json::obj([
         ("experiment", Json::str("perf")),
+        ("host_cores", Json::Uint(host_cores as u64)),
         (
             "net_step",
             Json::arr(timings.iter().map(StepTiming::to_json)),
@@ -145,6 +217,19 @@ pub fn run_perf(args: &RunArgs) -> Json {
                 Json::obj([
                     ("load", Json::num(load)),
                     ("active_over_reference", Json::num(s)),
+                ])
+            })),
+        ),
+        (
+            "net_step_mesh",
+            Json::arr(mesh_timings.iter().map(StepTiming::to_json)),
+        ),
+        (
+            "threads_speedup",
+            Json::arr(thread_speedups.iter().map(|&(threads, s)| {
+                Json::obj([
+                    ("threads", Json::Uint(threads as u64)),
+                    ("over_one_thread", Json::num(s)),
                 ])
             })),
         ),
@@ -167,10 +252,19 @@ mod tests {
     }
 
     #[test]
+    fn mesh_threads_timing_runs_the_parallel_path() {
+        let t = time_mesh_stepping(0.4, 7, 2_000, 2);
+        assert_eq!(t.threads, 2);
+        assert_eq!(t.mode, "mesh-8x8");
+        assert!(t.cycles_per_sec().is_finite() && t.cycles_per_sec() > 0.0);
+    }
+
+    #[test]
     fn perf_json_has_the_expected_shape() {
         let t = StepTiming {
             load: 0.96,
             mode: "active",
+            threads: 1,
             cycles: 1000,
             wall_secs: 0.5,
         };

@@ -290,6 +290,7 @@ mod tests {
     use super::*;
     use flitnet::{
         Flit, FlitKind, FrameId, MsgId, NodeId, RouterId, StreamId, TrafficClass, VcPartition,
+        VcSel,
     };
     use netsim::telemetry::NoopSink;
     use netsim::Cycles;
@@ -395,8 +396,8 @@ mod tests {
             r1.receive_flit(Cycles(i as u64), PortId(1), f);
         }
         for t in 0..10u64 {
-            r0.arbitrate(Cycles(t), |_| &TO_NEIGHBOUR[..], &mut sink);
-            r1.arbitrate(Cycles(t), |_| &TO_NEIGHBOUR[..], &mut sink);
+            r0.arbitrate(Cycles(t), |_| (&TO_NEIGHBOUR[..], VcSel::Any), &mut sink);
+            r1.arbitrate(Cycles(t), |_| (&TO_NEIGHBOUR[..], VcSel::Any), &mut sink);
         }
         assert_eq!(r0.output_owner(PortId(0), VcId(0)), Some(MsgId(1)));
         assert_eq!(r1.output_owner(PortId(0), VcId(0)), Some(MsgId(2)));
@@ -448,7 +449,7 @@ mod tests {
             r0.receive_flit(Cycles(i as u64), PortId(1), f);
         }
         for t in 0..10u64 {
-            r0.arbitrate(Cycles(t), |_| &TO_NEIGHBOUR[..], &mut sink);
+            r0.arbitrate(Cycles(t), |_| (&TO_NEIGHBOUR[..], VcSel::Any), &mut sink);
         }
         let routers = [r0, r1];
         let downstream = |r: usize, p: PortId| -> Option<(usize, PortId)> {

@@ -32,6 +32,8 @@ use crate::counters::NetCounters;
 use crate::router::{sorted_insert, CreditReturn, Departure, Router};
 use crate::scheduler::MuxScheduler;
 
+mod par;
+
 /// Credits given to endpoint-attached output ports: endpoints consume at
 /// link rate, so they never exert backpressure.
 const ENDPOINT_CREDITS: u32 = 1 << 30;
@@ -195,6 +197,19 @@ impl Network {
         let node_count = topology.node_count();
 
         let partition = workload.partition();
+        if topology.has_datelines() {
+            // Dateline restrictions halve each class's VC range; a class
+            // with a single VC would have an empty lower half and worms
+            // crossing the wrap-around could never be routed.
+            assert!(
+                partition.real_time_count() != 1,
+                "a torus needs at least 2 real-time VCs for its dateline classes"
+            );
+            assert!(
+                partition.best_effort_count() != 1,
+                "a torus needs at least 2 best-effort VCs for its dateline classes"
+            );
+        }
         let mut routers: Vec<Router> = topology
             .routers()
             .map(|(id, spec)| Router::new(id, spec.ports.len(), cfg, partition))
@@ -511,6 +526,52 @@ impl Network {
         self.run_until_impl(end, sink, false);
     }
 
+    /// Runs the simulation until cycle `end`, stepping the routers on
+    /// `threads` OS threads.
+    ///
+    /// Bit-identical to [`Network::run_until`] at any thread count: the
+    /// routers are partitioned into contiguous ranges, the pipeline
+    /// phases run between barriers, and all cross-partition traffic
+    /// flows through the link mailboxes, which are drained in fixed
+    /// global link order (see the `par` module for the full argument).
+    pub fn run_until_parallel(&mut self, end: Cycles, threads: usize) {
+        self.run_until_parallel_with(end, threads, &mut NoopSink);
+    }
+
+    /// [`Network::run_until_parallel`], streaming flit events into
+    /// `sink`. The traced byte stream is identical to a sequential
+    /// [`Network::run_until_with`] run.
+    pub fn run_until_parallel_with(
+        &mut self,
+        end: Cycles,
+        threads: usize,
+        sink: &mut dyn TelemetrySink,
+    ) {
+        // Never spin up more workers than there are routers to own.
+        let threads = threads.min(self.routers.len());
+        if threads <= 1 {
+            self.run_until_with(end, sink);
+            return;
+        }
+        self.set_tracing(sink.is_enabled());
+        par::drive(self, end, threads, sink);
+    }
+
+    /// Folds end-of-run truncation into the latency tracker: every
+    /// message injected but not fully delivered when the clock stopped is
+    /// a right-censored observation, not a missing one. Returns how many
+    /// such messages there were.
+    ///
+    /// [`crate::sim::run`] calls this once, after the drain window; the
+    /// count is surfaced as `in_flight_at_end` so measurement windows
+    /// that truncate a meaningful share of traffic are visible instead
+    /// of silently inflating the delivered-latency average.
+    pub fn note_truncated_messages(&mut self) -> u64 {
+        let in_flight = self.injected_msgs - self.sinks.delivered_msgs;
+        self.sinks.latency.note_censored(in_flight);
+        in_flight
+    }
+
     /// Runs the simulation until cycle `end` using the *full-scan
     /// reference* stepping mode: every phase scans every slot, as the
     /// code did before the occupancy-driven active sets existed. Kept as
@@ -775,9 +836,9 @@ impl Network {
             }
             let rid = RouterId(r as u32);
             if reference {
-                router.arbitrate_reference(now, |flit| topology.route(rid, flit.dest), sink);
+                router.arbitrate_reference(now, |flit| topology.route_sel(rid, flit.dest), sink);
             } else {
-                router.arbitrate(now, |flit| topology.route(rid, flit.dest), sink);
+                router.arbitrate(now, |flit| topology.route_sel(rid, flit.dest), sink);
             }
         }
     }
@@ -887,17 +948,30 @@ impl Network {
     /// link.
     fn ni_send_one(&mut self, n: usize, now: Cycles) {
         let ep = &mut self.endpoints[n];
+        let Some(flit) = Self::ni_pick(ep, &mut self.scratch) else {
+            return;
+        };
+        let link = ep.link;
+        self.links[link].flit.send(now, flit);
+        Self::activate_link(&mut self.link_active, &mut self.active_links, link);
+        self.link_sent[link] += 1;
+        self.total_link_sends += 1;
+    }
+
+    /// The NI scheduling decision of [`Network::ni_send_one`], minus the
+    /// link send: picks (and dequeues) the flit endpoint `ep` injects
+    /// this cycle, if any. Split out so the parallel stepper can run the
+    /// decision on the endpoint's owning thread and do the shared-state
+    /// bookkeeping itself.
+    fn ni_pick(ep: &mut Endpoint, scratch: &mut [bool]) -> Option<Flit> {
         let sendable = |ep: &Endpoint, v: usize| !ep.queues[v].is_empty() && ep.credits[v] > 0;
         let v = match ep.current {
             Some(v) if sendable(ep, v) => v,
             _ => {
-                for (v, e) in self.scratch.iter_mut().enumerate() {
+                for (v, e) in scratch.iter_mut().enumerate() {
                     *e = sendable(ep, v);
                 }
-                match ep.sched.choose(&self.scratch) {
-                    Some(v) => v,
-                    None => return,
-                }
+                ep.sched.choose(scratch)?
             }
         };
         let flit = ep.queues[v].pop_front().expect("eligible VC has a flit");
@@ -905,10 +979,7 @@ impl Network {
         ep.credits[v] -= 1;
         ep.queued -= 1;
         ep.current = if flit.kind.is_tail() { None } else { Some(v) };
-        self.links[ep.link].flit.send(now, flit);
-        Self::activate_link(&mut self.link_active, &mut self.active_links, ep.link);
-        self.link_sent[ep.link] += 1;
-        self.total_link_sends += 1;
+        Some(flit)
     }
 
     // ---- audit + watchdog ------------------------------------------------
@@ -1131,6 +1202,43 @@ impl Network {
                 (TxSide::Ni { .. }, RxSide::Node) => {
                     unreachable!("an injection link never ends at a node")
                 }
+            }
+        }
+        // Mailbox conservation: a link must be on the active list exactly
+        // when it has traffic in flight, and an endpoint exactly when it
+        // has flits queued. Both the sequential stepper and the parallel
+        // one (which freezes these lists as its per-cycle mailboxes) scan
+        // only the listed entries, so a desync silently strands traffic.
+        for (l, lp) in self.links.iter().enumerate() {
+            let busy = !(lp.flit.is_idle() && lp.credit.is_idle());
+            let flagged = self.link_active[l];
+            let listed = self.active_links.binary_search(&l).is_ok();
+            if busy != flagged || flagged != listed {
+                log.record(Violation {
+                    cycle: now.get(),
+                    router: None,
+                    port: l as u32,
+                    vc: 0,
+                    kind: ViolationKind::ActiveSetDesync,
+                    detail: format!("link {l}: busy={busy} flagged={flagged} listed={listed}"),
+                });
+            }
+        }
+        for (n, ep) in self.endpoints.iter().enumerate() {
+            let backlogged = ep.queued > 0;
+            let flagged = self.ep_active[n];
+            let listed = self.active_eps.binary_search(&n).is_ok();
+            if backlogged != flagged || flagged != listed {
+                log.record(Violation {
+                    cycle: now.get(),
+                    router: None,
+                    port: n as u32,
+                    vc: 0,
+                    kind: ViolationKind::ActiveSetDesync,
+                    detail: format!(
+                        "endpoint {n}: backlogged={backlogged} flagged={flagged} listed={listed}"
+                    ),
+                });
             }
         }
         // Global flit conservation: everything injected but undelivered

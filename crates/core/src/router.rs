@@ -28,7 +28,7 @@
 
 use std::collections::VecDeque;
 
-use flitnet::{Flit, MsgId, PortId, RouterId, VcBuffer, VcId, VcPartition};
+use flitnet::{Flit, MsgId, PortId, RouterId, VcBuffer, VcId, VcPartition, VcSel};
 use netsim::telemetry::{FlitEvent, FlitEventKind, TelemetrySink};
 use netsim::Cycles;
 
@@ -317,18 +317,20 @@ impl Router {
     /// has finished its [`ROUTE_ARB_CYCLES`] and whose resources are free.
     ///
     /// `candidates(flit)` returns the deterministic route's output-port
-    /// candidates (several only across parallel fat links); among those
-    /// with a free VC the *least loaded* wins, per §3.4. The output VC is
-    /// allocated dynamically from the head's class partition (preferring
-    /// the stream's requested VC) and is owned by the message until its
-    /// tail passes the crossbar — the paper's message-granularity output
-    /// arbitration.
+    /// candidates (several only across parallel fat links) plus a
+    /// [`VcSel`] dateline restriction; among the candidates with a free,
+    /// `VcSel`-permitted VC the *least loaded* wins, per §3.4. The output
+    /// VC is allocated dynamically from the head's class partition
+    /// (preferring the stream's requested VC) and is owned by the message
+    /// until its tail passes the crossbar — the paper's
+    /// message-granularity output arbitration. On dateline-free
+    /// topologies the restriction is [`VcSel::Any`] and changes nothing.
     ///
     /// Each successful grant emits a `Route` event to `sink` when tracing
     /// is enabled (see [`Router::set_tracing`]).
     pub fn arbitrate<'t, F>(&mut self, now: Cycles, candidates: F, sink: &mut dyn TelemetrySink)
     where
-        F: Fn(&Flit) -> &'t [PortId],
+        F: Fn(&Flit) -> (&'t [PortId], VcSel),
     {
         let m = self.cfg.vcs_per_pc() as usize;
         let total = self.inputs.len() * m;
@@ -359,7 +361,7 @@ impl Router {
         candidates: F,
         sink: &mut dyn TelemetrySink,
     ) where
-        F: Fn(&Flit) -> &'t [PortId],
+        F: Fn(&Flit) -> (&'t [PortId], VcSel),
     {
         let m = self.cfg.vcs_per_pc() as usize;
         let total = self.inputs.len() * m;
@@ -397,7 +399,7 @@ impl Router {
         candidates: &F,
         sink: &mut dyn TelemetrySink,
     ) where
-        F: Fn(&Flit) -> &'t [PortId],
+        F: Fn(&Flit) -> (&'t [PortId], VcSel),
     {
         let ivc = &mut self.inputs[p].vcs[v];
         debug_assert!(ivc.grant.is_none(), "pending slot must be ungranted");
@@ -421,11 +423,16 @@ impl Router {
         // class partition, preferring the stream's requested VC. With
         // VC borrowing enabled (§6 future work), a free VC of the
         // *other* class is taken as a last resort, so idle capacity
-        // is never stranded by the static split.
+        // is never stranded by the static split. All three tiers honour
+        // the hop's dateline restriction — including the borrowing
+        // fallback, or a borrowed VC would re-open the wrap-link
+        // dependency cycle the datelines exist to break.
         let borrowing = self.cfg.vc_borrowing_enabled();
+        let (cands, sel) = candidates(&head);
         let free_vc = |op: &OutputPort| -> Option<usize> {
             let preferred = head.out_vc.index();
             if self.partition.class_of(head.out_vc).is_real_time() == head.class.is_real_time()
+                && self.partition.sel_allows(sel, head.out_vc)
                 && op.vcs[preferred].owner.is_none()
             {
                 return Some(preferred);
@@ -433,16 +440,19 @@ impl Router {
             let own = self
                 .partition
                 .vcs_for(head.class)
+                .filter(|&vc| self.partition.sel_allows(sel, vc))
                 .map(VcId::index)
                 .find(|&vc| op.vcs[vc].owner.is_none());
             if own.is_some() || !borrowing {
                 return own;
             }
-            (0..op.vcs.len()).find(|&vc| op.vcs[vc].owner.is_none())
+            (0..op.vcs.len()).find(|&vc| {
+                op.vcs[vc].owner.is_none() && self.partition.sel_allows(sel, VcId(vc as u32))
+            })
         };
         // Pick the least-loaded candidate port with a free VC.
         let mut best: Option<(usize, usize, usize)> = None; // (load, port, vc)
-        for cand in candidates(&head) {
+        for cand in cands {
             let o = cand.index();
             let op = &self.outputs[o];
             let Some(vc) = free_vc(op) else {
@@ -1134,7 +1144,7 @@ mod tests {
         let mut sink = netsim::telemetry::NoopSink;
         router.arbitrate(
             now,
-            |f| std::slice::from_ref(&PORTS[f.dest.index()]),
+            |f| (std::slice::from_ref(&PORTS[f.dest.index()]), VcSel::Any),
             &mut sink,
         );
         let mut credits = Vec::new();
@@ -1477,7 +1487,7 @@ mod tests {
             const PORTS: [PortId; 4] = [PortId(0), PortId(1), PortId(2), PortId(3)];
             r.arbitrate(
                 Cycles(t),
-                |f| std::slice::from_ref(&PORTS[f.dest.index()]),
+                |f| (std::slice::from_ref(&PORTS[f.dest.index()]), VcSel::Any),
                 &mut sink,
             );
             let mut credits = Vec::new();
@@ -1506,7 +1516,7 @@ mod tests {
             const PORTS: [PortId; 4] = [PortId(0), PortId(1), PortId(2), PortId(3)];
             r.arbitrate(
                 Cycles(t),
-                |f| std::slice::from_ref(&PORTS[f.dest.index()]),
+                |f| (std::slice::from_ref(&PORTS[f.dest.index()]), VcSel::Any),
                 &mut sink,
             );
             let mut credits = Vec::new();
@@ -1535,7 +1545,7 @@ mod tests {
         let mut sink = netsim::telemetry::NoopSink;
         for t in 0..100u64 {
             const FAT: [PortId; 2] = [PortId(2), PortId(3)];
-            r.arbitrate(Cycles(t), |_| &FAT[..], &mut sink);
+            r.arbitrate(Cycles(t), |_| (&FAT[..], VcSel::Any), &mut sink);
             let mut credits = Vec::new();
             r.crossbar(Cycles(t), &mut credits, &mut sink);
             let mut departs = Vec::new();
@@ -1612,7 +1622,7 @@ mod tests {
             let now = Cycles(t);
             r.arbitrate(
                 now,
-                |f| std::slice::from_ref(&PORTS[f.dest.index()]),
+                |f| (std::slice::from_ref(&PORTS[f.dest.index()]), VcSel::Any),
                 &mut sink,
             );
             let mut credits = Vec::new();
@@ -1642,7 +1652,7 @@ mod tests {
             let now = Cycles(t);
             r.arbitrate(
                 now,
-                |f| std::slice::from_ref(&PORTS[f.dest.index()]),
+                |f| (std::slice::from_ref(&PORTS[f.dest.index()]), VcSel::Any),
                 &mut sink,
             );
             let mut credits = Vec::new();
@@ -1651,5 +1661,83 @@ mod tests {
             r.output_stage(now, &mut departs);
         }
         assert_eq!(sink.events(), 0);
+    }
+
+    /// Drives one router whose route closure pins every hop to `sel`.
+    fn drive_sel(r: &mut Router, now: Cycles, sel: VcSel) -> Vec<Departure> {
+        const PORTS: [PortId; 4] = [PortId(0), PortId(1), PortId(2), PortId(3)];
+        let mut sink = netsim::telemetry::NoopSink;
+        r.arbitrate(
+            now,
+            move |f| (std::slice::from_ref(&PORTS[f.dest.index()]), sel),
+            &mut sink,
+        );
+        let mut credits = Vec::new();
+        r.crossbar(now, &mut credits, &mut sink);
+        let mut departs = Vec::new();
+        r.output_stage(now, &mut departs);
+        departs
+    }
+
+    #[test]
+    fn dateline_sel_confines_output_vc_allocation() {
+        // 4 all-real-time VCs: Lower = {0, 1}, Upper = {2, 3}. A head
+        // requesting VC 0 under an Upper restriction must be re-allocated
+        // into the upper half; under Lower it keeps its preference.
+        for (sel, allowed) in [(VcSel::Upper, [2u32, 3]), (VcSel::Lower, [0u32, 1])] {
+            let mut r = new_router(&cfg());
+            for f in msg_flits(1, 3, 2, 0, 100.0) {
+                r.receive_flit(Cycles(0), PortId(0), f);
+            }
+            let mut seen = Vec::new();
+            for t in 0..30u64 {
+                for d in drive_sel(&mut r, Cycles(t), sel) {
+                    seen.push(d.flit.vc.get());
+                }
+            }
+            assert_eq!(seen.len(), 3);
+            assert!(
+                seen.iter().all(|vc| allowed.contains(vc)),
+                "{sel:?} must confine to {allowed:?}, got {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dateline_sel_blocks_when_its_half_is_owned() {
+        // Both upper-half VCs are owned by in-flight worms; an Upper-
+        // restricted head must wait even though lower VCs are free — and
+        // even with borrowing enabled, since the borrowing fallback also
+        // honours the restriction.
+        let c = cfg().vc_borrowing(true);
+        let mut r = new_router(&c);
+        // Two long worms to port 2 occupy VCs 2 and 3 (Upper).
+        for f in msg_flits(1, 18, 2, 2, 100.0) {
+            r.receive_flit(Cycles(0), PortId(0), f);
+        }
+        for f in msg_flits(2, 18, 2, 3, 100.0) {
+            r.receive_flit(Cycles(0), PortId(1), f);
+        }
+        let mut msg3_first = None;
+        for t in 0..200u64 {
+            if t == 6 {
+                // Both upper VCs are owned by now; a third worm,
+                // Upper-restricted and requesting VC 2, must block.
+                for f in msg_flits(3, 3, 2, 2, 100.0) {
+                    r.receive_flit(Cycles(t), PortId(3), f);
+                }
+            }
+            for d in drive_sel(&mut r, Cycles(t), VcSel::Upper) {
+                if d.flit.msg == MsgId(3) && msg3_first.is_none() {
+                    msg3_first = Some((t, d.flit.vc.get()));
+                }
+            }
+        }
+        let (t, vc) = msg3_first.expect("the restricted worm eventually departs");
+        assert!(
+            t > 18,
+            "msg 3 must wait for an upper VC to free, departed at {t}"
+        );
+        assert!(vc >= 2, "msg 3 must use an upper VC, used {vc}");
     }
 }

@@ -26,6 +26,10 @@ pub struct SimOpts {
     /// [`crate::net::Network::run_until_reference`]). Slow; only useful
     /// as the oracle in bit-identity tests.
     pub reference: bool,
+    /// Worker threads for in-network parallel stepping (see
+    /// [`crate::net::Network::run_until_parallel`]). `0` and `1` both mean
+    /// sequential; results are bit-identical at any count.
+    pub threads: usize,
 }
 
 impl SimOpts {
@@ -37,6 +41,7 @@ impl SimOpts {
             audit: None,
             watchdog: Some(WatchdogConfig::default()),
             reference: false,
+            threads: 1,
         }
     }
 
@@ -47,6 +52,7 @@ impl SimOpts {
             audit: Some(AuditConfig::default()),
             watchdog: Some(WatchdogConfig::default()),
             reference: false,
+            threads: 1,
         }
     }
 
@@ -56,6 +62,13 @@ impl SimOpts {
             reference: true,
             ..self
         }
+    }
+
+    /// This configuration stepped by `threads` worker threads
+    /// (bit-identical to sequential stepping; incompatible with
+    /// [`SimOpts::reference`], which always runs sequentially).
+    pub fn threads(self, threads: usize) -> SimOpts {
+        SimOpts { threads, ..self }
     }
 }
 
@@ -79,6 +92,14 @@ pub struct SimOutcome {
     pub injected_msgs: u64,
     /// Messages delivered over the whole run.
     pub delivered_msgs: u64,
+    /// Messages still in flight when the run's end cycle cut them off.
+    ///
+    /// These are right-censored observations: they appear in no latency or
+    /// jitter statistic, so at high load the reported tails are biased
+    /// low. Always `injected_msgs - delivered_msgs`; reported explicitly
+    /// (here and in `--json` records) so the truncation is visible instead
+    /// of silent.
+    pub in_flight_at_end: u64,
     /// Simulated cycles the run covered (warm-up + measurement).
     pub cycles: u64,
     /// Router telemetry counter totals over the whole run.
@@ -247,9 +268,12 @@ fn run_with(
     net.set_warmup_end(warmup);
     if opts.reference {
         net.run_until_reference_with(end, sink);
+    } else if opts.threads > 1 {
+        net.run_until_parallel_with(end, opts.threads, sink);
     } else {
         net.run_until_with(end, sink);
     }
+    let in_flight_at_end = net.note_truncated_messages();
     SimOutcome {
         jitter: net.delivery().summary(),
         be_mean_latency_us: net.latency().mean_us(),
@@ -259,6 +283,7 @@ fn run_with(
         oversubscribed,
         injected_msgs: net.injected_msgs(),
         delivered_msgs: net.delivered_msgs(),
+        in_flight_at_end,
         cycles: end.get(),
         counters: net.counters(),
         stall: net.stall_report().cloned(),
@@ -380,6 +405,53 @@ mod tests {
         );
         assert_eq!(out.audit_violations, 0);
         assert!(out.stall.is_none());
+    }
+
+    #[test]
+    fn end_of_run_truncation_is_counted_not_silent() {
+        // Drain-window regression: at high load a short measurement window
+        // always cuts messages off mid-flight. They must show up in
+        // `in_flight_at_end` (and on the latency tracker as censored
+        // observations) instead of silently vanishing from the stats.
+        let out = run(
+            &Topology::single_switch(8),
+            workload(0.96, 80.0, 20.0, 9),
+            &RouterConfig::default(),
+            0.01,
+            0.02,
+        );
+        assert!(
+            out.in_flight_at_end > 0,
+            "a saturated run must truncate some messages"
+        );
+        assert_eq!(
+            out.injected_msgs,
+            out.delivered_msgs + out.in_flight_at_end,
+            "message conservation: injected = delivered + in flight"
+        );
+    }
+
+    #[test]
+    fn longer_drain_reduces_truncation_share() {
+        // The same offered load measured over a longer window truncates a
+        // smaller *fraction* of its messages — the bias in_flight_at_end
+        // exposes shrinks as the window grows.
+        let share = |measure: f64| {
+            let out = run(
+                &Topology::single_switch(8),
+                workload(0.8, 80.0, 20.0, 10),
+                &RouterConfig::default(),
+                0.01,
+                measure,
+            );
+            out.in_flight_at_end as f64 / out.injected_msgs.max(1) as f64
+        };
+        let short = share(0.01);
+        let long = share(0.08);
+        assert!(
+            long < short,
+            "truncated share must shrink with the window: short {short} long {long}"
+        );
     }
 
     #[test]

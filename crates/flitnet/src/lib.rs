@@ -29,5 +29,5 @@ pub use class::TrafficClass;
 pub use flit::{worm_order_violation, Flit, FlitKind, BEST_EFFORT_VTICK};
 pub use ids::{FrameId, MsgId, NodeId, PortId, RouterId, StreamId, VcId};
 pub use link::{CreditLink, Link};
-pub use partition::VcPartition;
+pub use partition::{VcPartition, VcSel};
 pub use vcbuf::VcBuffer;

@@ -9,6 +9,25 @@
 use crate::class::TrafficClass;
 use crate::ids::VcId;
 
+/// Restriction on which half of a class's VC range a hop may allocate.
+///
+/// Rings (and therefore tori) need a dateline discipline to keep the
+/// channel-dependency graph acyclic: within each traffic class's VC range,
+/// the lower half is reserved for hops whose remaining path still crosses
+/// the wrap-around link and the upper half for hops past it. Topologies
+/// without wrap links use [`VcSel::Any`], which restricts nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcSel {
+    /// No restriction (every topology without datelines).
+    Any,
+    /// Only the lower half of the class's VC range (path still crosses
+    /// the dateline, including the wrap hop itself).
+    Lower,
+    /// Only the upper half of the class's VC range (path past the
+    /// dateline, or one that never crosses it).
+    Upper,
+}
+
 /// The x:y split of one physical channel's virtual channels.
 ///
 /// # Example
@@ -113,6 +132,32 @@ impl VcPartition {
             TrafficClass::Vbr
         } else {
             TrafficClass::BestEffort
+        }
+    }
+
+    /// Whether `sel` permits allocating `vc`.
+    ///
+    /// The halves are computed within the class range of `vc` itself
+    /// (`split = lo + (hi - lo) / 2`; `Lower` is `[lo, split)`, `Upper` is
+    /// `[split, hi)`), so the dateline discipline composes with the
+    /// real-time / best-effort partition instead of cutting across it.
+    /// Note that a single-VC class has an *empty* lower half — topologies
+    /// with datelines need at least two VCs per populated class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    pub fn sel_allows(&self, sel: VcSel, vc: VcId) -> bool {
+        let (lo, hi) = if self.class_of(vc).is_real_time() {
+            (0, self.real_time)
+        } else {
+            (self.real_time, self.total)
+        };
+        let split = lo + (hi - lo) / 2;
+        match sel {
+            VcSel::Any => true,
+            VcSel::Lower => vc.get() < split,
+            VcSel::Upper => vc.get() >= split,
         }
     }
 
@@ -237,5 +282,52 @@ mod tests {
     fn class_of_out_of_range_panics() {
         let p = VcPartition::all_real_time(4);
         let _ = p.class_of(VcId(4));
+    }
+
+    #[test]
+    fn sel_any_allows_everything() {
+        let p = VcPartition::from_mix(16, 80.0, 20.0);
+        for vc in 0..16 {
+            assert!(p.sel_allows(VcSel::Any, VcId(vc)));
+        }
+    }
+
+    #[test]
+    fn sel_halves_partition_each_class_range() {
+        // 13 real-time VCs split 6/7, 3 best-effort VCs split 1/2.
+        let p = VcPartition::from_mix(16, 80.0, 20.0);
+        let lower: Vec<u32> = (0..16)
+            .filter(|&v| p.sel_allows(VcSel::Lower, VcId(v)))
+            .collect();
+        let upper: Vec<u32> = (0..16)
+            .filter(|&v| p.sel_allows(VcSel::Upper, VcId(v)))
+            .collect();
+        assert_eq!(lower, vec![0, 1, 2, 3, 4, 5, 13]);
+        assert_eq!(upper, vec![6, 7, 8, 9, 10, 11, 12, 14, 15]);
+        // Halves are complementary within every class.
+        for vc in 0..16 {
+            assert_ne!(
+                p.sel_allows(VcSel::Lower, VcId(vc)),
+                p.sel_allows(VcSel::Upper, VcId(vc))
+            );
+        }
+    }
+
+    #[test]
+    fn sel_lower_is_empty_for_a_single_vc_class() {
+        // The documented caveat: one VC cannot be halved, so dateline
+        // topologies must provision at least two per populated class.
+        let p = VcPartition::all_real_time(1);
+        assert!(!p.sel_allows(VcSel::Lower, VcId(0)));
+        assert!(p.sel_allows(VcSel::Upper, VcId(0)));
+    }
+
+    #[test]
+    fn sel_even_split_balances_halves() {
+        let p = VcPartition::all_real_time(4);
+        let lower = (0..4).filter(|&v| p.sel_allows(VcSel::Lower, VcId(v)));
+        let upper = (0..4).filter(|&v| p.sel_allows(VcSel::Upper, VcId(v)));
+        assert_eq!(lower.collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(upper.collect::<Vec<_>>(), vec![2, 3]);
     }
 }

@@ -23,6 +23,7 @@ pub struct LatencyTracker {
     timebase: TimeBase,
     stats: RunningStats,
     warmup_end: Cycles,
+    censored: u64,
 }
 
 impl LatencyTracker {
@@ -32,6 +33,7 @@ impl LatencyTracker {
             timebase,
             stats: RunningStats::new(),
             warmup_end: Cycles::ZERO,
+            censored: 0,
         }
     }
 
@@ -99,6 +101,24 @@ impl LatencyTracker {
     /// Number of recorded messages.
     pub fn count(&self) -> u64 {
         self.stats.count()
+    }
+
+    /// Registers `n` right-censored observations: messages whose delivery
+    /// the end of the run cut off, so their (unknown, lower-bounded)
+    /// latencies are *absent* from every statistic this tracker reports.
+    ///
+    /// Censored observations never enter the mean/σ/max — recording a
+    /// made-up value would bias the statistics the other way — but keeping
+    /// an explicit count lets reports say "mean of N delivered, M
+    /// truncated" instead of silently presenting a biased tail.
+    pub fn note_censored(&mut self, n: u64) {
+        self.censored += n;
+    }
+
+    /// Observations known to be missing from the sample (end-of-run
+    /// truncation); see [`LatencyTracker::note_censored`].
+    pub fn censored(&self) -> u64 {
+        self.censored
     }
 }
 
@@ -168,5 +188,25 @@ mod tests {
     fn negative_latency_panics() {
         let mut t = LatencyTracker::new(tb());
         t.record(Cycles(10), Cycles(5));
+    }
+
+    #[test]
+    fn censored_observations_are_counted_but_not_averaged() {
+        // Drain-window regression: truncated messages must be visible in
+        // censored() without perturbing any delivered-message statistic.
+        let mut t = LatencyTracker::new(tb());
+        t.record(Cycles(0), Cycles(125)); // 10 µs
+        t.record(Cycles(0), Cycles(375)); // 30 µs
+        let (mean, count) = (t.mean_us(), t.count());
+        t.note_censored(5);
+        t.note_censored(2);
+        assert_eq!(t.censored(), 7);
+        assert_eq!(t.count(), count, "censoring must not add samples");
+        assert_eq!(
+            t.mean_us().to_bits(),
+            mean.to_bits(),
+            "censoring must not move the mean"
+        );
+        assert_eq!(LatencyTracker::new(tb()).censored(), 0);
     }
 }

@@ -66,15 +66,31 @@ impl Normal {
     }
 }
 
+/// One standard-normal variate from two uniforms via Box–Muller.
+///
+/// `u1` is clamped away from zero before the `ln()` so a zero uniform
+/// cannot produce `ln(0) → -inf` (and, scaled, a NaN). [`SimRng::unit_open`]
+/// already draws from `(0, 1]`, but this function accepts the full closed
+/// unit square so callers with other uniform sources (or a literal `0.0`)
+/// get a finite variate instead of an infinity.
+///
+/// The cosine branch deterministically discards the second Box–Muller
+/// variate: every call consumes exactly the two uniforms it is given, which
+/// keeps RNG-stream consumption per [`Normal::sample`] call fixed (two
+/// draws), a property the reproducibility tests pin.
+pub fn box_muller(u1: f64, u2: f64) -> f64 {
+    let u1 = u1.max(f64::MIN_POSITIVE);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
 impl Distribution for Normal {
     fn sample(&self, rng: &mut SimRng) -> f64 {
-        // Box–Muller: two independent uniforms → one standard normal.
-        // (The second normal is discarded; simplicity over a cached value
-        // keeps the sampler stateless and `&self`.)
+        // Box–Muller: exactly two independent uniforms → one standard
+        // normal. (The second normal is discarded; simplicity over a
+        // cached value keeps the sampler stateless and `&self`.)
         let u1 = rng.unit_open();
         let u2 = rng.unit_open();
-        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        self.mean + self.std_dev * z
+        self.mean + self.std_dev * box_muller(u1, u2)
     }
 
     fn mean(&self) -> f64 {
@@ -247,5 +263,59 @@ mod tests {
     #[should_panic(expected = "standard deviation must be non-negative")]
     fn negative_sd_panics() {
         let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn box_muller_is_finite_on_zero_uniform() {
+        // A zero first uniform hits ln(0) = -inf without the clamp; the
+        // guarded transform must stay finite over the whole closed square.
+        assert!(box_muller(0.0, 0.0).is_finite());
+        assert!(box_muller(0.0, 0.25).is_finite());
+        assert!(box_muller(0.0, 1.0).is_finite());
+        // The clamp maps 0 to the smallest positive double, the most
+        // extreme (but finite) tail value the transform can produce.
+        assert_eq!(box_muller(0.0, 1.0), box_muller(f64::MIN_POSITIVE, 1.0));
+        // Interior points are untouched by the guard.
+        let z = box_muller(0.5, 0.5);
+        assert!(z.is_finite());
+        assert_eq!(
+            z,
+            (-2.0f64 * 0.5f64.ln()).sqrt() * (std::f64::consts::TAU * 0.5).cos()
+        );
+    }
+
+    #[test]
+    fn normal_sample_consumes_exactly_two_uniforms() {
+        // Pin RNG-stream consumption: each sample() call must draw exactly
+        // two uniforms (the second Box–Muller variate is discarded, never
+        // cached), so a same-seeded generator that skips 2·k uniforms sits
+        // at the same stream position as one that sampled k normals.
+        let d = Normal::new(16_666.0, 3_333.0);
+        let mut sampled = SimRng::seed_from(99);
+        let mut skipped = SimRng::seed_from(99);
+        for k in 0..5 {
+            let _ = d.sample(&mut sampled);
+            let _ = (skipped.unit_open(), skipped.unit_open());
+            assert_eq!(
+                sampled.range_u64(0, u64::MAX - 1),
+                skipped.range_u64(0, u64::MAX - 1),
+                "stream positions diverged after {} samples",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn normal_sample_matches_manual_box_muller() {
+        // sample() must be exactly mean + sd · box_muller(u1, u2) on the
+        // two uniforms it draws, bit-for-bit.
+        let d = Normal::new(100.0, 10.0);
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..10 {
+            let x = d.sample(&mut a);
+            let (u1, u2) = (b.unit_open(), b.unit_open());
+            assert_eq!(x.to_bits(), (100.0 + 10.0 * box_muller(u1, u2)).to_bits());
+        }
     }
 }

@@ -20,6 +20,8 @@
 //!   sinks that the simulators feed flit lifecycle events into.
 //! * [`audit`] — the [`AuditLog`] of flow-control invariant violations
 //!   that the simulators' audit mode files findings into.
+//! * [`par`] — the raw shared-slice / shared-cell views the deterministic
+//!   parallel stepper partitions its state through.
 //!
 //! # Example
 //!
@@ -45,6 +47,7 @@
 pub mod audit;
 pub mod calendar;
 pub mod dist;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;

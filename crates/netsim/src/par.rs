@@ -1,0 +1,189 @@
+//! Unsafe shared-memory primitives for deterministic parallel stepping.
+//!
+//! The parallel network stepper partitions disjoint element ranges of a
+//! few big `Vec`s across a scoped thread pool. Rust's `&mut` rules cannot
+//! express "thread A mutates elements 0..k while thread B mutates k..n of
+//! the same slice", so the stepper publishes raw-pointer views and takes
+//! on the aliasing obligations itself:
+//!
+//! * [`SharedSlice`] — an unlifetimed `(ptr, len)` view of a slice whose
+//!   *elements* are handed out `&mut` one at a time. Callers guarantee
+//!   that no element is referenced mutably by two threads at once and
+//!   that the owning allocation outlives every use.
+//! * [`SharedCell`] — an [`UnsafeCell`] wrapper for a value written by
+//!   one thread and read by others *across a barrier* (the barrier's
+//!   happens-before edge is what makes the access ordered).
+//!
+//! Both types are deliberately tiny and deliberately `unsafe` at every
+//! access: safety lives in the stepper's ownership discipline (a fixed
+//! owner per element per phase), not here.
+
+use std::cell::UnsafeCell;
+
+/// A raw `(ptr, len)` view of a slice, shareable across scoped threads.
+///
+/// Copyable and lifetime-free; the creator must keep the backing slice
+/// alive and un-moved for as long as any copy is used, and re-derive the
+/// view whenever the backing `Vec` may have reallocated.
+#[derive(Debug)]
+pub struct SharedSlice<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+impl<T> Clone for SharedSlice<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for SharedSlice<T> {}
+
+// The view only moves `&mut T` / `&T` access between threads, which is
+// what `T: Send` licenses. (A `SharedSlice` is not handed to untrusted
+// code: every dereference is unsafe and audited at the call site.)
+unsafe impl<T: Send> Send for SharedSlice<T> {}
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+impl<T> SharedSlice<T> {
+    /// Creates a view of `slice`.
+    ///
+    /// The caller promises the backing storage outlives every copy of
+    /// the view (scoped threads + a barrier protocol, in practice).
+    pub fn new(slice: &mut [T]) -> SharedSlice<T> {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// Number of elements in the viewed slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the viewed slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A raw pointer to element `i`, for callers that need to project a
+    /// *field* of the element without materializing a reference to the
+    /// whole element (two threads may own different fields).
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds and the backing slice still alive. Any
+    /// reference later formed from the pointer must honour the one-owner-
+    /// per-(element, field) discipline.
+    pub unsafe fn ptr_at(&self, i: usize) -> *mut T {
+        debug_assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        unsafe { self.ptr.add(i) }
+    }
+
+    /// A shared reference to element `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds, the backing slice alive, and no thread may
+    /// hold `&mut` to the same element for the reference's lifetime.
+    #[allow(clippy::mut_from_ref)] // the whole point of the type
+    pub unsafe fn get(&self, i: usize) -> &T {
+        unsafe { &*self.ptr_at(i) }
+    }
+
+    /// An exclusive reference to element `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds, the backing slice alive, and this thread
+    /// must be the element's unique owner for the reference's lifetime
+    /// (no other reference to it, shared or exclusive, anywhere).
+    #[allow(clippy::mut_from_ref)] // the whole point of the type
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        unsafe { &mut *self.ptr_at(i) }
+    }
+}
+
+/// A single value written by one thread and read by others across a
+/// barrier (e.g. the per-cycle context block the stepping coordinator
+/// republishes before releasing its workers).
+#[derive(Debug, Default)]
+pub struct SharedCell<T> {
+    cell: UnsafeCell<T>,
+}
+
+// Access is externally synchronized (barriers); `T: Send` is all that is
+// required to move the value's access between threads.
+unsafe impl<T: Send> Sync for SharedCell<T> {}
+
+impl<T> SharedCell<T> {
+    /// Wraps `value`.
+    pub fn new(value: T) -> SharedCell<T> {
+        SharedCell {
+            cell: UnsafeCell::new(value),
+        }
+    }
+
+    /// A raw pointer to the value.
+    ///
+    /// # Safety
+    ///
+    /// Dereferences must be ordered by an external happens-before edge
+    /// (a barrier or join) relative to every other access.
+    pub fn get(&self) -> *mut T {
+        self.cell.get()
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        self.cell.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    #[test]
+    fn shared_slice_disjoint_ranges_across_threads() {
+        let mut data = vec![0u64; 64];
+        let view = SharedSlice::new(&mut data);
+        assert_eq!(view.len(), 64);
+        assert!(!view.is_empty());
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                s.spawn(move || {
+                    for i in (t * 16)..((t + 1) * 16) {
+                        // SAFETY: each thread owns a disjoint 16-element
+                        // range, and `data` outlives the scope.
+                        unsafe { *view.get_mut(i) = i as u64 };
+                    }
+                });
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    fn shared_cell_publishes_across_a_barrier() {
+        let cell = SharedCell::new(0u64);
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            let (c, b) = (&cell, &barrier);
+            s.spawn(move || {
+                // SAFETY: the reader blocks on the barrier until after
+                // this write.
+                unsafe { *c.get() = 42 };
+                b.wait();
+            });
+            barrier.wait();
+            // SAFETY: ordered after the write by the barrier.
+            assert_eq!(unsafe { *cell.get() }, 42);
+        });
+        assert_eq!(cell.into_inner(), 42);
+    }
+}

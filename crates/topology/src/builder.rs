@@ -1,6 +1,6 @@
 //! Construction of the supported topologies.
 
-use flitnet::{NodeId, PortId, RouterId};
+use flitnet::{NodeId, PortId, RouterId, VcSel};
 
 use crate::route::RouteTable;
 use crate::Topology;
@@ -154,6 +154,121 @@ pub(crate) fn fat_tree(leaves: u32, roots: u32, endpoints: u32) -> Topology {
         attachments,
         routes,
     )
+}
+
+/// Whether a worm at ring position `a` headed for `g` should step in the
+/// positive direction in a ring of `k` routers (shortest way; the tie at
+/// distance `k/2` goes positive so routing stays deterministic).
+fn ring_positive(a: u32, g: u32, k: u32) -> bool {
+    debug_assert_ne!(a, g);
+    let fwd = (g + k - a) % k;
+    let bwd = (a + k - g) % k;
+    fwd <= bwd
+}
+
+/// Dateline VC restriction for the remaining path from ring position `a`
+/// to `g`: [`VcSel::Lower`] while the path (including the current hop)
+/// still crosses the ring's wrap link, [`VcSel::Upper`] once it no longer
+/// does. See [`Topology::torus`] for the acyclicity argument.
+fn dateline_sel(a: u32, g: u32, k: u32) -> VcSel {
+    let wraps = if ring_positive(a, g, k) {
+        g < a // moving +: we pass the (k-1) → 0 edge iff the goal is behind us
+    } else {
+        g > a // moving −: we pass the 0 → (k-1) edge iff the goal is ahead
+    };
+    if wraps {
+        VcSel::Lower
+    } else {
+        VcSel::Upper
+    }
+}
+
+/// A `w × h` torus: the mesh with wrap links. Ports 0–3 are −X, +X, −Y,
+/// +Y, then the endpoints. Routing is shortest-direction dimension-ordered
+/// XY and every hop carries a dateline VC restriction.
+pub(crate) fn torus(w: u32, h: u32, endpoints: u32) -> Topology {
+    assert!(
+        w >= 3 && h >= 3,
+        "torus dimensions must be at least 3 (below that the wrap link duplicates the mesh link)"
+    );
+    assert!(endpoints > 0, "each switch needs at least one endpoint");
+
+    let rid = |x: u32, y: u32| RouterId(y * w + x);
+    let router_count = (w * h) as usize;
+
+    let mut specs: Vec<RouterSpec> = Vec::with_capacity(router_count);
+    let mut attachments = Vec::with_capacity(router_count * endpoints as usize);
+    for r in 0..router_count as u32 {
+        let (x, y) = coords(RouterId(r), w);
+        let mut ports = Vec::with_capacity((4 + endpoints) as usize);
+        // Symmetric wiring: our −X port lands on the neighbour's +X port
+        // and vice versa; same for Y.
+        ports.push(PortTarget::Router {
+            router: rid((x + w - 1) % w, y),
+            port: PortId(1),
+        });
+        ports.push(PortTarget::Router {
+            router: rid((x + 1) % w, y),
+            port: PortId(0),
+        });
+        ports.push(PortTarget::Router {
+            router: rid(x, (y + h - 1) % h),
+            port: PortId(3),
+        });
+        ports.push(PortTarget::Router {
+            router: rid(x, (y + 1) % h),
+            port: PortId(2),
+        });
+        for e in 0..endpoints {
+            ports.push(PortTarget::Node(NodeId(r * endpoints + e)));
+            attachments.push((RouterId(r), PortId(4 + e)));
+        }
+        specs.push(RouterSpec { ports });
+    }
+
+    let next_router = move |at: RouterId, goal: RouterId| -> RouterId {
+        let (ax, ay) = coords(at, w);
+        let (gx, gy) = coords(goal, w);
+        if ax != gx {
+            if ring_positive(ax, gx, w) {
+                rid((ax + 1) % w, ay)
+            } else {
+                rid((ax + w - 1) % w, ay)
+            }
+        } else if ring_positive(ay, gy, h) {
+            rid(ax, (ay + 1) % h)
+        } else {
+            rid(ax, (ay + h - 1) % h)
+        }
+    };
+
+    let routes = RouteTable::build(&specs, &attachments, next_router);
+
+    // Dateline table: the restriction depends only on the current router's
+    // position and the goal position in the dimension being routed.
+    let mut vc_sel = vec![vec![VcSel::Any; attachments.len()]; router_count];
+    for (r, row) in vc_sel.iter_mut().enumerate() {
+        let (x, y) = coords(RouterId(r as u32), w);
+        for (d, sel) in row.iter_mut().enumerate() {
+            let (goal, _) = attachments[d];
+            let (gx, gy) = coords(goal, w);
+            *sel = if (x, y) == (gx, gy) {
+                VcSel::Any // ejection: the endpoint channel ends every dependency chain
+            } else if x != gx {
+                dateline_sel(x, gx, w)
+            } else {
+                dateline_sel(y, gy, h)
+            };
+        }
+    }
+
+    Topology::from_parts(
+        format!("torus-{w}x{h}-e{endpoints}"),
+        specs,
+        attachments,
+        routes,
+    )
+    .with_vc_sel(vc_sel)
 }
 
 pub(crate) fn fat_mesh(w: u32, h: u32, fat: u32, endpoints: u32) -> Topology {

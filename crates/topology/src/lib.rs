@@ -25,7 +25,7 @@ mod route;
 pub use builder::{PortTarget, RouterSpec};
 pub use route::RouteTable;
 
-use flitnet::{NodeId, PortId, RouterId};
+use flitnet::{NodeId, PortId, RouterId, VcSel};
 
 /// A described interconnect: routers, their port wiring, endpoint
 /// attachments and a precomputed deterministic route table.
@@ -55,6 +55,9 @@ pub struct Topology {
     attachments: Vec<(RouterId, PortId)>,
     routes: RouteTable,
     name: String,
+    /// Per-(router, dest) dateline VC restriction; `None` on topologies
+    /// without wrap links (everything except the torus).
+    vc_sel: Option<Vec<Vec<VcSel>>>,
 }
 
 impl Topology {
@@ -84,6 +87,30 @@ impl Topology {
     /// A thin `w × h` mesh (one link per neighbour pair).
     pub fn mesh(w: u32, h: u32, endpoints: u32) -> Topology {
         builder::fat_mesh(w, h, 1, endpoints)
+    }
+
+    /// A `w × h` torus (a mesh whose rows and columns wrap around) with
+    /// `endpoints` endpoints per switch.
+    ///
+    /// Router `(x, y)` has id `y·w + x`; ports 0–3 are the −X, +X, −Y, +Y
+    /// neighbour links, then the endpoint ports. Routing is
+    /// shortest-direction dimension-ordered XY (ties at distance `k/2` go
+    /// in the positive direction). The wrap links would close
+    /// channel-dependency cycles around each ring, so every hop carries a
+    /// dateline VC restriction (see [`Topology::vc_sel`]): a worm whose
+    /// remaining path in the current dimension still crosses the wrap link
+    /// must allocate from the lower half of its class's VC range, and from
+    /// the upper half afterwards. Lower channels hand over to upper
+    /// channels exactly once (at the wrap hop) and upper channels never
+    /// use a wrap link, so the dependency order is acyclic. Simulators
+    /// honouring the restriction need ≥ 2 VCs per populated traffic class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w < 3` or `h < 3` (below that the wrap link duplicates
+    /// the mesh link) or `endpoints == 0`.
+    pub fn torus(w: u32, h: u32, endpoints: u32) -> Topology {
+        builder::torus(w, h, endpoints)
     }
 
     /// A two-level fat-tree: `leaves` leaf switches (each with
@@ -169,6 +196,34 @@ impl Topology {
         self.routes.candidates(at, dest)
     }
 
+    /// The dateline VC restriction for the hop router `at` takes toward
+    /// `dest` — [`VcSel::Any`] everywhere except on tori (see
+    /// [`Topology::torus`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` or `dest` is out of range (only on topologies that
+    /// carry a table; others return `Any` unconditionally).
+    pub fn vc_sel(&self, at: RouterId, dest: NodeId) -> VcSel {
+        match &self.vc_sel {
+            Some(t) => t[at.index()][dest.index()],
+            None => VcSel::Any,
+        }
+    }
+
+    /// [`Topology::route`] and [`Topology::vc_sel`] in one call — what a
+    /// router's VC allocator consumes per head flit.
+    pub fn route_sel(&self, at: RouterId, dest: NodeId) -> (&[PortId], VcSel) {
+        (self.routes.candidates(at, dest), self.vc_sel(at, dest))
+    }
+
+    /// Whether this topology carries a dateline VC discipline (tori).
+    /// Simulators honouring it need at least two VCs per populated
+    /// traffic class, or the lower dateline half is empty.
+    pub fn has_datelines(&self) -> bool {
+        self.vc_sel.is_some()
+    }
+
     /// Number of router-to-router hops between two endpoints.
     pub fn hops(&self, src: NodeId, dest: NodeId) -> u32 {
         let (mut at, _) = self.attachment(src);
@@ -205,7 +260,15 @@ impl Topology {
             attachments,
             routes,
             name,
+            vc_sel: None,
         }
+    }
+
+    /// Attaches a per-(router, dest) dateline table (torus builder only).
+    pub(crate) fn with_vc_sel(mut self, table: Vec<Vec<VcSel>>) -> Topology {
+        assert_eq!(table.len(), self.routers.len());
+        self.vc_sel = Some(table);
+        self
     }
 }
 
@@ -429,5 +492,122 @@ mod tests {
                 assert_eq!(c.len(), 1);
             }
         }
+    }
+
+    #[test]
+    fn torus_shape_and_symmetric_wiring() {
+        let t = Topology::torus(4, 4, 1);
+        assert_eq!(t.router_count(), 16);
+        assert_eq!(t.node_count(), 16);
+        for (rid, spec) in t.routers() {
+            assert_eq!(spec.ports.len(), 5); // 4 neighbours + 1 endpoint
+            for (pidx, target) in spec.ports.iter().enumerate() {
+                if let PortTarget::Router { router, port } = target {
+                    match t.target_of(*router, *port) {
+                        PortTarget::Router {
+                            router: br,
+                            port: bp,
+                        } => {
+                            assert_eq!(br, rid);
+                            assert_eq!(bp, PortId(pidx as u32));
+                        }
+                        PortTarget::Node(_) => panic!("asymmetric wiring"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_routes_take_the_wrap_shortcut() {
+        let t = Topology::torus(4, 4, 1);
+        // (0,0) → (3,0) is one −X wrap hop, not three mesh hops.
+        assert_eq!(t.hops(NodeId(0), NodeId(3)), 1);
+        // (0,0) → (0,3) likewise in Y.
+        assert_eq!(t.hops(NodeId(0), NodeId(12)), 1);
+        // (0,0) → (2,2): two ties broken positively, 2 + 2 hops.
+        assert_eq!(t.hops(NodeId(0), NodeId(10)), 4);
+        // Every pair terminates (hops() asserts against loops).
+        for s in 0..16 {
+            for d in 0..16 {
+                let _ = t.hops(NodeId(s), NodeId(d));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_tie_breaks_positive() {
+        let t = Topology::torus(4, 4, 1);
+        // x = 0 → x = 2 is distance 2 both ways; the tie goes +X.
+        let p = t.route(RouterId(0), NodeId(2))[0];
+        match t.target_of(RouterId(0), p) {
+            PortTarget::Router { router, .. } => assert_eq!(router, RouterId(1)),
+            PortTarget::Node(_) => panic!("expected router link"),
+        }
+    }
+
+    #[test]
+    fn torus_dateline_sel_flips_at_the_wrap() {
+        let t = Topology::torus(4, 4, 1);
+        assert!(t.has_datelines());
+        // x = 3 → x = 1 goes +X through the wrap: Lower until the wrap
+        // hop, Upper after it (x = 0 → x = 1 no longer wraps).
+        assert_eq!(t.vc_sel(RouterId(3), NodeId(1)), VcSel::Lower);
+        assert_eq!(t.vc_sel(RouterId(0), NodeId(1)), VcSel::Upper);
+        // x = 1 → x = 3 is the positive tie with no wrap: Upper all the way.
+        assert_eq!(t.vc_sel(RouterId(1), NodeId(3)), VcSel::Upper);
+        assert_eq!(t.vc_sel(RouterId(2), NodeId(3)), VcSel::Upper);
+        // Ejection is unrestricted.
+        assert_eq!(t.vc_sel(RouterId(3), NodeId(3)), VcSel::Any);
+        // A −X route that wraps: x = 1 → x = 3 is a tie (positive), but
+        // x = 0 → x = 3 is one negative hop through the wrap.
+        assert_eq!(t.vc_sel(RouterId(0), NodeId(3)), VcSel::Lower);
+    }
+
+    #[test]
+    fn torus_upper_channels_never_use_wrap_links() {
+        // The acyclicity argument's load-bearing clause, checked
+        // exhaustively: any hop routed on a wrap link must be Lower.
+        let t = Topology::torus(4, 3, 1);
+        for (rid, _) in t.routers() {
+            for d in 0..t.node_count() {
+                let dest = NodeId(d as u32);
+                let (goal, _) = t.attachment(dest);
+                if rid == goal {
+                    continue;
+                }
+                let p = t.route(rid, dest)[0];
+                let PortTarget::Router { router: next, .. } = t.target_of(rid, p) else {
+                    panic!("transit hop must use a router link");
+                };
+                // A wrap hop moves between ring ends (|Δ| = k - 1).
+                let (x, y) = (rid.get() % 4, rid.get() / 4);
+                let (nx, ny) = (next.get() % 4, next.get() / 4);
+                let wrap_hop = x.abs_diff(nx) == 3 || y.abs_diff(ny) == 2;
+                if wrap_hop {
+                    assert_eq!(
+                        t.vc_sel(rid, dest),
+                        VcSel::Lower,
+                        "wrap hop {rid} → {next} for dest {d} must be Lower"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meshes_have_no_datelines() {
+        let t = Topology::mesh(3, 3, 1);
+        assert!(!t.has_datelines());
+        assert_eq!(t.vc_sel(RouterId(0), NodeId(8)), VcSel::Any);
+        let (ports, sel) = t.route_sel(RouterId(0), NodeId(8));
+        assert_eq!(ports, t.route(RouterId(0), NodeId(8)));
+        assert_eq!(sel, VcSel::Any);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn degenerate_torus_rejected() {
+        let _ = Topology::torus(2, 4, 1);
     }
 }

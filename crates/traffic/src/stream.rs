@@ -59,6 +59,16 @@ pub struct RealTimeStream {
     next_msg_seq: u32,
 }
 
+/// Upper bound on a single frame's flit count (2²² flits = 16 MiB of
+/// 4-byte flits, ~1000× the paper's 16 666-byte mean frame).
+///
+/// A VBR frame size is a normal sample; with a pathological σ the tail can
+/// exceed what `as u32` can represent, and even a representable multi-
+/// billion-flit frame would wedge the simulation inside one frame.
+/// [`RealTimeStream::begin_frame`] clamps the sampled size here instead of
+/// relying on float-to-int saturation.
+pub const MAX_FRAME_FLITS: u32 = 1 << 22;
+
 /// The classic 12-frame MPEG-2 group-of-pictures pattern.
 const GOP_PATTERN: [char; 12] = ['I', 'B', 'B', 'P', 'B', 'B', 'P', 'B', 'B', 'P', 'B', 'B'];
 
@@ -191,7 +201,13 @@ impl RealTimeStream {
         let bytes = self
             .frame_sizer
             .sample_bytes(rng, f64::from(self.flit_bytes));
-        let flits = (bytes / f64::from(self.flit_bytes)).ceil().max(1.0) as u32;
+        // Clamp the sampled size to MAX_FRAME_FLITS *before* the cast: an
+        // unclamped normal tail (pathological σ) otherwise rides float→int
+        // saturation to u32::MAX ≈ 4.3 G flits and wedges the simulation
+        // inside one frame.
+        let flits = (bytes / f64::from(self.flit_bytes))
+            .ceil()
+            .clamp(1.0, f64::from(MAX_FRAME_FLITS)) as u32;
         let msgs = flits.div_ceil(self.msg_flits);
         // Message lengths: full messages plus a possibly-short last one,
         // stored reversed so pop() yields them in order.
@@ -413,6 +429,44 @@ mod tests {
             assert!((f.vtick - 100.0).abs() < 1e-9);
         }
         assert_eq!(m.vc_in, VcId(0));
+    }
+
+    #[test]
+    fn pathological_sigma_is_clamped_to_max_frame() {
+        // A normal tail with an absurd σ must clamp to MAX_FRAME_FLITS,
+        // not saturate `as u32` to ~4.3 G flits.
+        let spec = WorkloadSpec {
+            frame_std_bytes: 1e18,
+            ..WorkloadSpec::paper_default()
+        };
+        let limit = MAX_FRAME_FLITS.div_ceil(spec.msg_flits);
+        let mut clamped = 0u32;
+        for seed in 0..20 {
+            let mut s = RealTimeStream::new(
+                &spec,
+                StreamClass::Vbr,
+                StreamId(0),
+                NodeId(0),
+                NodeId(1),
+                VcId(0),
+                VcId(1),
+                Cycles(0),
+            );
+            let mut rng = SimRng::seed_from(seed);
+            let mut id = 0u64;
+            let head = s.next_message(&mut rng, &mut id).flits[0];
+            assert!(
+                head.msgs_in_frame <= limit,
+                "seed {seed}: frame of {} messages exceeds the clamp",
+                head.msgs_in_frame
+            );
+            if head.msgs_in_frame == limit {
+                clamped += 1;
+            }
+        }
+        // With σ = 1e18 roughly half the samples are enormous, so the
+        // clamp must actually have engaged.
+        assert!(clamped > 0, "no frame hit the clamp — σ too small?");
     }
 
     #[test]

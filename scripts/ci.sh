@@ -16,6 +16,12 @@ cargo bench --no-run
 # the suite is renamed away.
 cargo test -q --test stepping_identity
 
+# The deterministic parallel stepper must produce the same bits as the
+# sequential path at every thread count (meshes, fat-mesh, dateline
+# torus, traces, deadlock reports).
+cargo test -q --test stepping_identity parallel
+cargo test -q --test stepping_identity ring_deadlock_classification_is_identical_under_parallel_stepping
+
 # Audit mode: the flow-control invariant checks must stay clean on healthy
 # runs AND flag an injected credit fault (mutation coverage), and the
 # progress watchdog must classify the crafted deadlock without false

@@ -13,6 +13,7 @@ use flitnet::VcPartition;
 use mediaworm::{
     sim, CrossbarKind, Network, RouterConfig, SchedulerKind, SimOpts, SimOutcome, WatchdogConfig,
 };
+use proptest::prelude::*;
 use topo::Topology;
 use traffic::{StreamClass, Workload, WorkloadBuilder, WorkloadSpec};
 
@@ -62,6 +63,10 @@ fn assert_outcomes_identical(fast: &SimOutcome, slow: &SimOutcome, what: &str) {
         "{what}: best-effort latency"
     );
     assert_eq!(fast.be_msgs, slow.be_msgs, "{what}: best-effort count");
+    assert_eq!(
+        fast.in_flight_at_end, slow.in_flight_at_end,
+        "{what}: in flight at end"
+    );
 }
 
 #[test]
@@ -202,33 +207,216 @@ fn audited_run_is_bit_identical_to_reference() {
     assert_outcomes_identical(&fast, &slow, "audited load 0.9");
 }
 
+/// A small multi-hop workload for the parallel-stepping grid: `nodes`
+/// endpoints, 4 VCs split 2+2 (the torus dateline rule needs two VCs
+/// per populated class), 80:20 VBR traffic mix.
+fn grid_workload(nodes: usize, load: f64, seed: u64) -> Workload {
+    WorkloadBuilder::new(nodes, VcPartition::from_mix(4, 50.0, 50.0))
+        .load(load)
+        .mix(80.0, 20.0)
+        .real_time_class(StreamClass::Vbr)
+        .seed(seed)
+        .build()
+}
+
+/// The parallel-stepping identity grid: every thread count must produce
+/// the same bits as the sequential active-set path on every topology —
+/// the 8x8 mesh, the express-channel fat mesh, and the dateline torus.
+/// Thread counts above the router count clamp (fat mesh has 4 routers,
+/// so 8 threads exercises the clamp).
+#[test]
+fn parallel_grid_is_bit_identical_to_sequential() {
+    let cases: [(&str, Topology, usize); 3] = [
+        ("mesh 8x8", Topology::mesh(8, 8, 1), 64),
+        ("fat mesh 2x2", Topology::fat_mesh(2, 2, 2, 4), 16),
+        ("torus 4x4", Topology::torus(4, 4, 1), 16),
+    ];
+    for (name, topology, nodes) in &cases {
+        let cfg = RouterConfig::new(4);
+        let baseline = sim::run_opts(
+            topology,
+            grid_workload(*nodes, 0.4, 42),
+            &cfg,
+            0.0005,
+            0.003,
+            SimOpts::standard(),
+        );
+        assert!(baseline.delivered_msgs > 0, "{name}: traffic must flow");
+        for &threads in &[2usize, 4, 8] {
+            let par = sim::run_opts(
+                topology,
+                grid_workload(*nodes, 0.4, 42),
+                &cfg,
+                0.0005,
+                0.003,
+                SimOpts::standard().threads(threads),
+            );
+            assert_outcomes_identical(&par, &baseline, &format!("{name} threads {threads}"));
+        }
+    }
+}
+
+/// The full-scan reference oracle must agree with the parallel stepper
+/// too: sequential, reference and 4-thread runs are one equivalence
+/// class, not two pairwise contracts.
+#[test]
+fn parallel_mesh_matches_the_reference_oracle() {
+    let topology = Topology::mesh(8, 8, 1);
+    let cfg = RouterConfig::new(4);
+    let reference = sim::run_opts(
+        &topology,
+        grid_workload(64, 0.4, 7),
+        &cfg,
+        0.0005,
+        0.003,
+        SimOpts::standard().reference(),
+    );
+    let par = sim::run_opts(
+        &topology,
+        grid_workload(64, 0.4, 7),
+        &cfg,
+        0.0005,
+        0.003,
+        SimOpts::standard().threads(4),
+    );
+    assert!(reference.delivered_msgs > 0, "traffic must flow");
+    assert_outcomes_identical(&par, &reference, "mesh threads 4 vs reference");
+}
+
+/// Trace streams must match byte-for-byte: the parallel stepper's
+/// deferred per-participant flush has to reproduce the sequential event
+/// order exactly.
+#[test]
+fn parallel_traces_are_bit_identical_to_sequential() {
+    let topology = Topology::mesh(8, 8, 1);
+    let cfg = RouterConfig::new(4);
+    let (seq, seq_trace) = sim::run_opts_traced(
+        &topology,
+        grid_workload(64, 0.4, 42),
+        &cfg,
+        0.0005,
+        0.002,
+        SimOpts::standard(),
+    );
+    for &threads in &[2usize, 4] {
+        let (par, par_trace) = sim::run_opts_traced(
+            &topology,
+            grid_workload(64, 0.4, 42),
+            &cfg,
+            0.0005,
+            0.002,
+            SimOpts::standard().threads(threads),
+        );
+        assert!(!par_trace.is_empty(), "traced run must produce events");
+        assert_eq!(
+            par_trace, seq_trace,
+            "threads {threads}: trace bytes must match"
+        );
+        assert_outcomes_identical(&par, &seq, &format!("traced threads {threads}"));
+    }
+}
+
+/// The mailbox-conservation audit must stay clean under parallel
+/// stepping on the dateline torus (wrap links, split flit/credit
+/// ownership), and the audited outcome must still match sequential.
+#[test]
+fn parallel_torus_audits_clean() {
+    let topology = Topology::torus(4, 4, 1);
+    let cfg = RouterConfig::new(4);
+    let seq = sim::run_opts(
+        &topology,
+        grid_workload(16, 0.4, 23),
+        &cfg,
+        0.0005,
+        0.003,
+        SimOpts::audited(),
+    );
+    let par = sim::run_opts(
+        &topology,
+        grid_workload(16, 0.4, 23),
+        &cfg,
+        0.0005,
+        0.003,
+        SimOpts::audited().threads(4),
+    );
+    assert_eq!(
+        par.audit_violations, 0,
+        "parallel stepping must audit clean"
+    );
+    assert!(par.delivered_msgs > 0, "torus traffic must flow");
+    assert_outcomes_identical(&par, &seq, "audited torus threads 4");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Parallel identity holds across seeds and loads, not just the
+    /// hand-picked points above.
+    #[test]
+    fn parallel_mesh_identity_over_seeds_and_loads(
+        seed in 0u64..1000,
+        load in 0.2f64..0.8,
+        threads in 2usize..5,
+    ) {
+        let topology = Topology::mesh(4, 4, 1);
+        let cfg = RouterConfig::new(4);
+        let seq = sim::run_opts(
+            &topology,
+            grid_workload(16, load, seed),
+            &cfg,
+            0.0005,
+            0.002,
+            SimOpts::standard(),
+        );
+        let par = sim::run_opts(
+            &topology,
+            grid_workload(16, load, seed),
+            &cfg,
+            0.0005,
+            0.002,
+            SimOpts::standard().threads(threads),
+        );
+        prop_assert_eq!(par.injected_msgs, seq.injected_msgs);
+        prop_assert_eq!(par.delivered_msgs, seq.delivered_msgs);
+        prop_assert_eq!(par.in_flight_at_end, seq.in_flight_at_end);
+        prop_assert_eq!(&par.counters, &seq.counters);
+        prop_assert_eq!(par.jitter.mean_ms.to_bits(), seq.jitter.mean_ms.to_bits());
+        prop_assert_eq!(
+            par.be_mean_latency_us.to_bits(),
+            seq.be_mean_latency_us.to_bits()
+        );
+    }
+}
+
+/// The deadlock-prone 1-VC clockwise ring with a stall watchdog armed.
+fn deadlock_ring() -> Network {
+    let topology = Topology::ring(3, 1);
+    let spec = WorkloadSpec {
+        msg_flits: 64,
+        ..WorkloadSpec::paper_default()
+    };
+    let wl = WorkloadBuilder::new(3, VcPartition::all_real_time(1))
+        .spec(spec)
+        .load(0.9)
+        .mix(100.0, 0.0)
+        .real_time_class(StreamClass::Cbr)
+        .seed(16)
+        .build();
+    let cfg = RouterConfig::new(1).buf_flits(4);
+    let mut net = Network::new(&topology, wl, &cfg);
+    net.enable_watchdog(WatchdogConfig {
+        stall_cycles: 5_000,
+    });
+    net
+}
+
 #[test]
 fn ring_deadlock_classification_is_identical_to_reference() {
     // The deadlock-prone 1-VC clockwise ring: both stepping modes must
     // stall at the same cycle with byte-equal stall reports (same holders,
     // same waits-for edges, same cycle membership).
-    let build = || {
-        let topology = Topology::ring(3, 1);
-        let spec = WorkloadSpec {
-            msg_flits: 64,
-            ..WorkloadSpec::paper_default()
-        };
-        let wl = WorkloadBuilder::new(3, VcPartition::all_real_time(1))
-            .spec(spec)
-            .load(0.9)
-            .mix(100.0, 0.0)
-            .real_time_class(StreamClass::Cbr)
-            .seed(16)
-            .build();
-        let cfg = RouterConfig::new(1).buf_flits(4);
-        let mut net = Network::new(&topology, wl, &cfg);
-        net.enable_watchdog(WatchdogConfig {
-            stall_cycles: 5_000,
-        });
-        net
-    };
-    let mut fast = build();
-    let mut slow = build();
+    let mut fast = deadlock_ring();
+    let mut slow = deadlock_ring();
     let end = fast.timebase().cycles_from_ms(500.0);
     fast.run_until(end);
     slow.run_until_reference(end);
@@ -240,4 +428,24 @@ fn ring_deadlock_classification_is_identical_to_reference() {
     assert_eq!(fast.delivered_flits(), slow.delivered_flits());
     assert_eq!(fast.flits_in_flight(), slow.flits_in_flight());
     assert_eq!(fast.counters(), slow.counters());
+}
+
+#[test]
+fn ring_deadlock_classification_is_identical_under_parallel_stepping() {
+    // The parallel stepper must detect the same deadlock at the same
+    // cycle with a byte-equal stall report (the 3-router ring clamps the
+    // pool to 3, so 2 threads is the interesting split).
+    let mut par = deadlock_ring();
+    let mut seq = deadlock_ring();
+    let end = par.timebase().cycles_from_ms(500.0);
+    par.run_until_parallel(end, 2);
+    seq.run_until(end);
+    let par_stall = par.stall_report().expect("parallel ring must deadlock");
+    let seq_stall = seq.stall_report().expect("sequential ring must deadlock");
+    assert_eq!(par_stall, seq_stall, "stall reports must be identical");
+    assert_eq!(par.now(), seq.now(), "both stop at the detection cycle");
+    assert_eq!(par.injected_msgs(), seq.injected_msgs());
+    assert_eq!(par.delivered_flits(), seq.delivered_flits());
+    assert_eq!(par.flits_in_flight(), seq.flits_in_flight());
+    assert_eq!(par.counters(), seq.counters());
 }
