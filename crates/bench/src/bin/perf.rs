@@ -1,11 +1,16 @@
 //! Simulator throughput harness (`--perf` mode): times occupancy-driven
-//! stepping against the full-scan reference and the standard fig. 3
-//! sweep, and writes `BENCH_perf.json`. See `mediaworm_bench::perf`.
+//! stepping against the full-scan reference, the standard fig. 3 sweep,
+//! and the snapshot/restore round trip, and writes `BENCH_perf.json`
+//! under `target/bench/` (or to `--json PATH`). See
+//! `mediaworm_bench::perf`.
 
 fn main() {
     let args = mediaworm_bench::RunArgs::from_env();
     let doc = mediaworm_bench::perf::run_perf(&args);
-    let path = "BENCH_perf.json";
-    std::fs::write(path, format!("{doc}\n")).expect("write perf json");
-    println!("json results written to {path}");
+    let path = args.out_path("perf");
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create json output directory");
+    }
+    std::fs::write(&path, format!("{doc}\n")).expect("write perf json");
+    println!("json results written to {}", path.display());
 }

@@ -1,7 +1,7 @@
 //! Runs every table/figure reproduction in sequence, writes a combined
 //! text report to `repro_report.txt`, and with `--json` additionally
-//! writes one `BENCH_<name>.json` per experiment (per-point results plus
-//! wall-clock / cycles-per-second throughput).
+//! writes one `target/bench/BENCH_<name>.json` per experiment (per-point
+//! results plus wall-clock / cycles-per-second throughput).
 //!
 //! With `--trace PATH`, each experiment's flit-event trace is written to
 //! `PATH.<name>.jsonl` (experiments that produce no trace — pure PCS
@@ -10,7 +10,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use mediaworm_bench::{experiments, ExperimentRun, RunArgs};
+use mediaworm_bench::{experiments, write_json_results, ExperimentRun, RunArgs};
 
 fn main() {
     let args = RunArgs::from_env();
@@ -36,10 +36,8 @@ fn main() {
         let run = f(&args);
         let wall_secs = started.elapsed().as_secs_f64();
         if args.json {
-            let path = format!("BENCH_{}.json", run.name);
-            std::fs::write(&path, format!("{}\n", run.to_json(wall_secs)))
-                .expect("write json results");
-            println!("json results written to {path}");
+            let path = write_json_results(&args, &run, wall_secs).expect("write json results");
+            println!("json results written to {}", path.display());
         }
         // Each experiment gets its own trace file so they don't clobber
         // one another.

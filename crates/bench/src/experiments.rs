@@ -14,6 +14,11 @@
 //! `MEDIAWORM_JOBS`), and assembles the table rows from the ordered
 //! results — so the printed output, the JSON records and the trace bytes
 //! are bit-identical at any job count.
+//!
+//! Under `--shard i/n` only the tasks the shard owns are simulated; the
+//! table shows that shard's rows and every JSON record carries its global
+//! task `index`, which is how [`crate::merge_shards`] later reassembles
+//! the monolithic report in order.
 
 use mediaworm::{CrossbarKind, RouterConfig, SchedPoint, SchedulerKind, SimOutcome};
 use metrics::{Json, Table};
@@ -41,23 +46,26 @@ fn be_cell(us: f64) -> String {
     }
 }
 
-/// The ordered results of one sweep: outcomes in point order, simulated
-/// cycles summed, and the trace bytes concatenated in point order.
+/// The ordered results of one sweep: outcomes in task-order slots
+/// (`None` where another shard owns the task), simulated cycles summed,
+/// and the trace bytes concatenated in point order.
 struct Sweep {
-    outs: Vec<SimOutcome>,
+    outs: Vec<Option<SimOutcome>>,
     cycles: u64,
     trace: Vec<u8>,
 }
 
 impl Sweep {
-    fn collect(results: Vec<(SimOutcome, Vec<u8>)>) -> Sweep {
+    fn collect(results: Vec<Option<(SimOutcome, Vec<u8>)>>) -> Sweep {
         let mut cycles = 0u64;
         let mut trace = Vec::new();
         let mut outs = Vec::with_capacity(results.len());
-        for (out, t) in results {
-            cycles += out.cycles;
-            trace.extend_from_slice(&t);
-            outs.push(out);
+        for slot in results {
+            outs.push(slot.map(|(out, t)| {
+                cycles += out.cycles;
+                trace.extend_from_slice(&t);
+                out
+            }));
         }
         Sweep {
             outs,
@@ -65,40 +73,68 @@ impl Sweep {
             trace,
         }
     }
+
+    /// The outcome of task `index`, if this shard computed it.
+    fn get(&self, index: usize) -> Option<&SimOutcome> {
+        self.outs.get(index).and_then(Option::as_ref)
+    }
+
+    /// Iterates the computed points as `(task index, cell, outcome)`.
+    /// Under `--shard` the foreign tasks simply don't appear: the table
+    /// shows this shard's rows and each JSON record carries its global
+    /// index for the merge step.
+    fn zip<'a, C>(
+        &'a self,
+        cells: &'a [C],
+    ) -> impl Iterator<Item = (usize, &'a C, &'a SimOutcome)> {
+        cells
+            .iter()
+            .zip(&self.outs)
+            .enumerate()
+            .filter_map(|(i, (cell, out))| out.as_ref().map(|o| (i, cell, o)))
+    }
 }
 
 /// Fans `points` across the sweep workers on the single switch; results
-/// come back in point order. Tracing follows `args.trace`.
+/// come back in point order (the tasks a foreign shard owns stay `None`).
+/// Tracing follows `args.trace`.
 fn sweep_single_switch(points: &[Point], args: &RunArgs) -> Sweep {
     let traced = args.trace.is_some();
-    Sweep::collect(SweepRunner::from_args(args).map(points.len(), |task| {
-        let p = &points[task.index];
-        if traced {
-            run_single_switch_traced(p, args, task.seed)
-        } else {
-            (run_single_switch_seeded(p, args, task.seed), Vec::new())
-        }
-    }))
+    Sweep::collect(
+        SweepRunner::from_args(args).map_sharded(points.len(), |task| {
+            let p = &points[task.index];
+            if traced {
+                run_single_switch_traced(p, args, task.seed)
+            } else {
+                (run_single_switch_seeded(p, args, task.seed), Vec::new())
+            }
+        }),
+    )
 }
 
 /// [`sweep_single_switch`] on the 2×2 fat-mesh.
 fn sweep_fat_mesh(points: &[Point], args: &RunArgs) -> Sweep {
     let traced = args.trace.is_some();
-    Sweep::collect(SweepRunner::from_args(args).map(points.len(), |task| {
-        let p = &points[task.index];
-        if traced {
-            run_fat_mesh_traced(p, args, task.seed)
-        } else {
-            (run_fat_mesh_seeded(p, args, task.seed), Vec::new())
-        }
-    }))
+    Sweep::collect(
+        SweepRunner::from_args(args).map_sharded(points.len(), |task| {
+            let p = &points[task.index];
+            if traced {
+                run_fat_mesh_traced(p, args, task.seed)
+            } else {
+                (run_fat_mesh_seeded(p, args, task.seed), Vec::new())
+            }
+        }),
+    )
 }
 
-/// One point's machine-readable record: the sweep labels followed by the
-/// jitter/latency results (NaN-free: undefined statistics are `null`) and
-/// the router telemetry counter totals.
-fn point_json(labels: &[(&str, &str)], out: &SimOutcome) -> Json {
-    let mut o = Json::obj(labels.iter().map(|&(k, v)| (k, Json::str(v))));
+/// One point's machine-readable record: its global task index, the sweep
+/// labels, then the jitter/latency results (NaN-free: undefined
+/// statistics are `null`) and the router telemetry counter totals.
+fn point_json(index: usize, labels: &[(&str, &str)], out: &SimOutcome) -> Json {
+    let mut o = Json::obj([("index", Json::Uint(index as u64))]);
+    for &(k, v) in labels {
+        o.push(k, Json::str(v));
+    }
     o.push("d_ms", Json::opt_num(out.jitter.mean_ms_opt()));
     o.push("sigma_d_ms", Json::opt_num(out.jitter.std_ms_opt()));
     o.push("intervals", Json::Uint(out.jitter.intervals));
@@ -117,8 +153,11 @@ fn point_json(labels: &[(&str, &str)], out: &SimOutcome) -> Json {
 }
 
 /// A PCS point's machine-readable record.
-fn pcs_json(labels: &[(&str, &str)], out: &PcsOutcome) -> Json {
-    let mut o = Json::obj(labels.iter().map(|&(k, v)| (k, Json::str(v))));
+fn pcs_json(index: usize, labels: &[(&str, &str)], out: &PcsOutcome) -> Json {
+    let mut o = Json::obj([("index", Json::Uint(index as u64))]);
+    for &(k, v) in labels {
+        o.push(k, Json::str(v));
+    }
     o.push("d_ms", Json::opt_num(out.jitter.mean_ms_opt()));
     o.push("sigma_d_ms", Json::opt_num(out.jitter.std_ms_opt()));
     o.push("offered", Json::Uint(out.offered));
@@ -166,14 +205,14 @@ pub fn fig3(args: &RunArgs) -> ExperimentRun {
     }
     let sw = sweep_single_switch(&points, args);
     let mut records = Vec::new();
-    for ([load, kind], out) in cells.iter().zip(&sw.outs) {
+    for (i, [load, kind], out) in sw.zip(&cells) {
         t.row([
             load.clone(),
             kind.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
         ]);
-        records.push(point_json(&[("load", load), ("scheduler", kind)], out));
+        records.push(point_json(i, &[("load", load), ("scheduler", kind)], out));
     }
     println!("{t}");
     ExperimentRun {
@@ -202,14 +241,14 @@ pub fn fig4(args: &RunArgs) -> ExperimentRun {
     }
     let sw = sweep_single_switch(&points, args);
     let mut records = Vec::new();
-    for ([load, class], out) in cells.iter().zip(&sw.outs) {
+    for (i, [load, class], out) in sw.zip(&cells) {
         t.row([
             load.clone(),
             class.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
         ]);
-        records.push(point_json(&[("load", load), ("class", class)], out));
+        records.push(point_json(i, &[("load", load), ("class", class)], out));
     }
     println!("{t}");
     ExperimentRun {
@@ -245,14 +284,14 @@ pub fn fig5(args: &RunArgs) -> ExperimentRun {
     }
     let sw = sweep_single_switch(&points, args);
     let mut records = Vec::new();
-    for ([mix, load], out) in cells.iter().zip(&sw.outs) {
+    for (i, [mix, load], out) in sw.zip(&cells) {
         t.row([
             mix.clone(),
             load.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
         ]);
-        records.push(point_json(&[("mix", mix), ("load", load)], out));
+        records.push(point_json(i, &[("mix", mix), ("load", load)], out));
     }
     println!("{t}");
     ExperimentRun {
@@ -285,10 +324,16 @@ pub fn table2(args: &RunArgs) -> ExperimentRun {
         let mix = format!("{x:.0}:{y:.0}");
         let mut cells = vec![mix.clone()];
         for (col, load) in LOADS.iter().enumerate() {
-            let out = &sw.outs[row * LOADS.len() + col];
+            let index = row * LOADS.len() + col;
+            // Cells a foreign shard owns print as "-" in this shard's
+            // table; the merged JSON still covers the full grid.
+            let Some(out) = sw.get(index) else {
+                cells.push("-".to_string());
+                continue;
+            };
             cells.push(be_cell(out.be_mean_latency_us));
             let load = format!("{load:.2}");
-            records.push(point_json(&[("mix", &mix), ("load", &load)], out));
+            records.push(point_json(index, &[("mix", &mix), ("load", &load)], out));
         }
         t.row(cells);
     }
@@ -331,14 +376,14 @@ pub fn fig6(args: &RunArgs) -> ExperimentRun {
     }
     let sw = sweep_single_switch(&points, args);
     let mut records = Vec::new();
-    for ([name, load], out) in cells.iter().zip(&sw.outs) {
+    for (i, [name, load], out) in sw.zip(&cells) {
         t.row([
             name.clone(),
             load.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
         ]);
-        records.push(point_json(&[("config", name), ("load", load)], out));
+        records.push(point_json(i, &[("config", name), ("load", load)], out));
     }
     println!("{t}");
     ExperimentRun {
@@ -370,14 +415,14 @@ pub fn fig7(args: &RunArgs) -> ExperimentRun {
     }
     let sw = sweep_single_switch(&points, args);
     let mut records = Vec::new();
-    for ([size, load], out) in cells.iter().zip(&sw.outs) {
+    for (i, [size, load], out) in sw.zip(&cells) {
         t.row([
             size.clone(),
             load.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
         ]);
-        records.push(point_json(&[("msg_flits", size), ("load", load)], out));
+        records.push(point_json(i, &[("msg_flits", size), ("load", load)], out));
     }
     println!("{t}");
     ExperimentRun {
@@ -402,7 +447,7 @@ pub fn fig8(args: &RunArgs) -> ExperimentRun {
         Pcs(PcsOutcome),
     }
     // Task 2i runs MediaWorm at loads[i]; task 2i+1 runs PCS at loads[i].
-    let halves = SweepRunner::from_args(args).map(loads.len() * 2, |task| {
+    let halves = SweepRunner::from_args(args).map_sharded(loads.len() * 2, |task| {
         let load = loads[task.index / 2];
         if task.index % 2 == 0 {
             // MediaWorm at 100 Mbps with 24 VCs.
@@ -430,17 +475,22 @@ pub fn fig8(args: &RunArgs) -> ExperimentRun {
     let mut cycles = 0u64;
     let mut trace = Vec::new();
     for (i, half) in halves.iter().enumerate() {
+        let Some(half) = half else { continue };
         let load = format!("{:.2}", loads[i / 2]);
         let (router, mean, std) = match half {
             Half::Worm(out, t) => {
                 cycles += out.cycles;
                 trace.extend_from_slice(t);
-                records.push(point_json(&[("load", &load), ("router", "MediaWorm")], out));
+                records.push(point_json(
+                    i,
+                    &[("load", &load), ("router", "MediaWorm")],
+                    out,
+                ));
                 ("MediaWorm", out.jitter.mean_ms, out.jitter.std_ms)
             }
             Half::Pcs(out) => {
                 cycles += out.cycles;
-                records.push(pcs_json(&[("load", &load), ("router", "PCS")], out));
+                records.push(pcs_json(i, &[("load", &load), ("router", "PCS")], out));
                 ("PCS", out.jitter.mean_ms, out.jitter.std_ms)
             }
         };
@@ -470,7 +520,7 @@ pub fn table3(args: &RunArgs) -> ExperimentRun {
     let mut t = Table::new(["load", "offered", "attempts", "established", "dropped"])
         .with_title("Table 3 — attempted, established and dropped connections");
     let loads = [0.37, 0.42, 0.64, 0.67, 0.74, 0.80, 0.87, 0.91];
-    let outs = SweepRunner::from_args(args).map(loads.len(), |task| {
+    let outs = SweepRunner::from_args(args).map_sharded(loads.len(), |task| {
         let (w, m) = args.windows();
         pcs_router::sim::run(
             loads[task.index],
@@ -482,10 +532,11 @@ pub fn table3(args: &RunArgs) -> ExperimentRun {
     });
     let mut records = Vec::new();
     let mut cycles = 0u64;
-    for (&load, out) in loads.iter().zip(&outs) {
+    for (i, (&load, out)) in loads.iter().zip(&outs).enumerate() {
+        let Some(out) = out else { continue };
         cycles += out.cycles;
         let load = format!("{load:.2}");
-        records.push(pcs_json(&[("load", &load)], out));
+        records.push(pcs_json(i, &[("load", &load)], out));
         t.row([
             load,
             format!("{}", out.offered),
@@ -520,7 +571,7 @@ pub fn fig9(args: &RunArgs) -> ExperimentRun {
     }
     let sw = sweep_fat_mesh(&points, args);
     let mut records = Vec::new();
-    for ([mix, load], out) in cells.iter().zip(&sw.outs) {
+    for (i, [mix, load], out) in sw.zip(&cells) {
         t.row([
             mix.clone(),
             load.clone(),
@@ -528,7 +579,7 @@ pub fn fig9(args: &RunArgs) -> ExperimentRun {
             format!("{:.2}", out.jitter.std_ms),
             be_cell(out.be_mean_latency_us),
         ]);
-        records.push(point_json(&[("mix", mix), ("load", load)], out));
+        records.push(point_json(i, &[("mix", mix), ("load", load)], out));
     }
     println!("{t}");
     ExperimentRun {
@@ -562,7 +613,7 @@ pub fn ablation_sched(args: &RunArgs) -> ExperimentRun {
     }
     let sw = sweep_single_switch(&points, args);
     let mut records = Vec::new();
-    for ([load, kind], out) in cells.iter().zip(&sw.outs) {
+    for (i, [load, kind], out) in sw.zip(&cells) {
         t.row([
             load.clone(),
             kind.clone(),
@@ -570,7 +621,7 @@ pub fn ablation_sched(args: &RunArgs) -> ExperimentRun {
             format!("{:.2}", out.jitter.std_ms),
             be_cell(out.be_mean_latency_us),
         ]);
-        records.push(point_json(&[("load", load), ("scheduler", kind)], out));
+        records.push(point_json(i, &[("load", load), ("scheduler", kind)], out));
     }
     println!("{t}");
     ExperimentRun {
@@ -607,14 +658,14 @@ pub fn ablation_point(args: &RunArgs) -> ExperimentRun {
     }
     let sw = sweep_single_switch(&points, args);
     let mut records = Vec::new();
-    for ([load, name], out) in cells.iter().zip(&sw.outs) {
+    for (i, [load, name], out) in sw.zip(&cells) {
         t.row([
             load.clone(),
             name.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
         ]);
-        records.push(point_json(&[("load", load), ("sched_point", name)], out));
+        records.push(point_json(i, &[("load", load), ("sched_point", name)], out));
     }
     println!("{t}");
     ExperimentRun {
@@ -650,7 +701,7 @@ pub fn ablation_borrowing(args: &RunArgs) -> ExperimentRun {
     }
     let sw = sweep_single_switch(&points, args);
     let mut records = Vec::new();
-    for ([load, borrowing], out) in cells.iter().zip(&sw.outs) {
+    for (i, [load, borrowing], out) in sw.zip(&cells) {
         t.row([
             load.clone(),
             borrowing.clone(),
@@ -658,7 +709,11 @@ pub fn ablation_borrowing(args: &RunArgs) -> ExperimentRun {
             format!("{:.2}", out.jitter.std_ms),
             be_cell(out.be_mean_latency_us),
         ]);
-        records.push(point_json(&[("load", load), ("borrowing", borrowing)], out));
+        records.push(point_json(
+            i,
+            &[("load", load), ("borrowing", borrowing)],
+            out,
+        ));
     }
     println!("{t}");
     ExperimentRun {
@@ -693,14 +748,18 @@ pub fn gop_sensitivity(args: &RunArgs) -> ExperimentRun {
     }
     let sw = sweep_single_switch(&points, args);
     let mut records = Vec::new();
-    for ([load, model], out) in cells.iter().zip(&sw.outs) {
+    for (i, [load, model], out) in sw.zip(&cells) {
         t.row([
             load.clone(),
             model.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
         ]);
-        records.push(point_json(&[("load", load), ("frame_model", model)], out));
+        records.push(point_json(
+            i,
+            &[("load", load), ("frame_model", model)],
+            out,
+        ));
     }
     println!("{t}");
     ExperimentRun {
@@ -747,6 +806,26 @@ mod tests {
         let run = fig3(&quick());
         assert_eq!(run.table.row_count(), LOADS.len() * 2);
         assert_eq!(run.points.len(), LOADS.len() * 2);
+    }
+
+    #[test]
+    fn sharded_fig3_keeps_global_indices() {
+        let full = fig3(&quick());
+        let mut shard_args = quick();
+        shard_args.shard = Some((1, 2));
+        let run = fig3(&shard_args);
+        // Shard 1 of 2 owns the odd half of the 10-task grid...
+        assert_eq!(run.points.len(), full.points.len() / 2);
+        assert_eq!(run.table.row_count(), 5);
+        // ...and its records are the byte-identical odd records of the
+        // full sweep, global index included.
+        for (k, rec) in run.points.iter().enumerate() {
+            let expect = &full.points[2 * k + 1];
+            assert_eq!(rec.to_string(), expect.to_string());
+            assert!(rec
+                .to_string()
+                .starts_with(&format!("{{\"index\":{}", 2 * k + 1)));
+        }
     }
 
     #[test]

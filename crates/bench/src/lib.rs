@@ -15,6 +15,16 @@
 //!   `MEDIAWORM_JOBS` environment variable, default: all available
 //!   cores). Results are bit-identical at any job count — see
 //!   [`sweep`].
+//! * Sweeps shard and resume: `--shard i/n` runs only the tasks owned by
+//!   shard `i` of `n` and writes `BENCH_<name>.shard<i>of<n>.json`;
+//!   [`merge_shards`] (or the `merge-shards` binary) recombines the shard
+//!   files into the byte-stable monolithic report. `--checkpoint N`
+//!   snapshots each in-flight point every `N` simulated cycles under
+//!   `target/bench/state/`, and `--resume` restores from those snapshots,
+//!   continuing interrupted points bit-identically.
+//! * `--json` writes machine-readable results to
+//!   `target/bench/BENCH_<name>.json` by default; `--json PATH` places
+//!   the file explicitly.
 //! * Results print as plain-text tables; `EXPERIMENTS.md` records the
 //!   paper-vs-measured comparison.
 
@@ -24,7 +34,8 @@ pub mod experiments;
 pub mod perf;
 pub mod sweep;
 
-use std::path::PathBuf;
+use std::io;
+use std::path::{Path, PathBuf};
 
 use flitnet::VcPartition;
 use mediaworm::{sim, RouterConfig, SimOpts, SimOutcome};
@@ -52,8 +63,25 @@ pub struct RunArgs {
     /// falls back to `MEDIAWORM_THREADS`, then to 1 (sequential).
     /// Results are bit-identical at any thread count.
     pub threads: Option<usize>,
-    /// Also write machine-readable results to `BENCH_<name>.json`.
+    /// Also write machine-readable results to `BENCH_<name>.json` (under
+    /// `target/bench/` unless [`RunArgs::json_path`] places it).
     pub json: bool,
+    /// Explicit output path for the JSON results (`--json PATH`); implies
+    /// [`RunArgs::json`].
+    pub json_path: Option<PathBuf>,
+    /// `(index, count)` from `--shard i/n`: run only the sweep tasks this
+    /// shard owns (task index `≡ i (mod n)`) and tag the JSON output with
+    /// the shard coordinates so [`merge_shards`] can recombine the
+    /// reports. `None` runs the whole sweep.
+    pub shard: Option<(usize, usize)>,
+    /// Cycles between point checkpoints (`--checkpoint N`). `None` leaves
+    /// periodic checkpointing off unless `--resume` asks for the default
+    /// cadence; see [`RunArgs::checkpoint_cycles`].
+    pub checkpoint: Option<u64>,
+    /// Resume interrupted points from their snapshots under
+    /// `target/bench/state/` (`--resume`). Restored runs are bit-identical
+    /// to uninterrupted ones.
+    pub resume: bool,
     /// Record a JSONL flit-event trace of every simulated point to this
     /// path. Traces are large; combine with `--quick`.
     pub trace: Option<PathBuf>,
@@ -66,8 +94,14 @@ impl RunArgs {
     /// Parses `std::env::args()`. Unknown flags abort with a usage
     /// message.
     pub fn from_env() -> RunArgs {
+        RunArgs::from_argv(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (no binary name). Invalid flags
+    /// abort with a usage message, exactly like [`RunArgs::from_env`].
+    pub fn from_argv(argv: impl IntoIterator<Item = String>) -> RunArgs {
         let mut args = RunArgs::default();
-        let mut it = std::env::args().skip(1);
+        let mut it = argv.into_iter().peekable();
         let mut explicit_windows = false;
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -112,7 +146,26 @@ impl RunArgs {
                     }
                     args.threads = Some(n);
                 }
-                "--json" => args.json = true,
+                "--json" => {
+                    args.json = true;
+                    if it.peek().is_some_and(|next| !next.starts_with("--")) {
+                        args.json_path = it.next().map(PathBuf::from);
+                    }
+                }
+                "--shard" => {
+                    let spec = it.next().unwrap_or_else(|| usage("--shard needs i/n"));
+                    args.shard = Some(
+                        parse_shard(&spec).unwrap_or_else(|| usage("--shard needs i/n with i < n")),
+                    );
+                }
+                "--checkpoint" => {
+                    args.checkpoint = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--checkpoint needs a cycle count")),
+                    );
+                }
+                "--resume" => args.resume = true,
                 "--audit" => args.audit = true,
                 "--trace" => {
                     args.trace = Some(PathBuf::from(
@@ -179,6 +232,50 @@ impl RunArgs {
         };
         base.threads(self.effective_threads())
     }
+
+    /// The checkpoint cadence in simulated cycles, if points should
+    /// checkpoint at all: `--checkpoint N` wins, and bare `--resume`
+    /// implies the default cadence of one million cycles (so a resumed
+    /// sweep keeps writing the snapshots it will need next time).
+    pub fn checkpoint_cycles(&self) -> Option<u64> {
+        match self.checkpoint {
+            Some(n) => Some(n),
+            None if self.resume => Some(DEFAULT_CHECKPOINT_CYCLES),
+            None => None,
+        }
+    }
+
+    /// Where the JSON results of experiment `name` go: `--json PATH` if
+    /// given, else `target/bench/BENCH_<name>.json` — suffixed
+    /// `.shard<i>of<n>` when this run is one shard of a sweep.
+    pub fn out_path(&self, name: &str) -> PathBuf {
+        match &self.json_path {
+            Some(p) => p.clone(),
+            None => PathBuf::from(BENCH_DIR).join(shard_file_name(name, self.shard)),
+        }
+    }
+}
+
+/// Default directory for machine-readable bench artifacts.
+pub const BENCH_DIR: &str = "target/bench";
+
+/// Checkpoint cadence `--resume` implies when `--checkpoint` is absent.
+const DEFAULT_CHECKPOINT_CYCLES: u64 = 1_000_000;
+
+/// The file name shard `shard` of experiment `name` writes.
+fn shard_file_name(name: &str, shard: Option<(usize, usize)>) -> String {
+    match shard {
+        Some((i, n)) => format!("BENCH_{name}.shard{i}of{n}.json"),
+        None => format!("BENCH_{name}.json"),
+    }
+}
+
+/// Parses the `i/n` of `--shard i/n`; `None` if malformed or `i >= n`.
+fn parse_shard(spec: &str) -> Option<(usize, usize)> {
+    let (i, n) = spec.split_once('/')?;
+    let i: usize = i.trim().parse().ok()?;
+    let n: usize = n.trim().parse().ok()?;
+    (i < n).then_some((i, n))
 }
 
 impl Default for RunArgs {
@@ -191,6 +288,10 @@ impl Default for RunArgs {
             jobs: None,
             threads: None,
             json: false,
+            json_path: None,
+            shard: None,
+            checkpoint: None,
+            resume: false,
             trace: None,
             audit: false,
         }
@@ -203,7 +304,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <experiment> [--quick] [--seed N] [--warmup SECS] [--measure SECS] [--jobs N] \
-         [--threads N] [--json] [--audit] [--trace PATH]"
+         [--threads N] [--json [PATH]] [--shard I/N] [--checkpoint CYCLES] [--resume] \
+         [--audit] [--trace PATH]"
     );
     std::process::exit(2);
 }
@@ -255,10 +357,28 @@ impl Point {
 
     /// Runs this point over `topology` with an explicit workload seed
     /// (sweeps derive one per task; see [`sweep`]).
+    ///
+    /// When the args ask for checkpointing ([`RunArgs::checkpoint_cycles`]),
+    /// the run snapshots periodically to a point-specific file under
+    /// `target/bench/state/` and — with `--resume` — restores from it
+    /// first. Checkpointed, resumed and plain runs all produce identical
+    /// bits.
     pub fn run_on_seeded(&self, topology: &Topology, args: &RunArgs, seed: u64) -> SimOutcome {
         let workload = self.workload(topology, seed);
         let (w, m) = args.windows();
-        sim::run_opts(topology, workload, &self.router, w, m, args.sim_opts())
+        match self.checkpoint_opts(topology, args, seed) {
+            None => sim::run_opts(topology, workload, &self.router, w, m, args.sim_opts()),
+            Some(ckpt) => sim::run_checkpointed(
+                topology,
+                workload,
+                &self.router,
+                w,
+                m,
+                args.sim_opts(),
+                &ckpt,
+            )
+            .expect("point checkpoint I/O"),
+        }
     }
 
     /// [`Point::run_on_seeded`] recording a JSONL flit-event trace,
@@ -271,10 +391,64 @@ impl Point {
     ) -> (SimOutcome, Vec<u8>) {
         let workload = self.workload(topology, seed);
         let (w, m) = args.windows();
-        sim::run_opts_traced(topology, workload, &self.router, w, m, args.sim_opts())
+        match self.checkpoint_opts(topology, args, seed) {
+            None => sim::run_opts_traced(topology, workload, &self.router, w, m, args.sim_opts()),
+            Some(ckpt) => sim::run_checkpointed_traced(
+                topology,
+                workload,
+                &self.router,
+                w,
+                m,
+                args.sim_opts(),
+                &ckpt,
+            )
+            .expect("point checkpoint I/O"),
+        }
     }
 
-    fn workload(&self, topology: &Topology, seed: u64) -> traffic::Workload {
+    /// The checkpoint configuration these args imply for this point, if
+    /// any. The snapshot file name hashes everything that defines the
+    /// run — topology, point parameters, seed and windows — so distinct
+    /// points never share state and a resumed sweep finds exactly the
+    /// snapshots its own interrupted points wrote.
+    fn checkpoint_opts(
+        &self,
+        topology: &Topology,
+        args: &RunArgs,
+        seed: u64,
+    ) -> Option<sim::CheckpointOpts> {
+        let interval_cycles = args.checkpoint_cycles()?;
+        Some(sim::CheckpointOpts {
+            interval_cycles,
+            path: self.state_path(topology, args, seed),
+            resume: args.resume,
+        })
+    }
+
+    /// `target/bench/state/point-<hash>.snap` for this (point, seed) run:
+    /// where a checkpointed run keeps its snapshot until it completes.
+    pub fn state_path(&self, topology: &Topology, args: &RunArgs, seed: u64) -> PathBuf {
+        let key = format!(
+            "{:?}|{:?}|{seed}|{}|{}",
+            topology,
+            self,
+            args.warmup_secs.to_bits(),
+            args.measure_secs.to_bits()
+        );
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        PathBuf::from(BENCH_DIR)
+            .join("state")
+            .join(format!("point-{h:016x}.snap"))
+    }
+
+    /// The [`traffic::Workload`] this point implies over `topology` with
+    /// `seed` — exactly what the runners simulate. Public so tooling and
+    /// tests can reconstruct a point's network state.
+    pub fn workload(&self, topology: &Topology, seed: u64) -> traffic::Workload {
         WorkloadBuilder::new(topology.node_count(), self.partition())
             .spec(self.spec.clone())
             .load(self.load)
@@ -354,6 +528,33 @@ impl ExperimentRun {
             ),
         ])
     }
+
+    /// The shard variant of [`ExperimentRun::to_json`]: the same
+    /// per-point records (each tagged with its global task index by the
+    /// experiment), plus the shard coordinates [`merge_shards`] needs to
+    /// recombine the reports.
+    pub fn to_shard_json(&self, wall_secs: f64, shard: (usize, usize)) -> Json {
+        let cycles_per_sec = (wall_secs > 0.0).then(|| self.sim_cycles as f64 / wall_secs);
+        Json::obj([
+            ("experiment", Json::str(self.name)),
+            (
+                "shard",
+                Json::obj([
+                    ("index", Json::Uint(shard.0 as u64)),
+                    ("count", Json::Uint(shard.1 as u64)),
+                ]),
+            ),
+            ("results", Json::arr(self.points.iter().cloned())),
+            (
+                "throughput",
+                Json::obj([
+                    ("wall_secs", Json::num(wall_secs)),
+                    ("sim_cycles", Json::Uint(self.sim_cycles)),
+                    ("cycles_per_sec", Json::opt_num(cycles_per_sec)),
+                ]),
+            ),
+        ])
+    }
 }
 
 /// Runs one experiment and handles its `--json` / `--trace` outputs: the
@@ -364,10 +565,8 @@ pub fn run_experiment(args: &RunArgs, f: fn(&RunArgs) -> ExperimentRun) -> Exper
     let run = f(args);
     let wall_secs = started.elapsed().as_secs_f64();
     if args.json {
-        let path = format!("BENCH_{}.json", run.name);
-        let doc = format!("{}\n", run.to_json(wall_secs));
-        std::fs::write(&path, doc).expect("write json results");
-        println!("json results written to {path}");
+        let path = write_json_results(args, &run, wall_secs).expect("write json results");
+        println!("json results written to {}", path.display());
     }
     if let Some(path) = &args.trace {
         std::fs::write(path, &run.trace).expect("write flit trace");
@@ -378,6 +577,154 @@ pub fn run_experiment(args: &RunArgs, f: fn(&RunArgs) -> ExperimentRun) -> Exper
         );
     }
     run
+}
+
+/// Writes `run`'s machine-readable document where the args route it
+/// ([`RunArgs::out_path`], shard-suffixed under a shard) and returns the
+/// path. Shared by [`run_experiment`] and `repro-all`.
+pub fn write_json_results(
+    args: &RunArgs,
+    run: &ExperimentRun,
+    wall_secs: f64,
+) -> io::Result<PathBuf> {
+    let path = args.out_path(run.name);
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    let doc = match args.shard {
+        Some(shard) => run.to_shard_json(wall_secs, shard),
+        None => run.to_json(wall_secs),
+    };
+    std::fs::write(&path, format!("{doc}\n"))?;
+    Ok(path)
+}
+
+/// Merges the `BENCH_<name>.shard<i>of<count>.json` files in `dir` into
+/// the monolithic `BENCH_<name>.json` there and returns its path.
+///
+/// The merged document is canonical and byte-stable: records appear in
+/// global task-index order exactly as the shards wrote them, simulated
+/// cycles add up, and the wall-clock throughput fields are `null` (the
+/// shards ran on different clocks, so only simulated work is meaningful).
+/// Merging the same sweep split into any number of shards therefore
+/// yields identical bytes.
+///
+/// Errors with [`io::ErrorKind::InvalidData`] if a shard file names the
+/// wrong experiment or shard, lacks its results, or the shards' records
+/// do not cover every task index exactly once.
+pub fn merge_shards(name: &str, dir: &Path, count: usize) -> io::Result<PathBuf> {
+    assert!(count >= 1, "a merge needs at least one shard");
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut records: Vec<(u64, String)> = Vec::new();
+    let mut sim_cycles: u64 = 0;
+    for i in 0..count {
+        let path = dir.join(shard_file_name(name, Some((i, count))));
+        let doc = std::fs::read_to_string(&path)?;
+        let bad = |msg: &str| invalid(format!("{}: {msg}", path.display()));
+        if !doc.contains(&format!("\"experiment\":\"{name}\"")) {
+            return Err(bad("names a different experiment"));
+        }
+        if !doc.contains(&format!("\"shard\":{{\"index\":{i},\"count\":{count}}}")) {
+            return Err(bad("carries different shard coordinates"));
+        }
+        let results = json_array(&doc, "results").ok_or_else(|| bad("has no results array"))?;
+        for rec in json_split_top(results) {
+            let idx =
+                json_uint(rec, "index").ok_or_else(|| bad("has a record without an index"))?;
+            records.push((idx, rec.to_string()));
+        }
+        sim_cycles += json_uint(&doc, "sim_cycles").ok_or_else(|| bad("has no sim_cycles"))?;
+    }
+    records.sort_by_key(|&(idx, _)| idx);
+    for (expect, &(idx, _)) in records.iter().enumerate() {
+        if idx != expect as u64 {
+            return Err(invalid(format!(
+                "BENCH_{name} shards: task index {expect} is missing or duplicated"
+            )));
+        }
+    }
+    let body: Vec<String> = records.into_iter().map(|(_, r)| r).collect();
+    let doc = format!(
+        "{{\"experiment\":\"{name}\",\"results\":[{}],\"throughput\":{{\"wall_secs\":null,\
+         \"sim_cycles\":{sim_cycles},\"cycles_per_sec\":null}}}}\n",
+        body.join(",")
+    );
+    let out = dir.join(shard_file_name(name, None));
+    std::fs::write(&out, doc)?;
+    Ok(out)
+}
+
+/// The raw text inside the first `"<key>":[...]` array of a compact JSON
+/// document (the serializer's own whitespace-free output; strings and
+/// nesting are tracked, insignificant whitespace is not handled).
+fn json_array<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":[");
+    let start = doc.find(&needle)? + needle.len();
+    let mut depth = 1i32;
+    let mut in_str = false;
+    let mut escape = false;
+    for (off, &b) in doc.as_bytes()[start..].iter().enumerate() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => escape = true,
+            b'"' => in_str = !in_str,
+            _ if in_str => {}
+            b'[' | b'{' => depth += 1,
+            b']' | b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&doc[start..start + off]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits the inside of a compact JSON array at its top-level commas.
+fn json_split_top(inner: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    if inner.is_empty() {
+        return out;
+    }
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escape = false;
+    let mut start = 0usize;
+    for (off, &b) in inner.as_bytes().iter().enumerate() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => escape = true,
+            b'"' => in_str = !in_str,
+            _ if in_str => {}
+            b'[' | b'{' => depth += 1,
+            b']' | b'}' => depth -= 1,
+            b',' if depth == 0 => {
+                out.push(&inner[start..off]);
+                start = off + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&inner[start..]);
+    out
+}
+
+/// The first `"<key>":<digits>` value in a compact JSON document.
+fn json_uint(doc: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = doc.find(&needle)? + needle.len();
+    let digits = doc[start..]
+        .find(|c: char| !c.is_ascii_digit())
+        .map_or(&doc[start..], |end| &doc[start..start + end]);
+    digits.parse().ok()
 }
 
 /// Formats a jitter pair `(d̄, σ_d)` in milliseconds.
@@ -439,6 +786,134 @@ mod tests {
         let a = RunArgs::default();
         assert!(!a.json);
         assert!(a.trace.is_none());
+    }
+
+    fn argv(flags: &[&str]) -> RunArgs {
+        RunArgs::from_argv(flags.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn shard_checkpoint_and_resume_flags_parse() {
+        let a = argv(&["--shard", "2/5", "--checkpoint", "50000", "--resume"]);
+        assert_eq!(a.shard, Some((2, 5)));
+        assert_eq!(a.checkpoint, Some(50_000));
+        assert!(a.resume);
+        assert_eq!(a.checkpoint_cycles(), Some(50_000));
+    }
+
+    #[test]
+    fn resume_alone_implies_the_default_cadence() {
+        let a = argv(&["--resume"]);
+        assert_eq!(a.checkpoint_cycles(), Some(DEFAULT_CHECKPOINT_CYCLES));
+        assert_eq!(argv(&[]).checkpoint_cycles(), None);
+    }
+
+    #[test]
+    fn json_takes_an_optional_path() {
+        let bare = argv(&["--json", "--audit"]);
+        assert!(bare.json && bare.json_path.is_none());
+        assert_eq!(
+            bare.out_path("fig3"),
+            PathBuf::from("target/bench/BENCH_fig3.json")
+        );
+        let placed = argv(&["--json", "out/results.json"]);
+        assert!(placed.json);
+        assert_eq!(placed.out_path("fig3"), PathBuf::from("out/results.json"));
+    }
+
+    #[test]
+    fn sharded_runs_write_shard_suffixed_files() {
+        let a = argv(&["--json", "--shard", "1/4"]);
+        assert_eq!(
+            a.out_path("table2"),
+            PathBuf::from("target/bench/BENCH_table2.shard1of4.json")
+        );
+    }
+
+    #[test]
+    fn shard_spec_rejects_out_of_range_and_garbage() {
+        assert_eq!(parse_shard("0/1"), Some((0, 1)));
+        assert_eq!(parse_shard("3/4"), Some((3, 4)));
+        assert_eq!(parse_shard("4/4"), None);
+        assert_eq!(parse_shard("1"), None);
+        assert_eq!(parse_shard("a/b"), None);
+    }
+
+    #[test]
+    fn state_paths_distinguish_points_seeds_and_windows() {
+        let topo = Topology::single_switch(8);
+        let args = RunArgs::default();
+        let p = Point::new(0.4, 80.0, 20.0);
+        let q = Point::new(0.5, 80.0, 20.0);
+        let base = p.state_path(&topo, &args, 1);
+        assert_ne!(base, q.state_path(&topo, &args, 1));
+        assert_ne!(base, p.state_path(&topo, &args, 2));
+        let mut wide = args.clone();
+        wide.measure_secs *= 2.0;
+        assert_ne!(base, p.state_path(&topo, &wide, 1));
+        assert_eq!(base, p.state_path(&topo, &args, 1));
+        assert!(base.starts_with("target/bench/state"));
+    }
+
+    #[test]
+    fn json_scanner_extracts_arrays_records_and_uints() {
+        let doc = r#"{"experiment":"x","results":[{"index":0,"s":"a,{]"},{"index":1,"v":[1,2]}],"throughput":{"sim_cycles":42}}"#;
+        let inner = json_array(doc, "results").unwrap();
+        let recs = json_split_top(inner);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], r#"{"index":0,"s":"a,{]"}"#);
+        assert_eq!(recs[1], r#"{"index":1,"v":[1,2]}"#);
+        assert_eq!(json_uint(recs[1], "index"), Some(1));
+        assert_eq!(json_uint(doc, "sim_cycles"), Some(42));
+        assert!(json_array(doc, "missing").is_none());
+        assert!(json_split_top("").is_empty());
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_shard_sets() {
+        let dir = std::env::temp_dir().join("mediaworm-merge-incomplete-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Two shards that both claim index 0 (and no index 1).
+        for i in 0..2usize {
+            let doc = format!(
+                "{{\"experiment\":\"unit\",\"shard\":{{\"index\":{i},\"count\":2}},\
+                 \"results\":[{{\"index\":0,\"v\":{i}}}],\
+                 \"throughput\":{{\"wall_secs\":0.1,\"sim_cycles\":10,\"cycles_per_sec\":100}}}}\n"
+            );
+            std::fs::write(dir.join(format!("BENCH_unit.shard{i}of2.json")), doc).unwrap();
+        }
+        let err = merge_shards("unit", &dir, 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_produces_the_canonical_report() {
+        let dir = std::env::temp_dir().join("mediaworm-merge-canonical-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (i, (indices, cycles)) in [(vec![0u64, 2], 30u64), (vec![1], 12)].iter().enumerate() {
+            let recs: Vec<String> = indices
+                .iter()
+                .map(|idx| format!("{{\"index\":{idx},\"v\":{}}}", idx * 10))
+                .collect();
+            let doc = format!(
+                "{{\"experiment\":\"unit\",\"shard\":{{\"index\":{i},\"count\":2}},\
+                 \"results\":[{}],\
+                 \"throughput\":{{\"wall_secs\":0.5,\"sim_cycles\":{cycles},\
+                 \"cycles_per_sec\":1.0}}}}\n",
+                recs.join(",")
+            );
+            std::fs::write(dir.join(format!("BENCH_unit.shard{i}of2.json")), doc).unwrap();
+        }
+        let out = merge_shards("unit", &dir, 2).unwrap();
+        let merged = std::fs::read_to_string(out).unwrap();
+        assert_eq!(
+            merged,
+            "{\"experiment\":\"unit\",\"results\":[{\"index\":0,\"v\":0},{\"index\":1,\"v\":10},\
+             {\"index\":2,\"v\":20}],\"throughput\":{\"wall_secs\":null,\"sim_cycles\":42,\
+             \"cycles_per_sec\":null}}\n"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * **Sweep throughput**: wall-clock and cycles/second of the standard
 //!   fig. 3 sweep through the parallel harness, exactly as `--json` runs
 //!   report it.
+//! * **Snapshot cost** (`snapshot`): how long `Network::snapshot` and
+//!   `Network::restore` take on a warmed fig. 3 network and how many
+//!   bytes the snapshot is — the per-checkpoint price `--checkpoint`
+//!   pays.
 //!
 //! The numbers are hardware-dependent; the point of recording them per CI
 //! run is the *trend* (and the speedup ratio, which is dimensionless).
@@ -64,8 +68,8 @@ impl StepTiming {
 }
 
 /// A fig. 3-configured network (16-VC Virtual Clock switch, 80:20 mix)
-/// warmed 2 simulated ms into a busy steady state.
-fn fig3_network(load: f64, seed: u64) -> Network {
+/// at cycle zero — the restore target shape.
+fn fig3_network_cold(load: f64, seed: u64) -> Network {
     let topology = Topology::single_switch(8);
     let wl = WorkloadBuilder::new(8, VcPartition::from_mix(16, 80.0, 20.0))
         .load(load)
@@ -73,7 +77,12 @@ fn fig3_network(load: f64, seed: u64) -> Network {
         .real_time_class(StreamClass::Vbr)
         .seed(seed)
         .build();
-    let mut net = Network::new(&topology, wl, &RouterConfig::default());
+    Network::new(&topology, wl, &RouterConfig::default())
+}
+
+/// [`fig3_network_cold`] warmed 2 simulated ms into a busy steady state.
+fn fig3_network(load: f64, seed: u64) -> Network {
+    let mut net = fig3_network_cold(load, seed);
     let tb = net.timebase();
     net.run_until(tb.cycles_from_ms(2.0));
     net
@@ -138,6 +147,56 @@ fn time_mesh_stepping(load: f64, seed: u64, cycles: u64, threads: usize) -> Step
     }
 }
 
+/// Cost of one checkpoint on a warmed fig. 3 network: snapshot time,
+/// restore time (into a freshly built identical network) and the snapshot
+/// size in bytes.
+#[derive(Debug, Clone)]
+pub struct SnapshotCost {
+    /// Offered load of the measured network.
+    pub load: f64,
+    /// Serialized snapshot size in bytes.
+    pub bytes: usize,
+    /// Wall-clock seconds one `Network::snapshot` call took.
+    pub snapshot_secs: f64,
+    /// Wall-clock seconds one `Network::restore` call took.
+    pub restore_secs: f64,
+}
+
+impl SnapshotCost {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("load", Json::num(self.load)),
+            ("bytes", Json::Uint(self.bytes as u64)),
+            ("snapshot_secs", Json::num(self.snapshot_secs)),
+            ("restore_secs", Json::num(self.restore_secs)),
+        ])
+    }
+}
+
+/// Measures the snapshot/restore round trip on a warmed fig. 3 network
+/// at `load`.
+fn time_snapshot(load: f64, seed: u64) -> SnapshotCost {
+    let net = fig3_network(load, seed);
+    let started = Instant::now();
+    let bytes = net.snapshot();
+    let snapshot_secs = started.elapsed().as_secs_f64();
+    // Restore targets a freshly built network from the same inputs, as
+    // `--resume` does.
+    let mut fresh = fig3_network_cold(load, seed);
+    let started = Instant::now();
+    fresh
+        .restore(&bytes)
+        .expect("perf snapshot must restore into its own configuration");
+    let restore_secs = started.elapsed().as_secs_f64();
+    std::hint::black_box(fresh.now());
+    SnapshotCost {
+        load,
+        bytes: bytes.len(),
+        snapshot_secs,
+        restore_secs,
+    }
+}
+
 /// Runs the full perf harness and returns the `BENCH_perf.json` document.
 ///
 /// Honors `--quick` (shorter stepping windows and the quick sweep),
@@ -193,6 +252,20 @@ pub fn run_perf(args: &RunArgs) -> Json {
     }
     println!();
 
+    // Checkpoint cost: one snapshot/restore round trip per load point.
+    let mut snapshot_costs: Vec<SnapshotCost> = Vec::new();
+    for &load in &[0.3, 0.96] {
+        let c = time_snapshot(load, args.seed);
+        println!(
+            "   snapshot @ load {load:.2}: {} bytes | save {:.1} us | restore {:.1} us",
+            c.bytes,
+            c.snapshot_secs * 1e6,
+            c.restore_secs * 1e6,
+        );
+        snapshot_costs.push(c);
+    }
+    println!();
+
     // The standard sweep, timed the same way `--json` runs are.
     let started = Instant::now();
     let sweep = experiments::fig3(args);
@@ -233,6 +306,10 @@ pub fn run_perf(args: &RunArgs) -> Json {
                 ])
             })),
         ),
+        (
+            "snapshot",
+            Json::arr(snapshot_costs.iter().map(SnapshotCost::to_json)),
+        ),
         ("sweep", sweep.to_json(sweep_secs)),
     ])
 }
@@ -257,6 +334,16 @@ mod tests {
         assert_eq!(t.threads, 2);
         assert_eq!(t.mode, "mesh-8x8");
         assert!(t.cycles_per_sec().is_finite() && t.cycles_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_cost_round_trips_and_reports_bytes() {
+        let c = time_snapshot(0.5, 7);
+        assert!(c.bytes > 0);
+        assert!(c.snapshot_secs >= 0.0 && c.restore_secs >= 0.0);
+        let doc = c.to_json().to_string();
+        assert!(doc.contains("\"bytes\":"));
+        assert!(doc.contains("\"restore_secs\":"));
     }
 
     #[test]

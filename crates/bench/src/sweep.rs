@@ -17,6 +17,16 @@
 //! * replicated runs reduce through [`RunningStats::merge`] in replica
 //!   index order (parallel Welford is deterministic for a fixed merge
 //!   order, not for an arbitrary one).
+//!
+//! # Sharding
+//!
+//! `--shard i/n` partitions a sweep's task list across `n` independent
+//! processes (or machines): shard `i` owns exactly the tasks whose index
+//! is `≡ i (mod n)`. The partition depends only on the index, so every
+//! shard derives the same per-task seeds it would in a monolithic run,
+//! and the shards' results — tagged with their global indices — merge
+//! back into the byte-identical monolithic report (see
+//! [`crate::merge_shards`]).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -74,6 +84,9 @@ pub struct SweepTask {
 pub struct SweepRunner {
     jobs: usize,
     base_seed: u64,
+    /// `(index, count)` of the shard this runner owns; `(0, 1)` is the
+    /// whole sweep.
+    shard: (usize, usize),
 }
 
 impl SweepRunner {
@@ -85,14 +98,34 @@ impl SweepRunner {
     /// Panics if `jobs` is zero.
     pub fn new(jobs: usize, base_seed: u64) -> SweepRunner {
         assert!(jobs >= 1, "a sweep needs at least one worker");
-        SweepRunner { jobs, base_seed }
+        SweepRunner {
+            jobs,
+            base_seed,
+            shard: (0, 1),
+        }
     }
 
     /// A runner configured from the command-line arguments: job count
     /// from `--jobs` / `MEDIAWORM_JOBS` / available parallelism, base
-    /// seed from `--seed`.
+    /// seed from `--seed`, shard from `--shard i/n`.
     pub fn from_args(args: &RunArgs) -> SweepRunner {
-        SweepRunner::new(args.effective_jobs(), args.seed)
+        SweepRunner::new(args.effective_jobs(), args.seed).with_shard(args.shard.unwrap_or((0, 1)))
+    }
+
+    /// This runner restricted to shard `(index, count)`: it owns the
+    /// tasks whose index is `≡ index (mod count)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `index < count`.
+    pub fn with_shard(self, shard: (usize, usize)) -> SweepRunner {
+        assert!(
+            shard.0 < shard.1,
+            "shard index {} out of range for {} shards",
+            shard.0,
+            shard.1
+        );
+        SweepRunner { shard, ..self }
     }
 
     /// The worker-thread cap.
@@ -105,13 +138,42 @@ impl SweepRunner {
         self.base_seed
     }
 
-    /// Runs `count` tasks through `f`, at most [`jobs`](Self::jobs) at a
-    /// time, and returns the results in task order.
+    /// Whether this runner's shard owns task `index`.
+    pub fn owns(&self, index: usize) -> bool {
+        index % self.shard.1 == self.shard.0
+    }
+
+    /// Runs every one of `count` tasks through `f` — ignoring the shard —
+    /// and returns the results in task order.
     ///
     /// Workers self-schedule off a shared atomic counter, so an expensive
     /// point does not hold up the queue behind it. `f` must not rely on
-    /// execution order — only on its [`SweepTask`].
+    /// execution order — only on its [`SweepTask`]. Shard-aware sweeps go
+    /// through [`SweepRunner::map_sharded`]; this is the unsharded path
+    /// (replica statistics, callers that need every result present).
     pub fn map<T, F>(&self, count: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(SweepTask) -> T + Sync,
+    {
+        let full = SweepRunner {
+            shard: (0, 1),
+            ..*self
+        };
+        full.map_sharded(count, f)
+            .into_iter()
+            .map(|slot| slot.expect("every sweep task stores its result"))
+            .collect()
+    }
+
+    /// Runs the tasks this runner's shard owns through `f` and returns a
+    /// `count`-length vector with the owned results in their global task
+    /// slots and `None` everywhere else.
+    ///
+    /// Seeds and slot positions are the monolithic sweep's — a task
+    /// computes identical bits no matter how many shards the sweep was
+    /// split into.
+    pub fn map_sharded<T, F>(&self, count: usize, f: F) -> Vec<Option<T>>
     where
         T: Send,
         F: Fn(SweepTask) -> T + Sync,
@@ -120,30 +182,31 @@ impl SweepRunner {
             index,
             seed: derive_seed(self.base_seed, index as u64),
         };
-        let workers = self.jobs.min(count);
+        let owned: Vec<usize> = (0..count).filter(|&i| self.owns(i)).collect();
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        let workers = self.jobs.min(owned.len());
         if workers <= 1 {
-            return (0..count).map(|i| f(task(i))).collect();
+            for &i in &owned {
+                slots[i] = Some(f(task(i)));
+            }
+            return slots;
         }
-        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+        let slots = Mutex::new(slots);
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= count {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= owned.len() {
                         break;
                     }
+                    let i = owned[k];
                     let value = f(task(i));
                     slots.lock().expect("sweep slots poisoned")[i] = Some(value);
                 });
             }
         });
-        slots
-            .into_inner()
-            .expect("sweep slots poisoned")
-            .into_iter()
-            .map(|slot| slot.expect("every sweep task stores its result"))
-            .collect()
+        slots.into_inner().expect("sweep slots poisoned")
     }
 
     /// Runs `points × replicas` tasks through `f` and merges each point's
@@ -267,5 +330,61 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_jobs_panics() {
         let _ = SweepRunner::new(0, 0);
+    }
+
+    #[test]
+    fn shards_partition_the_task_list_exactly() {
+        let n = 3;
+        let count = 10;
+        let mut seen = vec![0usize; count];
+        for i in 0..n {
+            let r = SweepRunner::new(2, 42).with_shard((i, n));
+            for (idx, slot) in r.map_sharded(count, |t| t.index).into_iter().enumerate() {
+                match slot {
+                    Some(v) => {
+                        assert_eq!(v, idx);
+                        assert!(r.owns(idx));
+                        seen[idx] += 1;
+                    }
+                    None => assert!(!r.owns(idx)),
+                }
+            }
+        }
+        // Every task computed by exactly one shard.
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn sharded_seeds_match_the_monolithic_sweep() {
+        let mono = SweepRunner::new(1, 42).map(12, |t| t.seed);
+        for i in 0..4 {
+            let shard = SweepRunner::new(4, 42).with_shard((i, 4));
+            for (idx, slot) in shard.map_sharded(12, |t| t.seed).into_iter().enumerate() {
+                if let Some(seed) = slot {
+                    assert_eq!(seed, mono[idx], "task {idx} on shard {i}/4");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_ignores_the_shard() {
+        let full = SweepRunner::new(2, 7)
+            .with_shard((1, 3))
+            .map(9, |t| t.index);
+        assert_eq!(full, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_owning_no_tasks_returns_all_none() {
+        let r = SweepRunner::new(4, 0).with_shard((5, 8));
+        let out = r.map_sharded(3, |t| t.index);
+        assert_eq!(out, vec![None, None, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard index 2 out of range for 2 shards")]
+    fn shard_index_must_be_in_range() {
+        let _ = SweepRunner::new(1, 0).with_shard((2, 2));
     }
 }

@@ -15,8 +15,10 @@ use std::collections::HashMap;
 use flitnet::{NodeId, PortId, RouterId, StreamId};
 use topo::{PortTarget, Topology};
 
-/// A link in a route: router `r`'s output port `p` (the injection link is
-/// represented by the attachment router's input, keyed specially).
+/// A link (or fat bundle) in a route: router `r`'s output port `p` —
+/// lowest member port when parallel links bundle toward one neighbour —
+/// (the injection link is represented by the attachment router's input,
+/// keyed specially).
 type LinkKey = (u32, u32);
 
 /// Tracks per-link reserved bandwidth and admits or rejects streams.
@@ -110,25 +112,59 @@ impl AdmissionController {
         }
     }
 
-    /// The links (router output ports) a `src → dest` stream traverses
-    /// under deterministic routing (first candidate on fat bundles), plus
-    /// the injection link encoded as `(u32::MAX, src)`.
-    fn route_links(&self, src: NodeId, dest: NodeId) -> Vec<LinkKey> {
-        let mut links = vec![(u32::MAX, src.get())];
+    /// The links a `src → dest` stream traverses under deterministic
+    /// routing, each with its aggregate capacity in bps, plus the
+    /// injection link encoded as `(u32::MAX, src)`.
+    ///
+    /// On fat bundles the router spreads flits across every parallel link
+    /// by instantaneous load, so the reservation is keyed by the *bundle*
+    /// (its lowest member port) and metered against `width × link_bps` —
+    /// booking only the first candidate link both rejected streams the
+    /// bundle could carry and left the other members unaccounted.
+    fn route_links(&self, src: NodeId, dest: NodeId) -> Vec<(LinkKey, f64)> {
+        let mut links = vec![((u32::MAX, src.get()), self.link_bps)];
         let (mut at, _) = self.topology.attachment(src);
         let (goal, _) = self.topology.attachment(dest);
         loop {
-            let port = self.topology.route(at, dest)[0];
-            links.push((at.get(), port.get()));
+            let cands = self.topology.route(at, dest);
+            let key_port = cands
+                .iter()
+                .map(|p| p.get())
+                .min()
+                .expect("route always offers a port");
+            links.push(((at.get(), key_port), self.link_bps * cands.len() as f64));
             if at == goal {
                 break;
             }
-            match self.topology.target_of(at, port) {
+            match self.topology.target_of(at, cands[0]) {
                 PortTarget::Router { router, .. } => at = router,
                 PortTarget::Node(_) => break,
             }
         }
         links
+    }
+
+    /// The bundle containing router `r`'s output port `p`: its key (the
+    /// lowest member port) and aggregate capacity. Node-facing ports are
+    /// their own single-link bundle.
+    fn bundle_of(&self, r: RouterId, p: PortId) -> (LinkKey, f64) {
+        match self.topology.target_of(r, p) {
+            PortTarget::Router { router: next, .. } => {
+                let mut width = 0u32;
+                let mut key_port = u32::MAX;
+                for q in 0..self.topology.ports_of(r) {
+                    if let PortTarget::Router { router, .. } = self.topology.target_of(r, PortId(q))
+                    {
+                        if router == next {
+                            width += 1;
+                            key_port = key_port.min(q);
+                        }
+                    }
+                }
+                ((r.get(), key_port), self.link_bps * f64::from(width))
+            }
+            PortTarget::Node(_) => ((r.get(), p.get()), self.link_bps),
+        }
     }
 
     /// Requests admission for a stream of `rate_bps` from `src` to `dest`.
@@ -158,9 +194,9 @@ impl AdmissionController {
             "stream {stream} already admitted"
         );
         let links = self.route_links(src, dest);
-        for key in &links {
+        for (key, capacity_bps) in &links {
             let used = self.reserved.get(key).copied().unwrap_or(0.0);
-            let would = (used + rate_bps) / self.link_bps;
+            let would = (used + rate_bps) / capacity_bps;
             // Relative epsilon: an absolute one is meaningless across the
             // ~1e8 dynamic range of link rates, and repeated admit/release
             // cycles accumulate relative rounding error.
@@ -171,10 +207,11 @@ impl AdmissionController {
                 });
             }
         }
-        for key in &links {
+        for (key, _) in &links {
             *self.reserved.entry(*key).or_insert(0.0) += rate_bps;
         }
-        self.routes.insert(stream.get(), links);
+        self.routes
+            .insert(stream.get(), links.into_iter().map(|(k, _)| k).collect());
         Ok(())
     }
 
@@ -202,13 +239,12 @@ impl AdmissionController {
         Ok(())
     }
 
-    /// Current real-time utilisation of router `r`'s output port `p`.
+    /// Current real-time utilisation of the link (or fat bundle) that
+    /// router `r`'s output port `p` belongs to — every member port of a
+    /// bundle reports the same aggregate figure.
     pub fn utilisation(&self, r: RouterId, p: PortId) -> f64 {
-        self.reserved
-            .get(&(r.get(), p.get()))
-            .copied()
-            .unwrap_or(0.0)
-            / self.link_bps
+        let (key, capacity_bps) = self.bundle_of(r, p);
+        self.reserved.get(&key).copied().unwrap_or(0.0) / capacity_bps
     }
 
     /// Number of admitted streams.
@@ -309,6 +345,40 @@ mod tests {
         // Some inter-router link on router 0 carries the reservation.
         let used: f64 = (0..8).map(|p| ac.utilisation(RouterId(0), PortId(p))).sum();
         assert!(used > 0.0, "route must reserve a router-0 output");
+    }
+
+    #[test]
+    fn fat_bundle_is_metered_against_aggregate_capacity() {
+        // 2×2 fat mesh: two parallel links per neighbour pair. The router
+        // spreads flits across the bundle by instantaneous load, so the
+        // controller must meter 2 × link_bps — booking route()[0] alone
+        // rejected the second stream at half the real capacity.
+        let t = Topology::fat_mesh(2, 2, 2, 4);
+        let mut ac = AdmissionController::new(&t, 400e6, 1.0);
+        // Nodes 0..3 live on router 0, nodes 8..11 on router 2; the +Y hop
+        // crosses the two-link bundle. Distinct src/dest keep injection
+        // and ejection links disjoint, so the bundle is the only shared
+        // resource.
+        ac.admit(StreamId(0), NodeId(0), NodeId(8), 400e6).unwrap();
+        ac.admit(StreamId(1), NodeId(1), NodeId(9), 400e6).unwrap();
+        // Two full-link streams saturate the 800 Mbps bundle exactly;
+        // every member port reports the aggregate figure.
+        let cands: Vec<PortId> = t.route(RouterId(0), NodeId(8)).to_vec();
+        assert_eq!(cands.len(), 2, "fat mesh offers a two-link bundle");
+        for &p in &cands {
+            assert!((ac.utilisation(RouterId(0), p) - 1.0).abs() < 1e-9);
+        }
+        // A third stream over the same bundle must be rejected against
+        // the bundle, not against one member link.
+        let err = ac
+            .admit(StreamId(2), NodeId(2), NodeId(10), 400e6)
+            .unwrap_err();
+        assert!(err.would_be_utilisation > 1.0);
+        assert_eq!(err.link.0, RouterId(0));
+        assert_eq!(ac.admitted(), 2);
+        // Releasing one stream frees bundle headroom again.
+        ac.release(StreamId(0), 400e6).unwrap();
+        ac.admit(StreamId(2), NodeId(2), NodeId(10), 400e6).unwrap();
     }
 
     #[test]

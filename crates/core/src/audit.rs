@@ -25,6 +25,7 @@
 
 use flitnet::{PortId, VcId};
 use metrics::Json;
+use netsim::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::router::Router;
 
@@ -137,6 +138,34 @@ impl VcHold {
         o.push("on_cycle", Json::Bool(self.on_cycle));
         o
     }
+
+    fn save(self, w: &mut SnapWriter) {
+        w.u32(self.router);
+        w.u32(self.port);
+        w.u32(self.vc);
+        w.u64(self.msg);
+        w.u32(self.staged);
+        w.u32(self.credits);
+        w.option(self.waits_for, |w, (r, p, v)| {
+            w.u32(r);
+            w.u32(p);
+            w.u32(v);
+        });
+        w.bool(self.on_cycle);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<VcHold, SnapError> {
+        Ok(VcHold {
+            router: r.u32()?,
+            port: r.u32()?,
+            vc: r.u32()?,
+            msg: r.u64()?,
+            staged: r.u32()?,
+            credits: r.u32()?,
+            waits_for: r.option(|r| Ok((r.u32()?, r.u32()?, r.u32()?)))?,
+            on_cycle: r.bool()?,
+        })
+    }
 }
 
 /// The structured report the watchdog emits when a run stalls.
@@ -171,6 +200,54 @@ impl StallReport {
                 Json::arr(self.holders.iter().map(|h| h.to_json())),
             ),
         ])
+    }
+
+    /// Serialises the report into a snapshot (a tripped watchdog is part
+    /// of the network state a checkpoint must carry).
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.cycle);
+        w.u64(self.stalled_for);
+        w.u8(match self.kind {
+            StallKind::Deadlock => 0,
+            StallKind::Starvation => 1,
+        });
+        w.u64(self.flits_in_flight);
+        w.u64(self.ni_backlog);
+        w.usize(self.holders.len());
+        for h in &self.holders {
+            h.save(w);
+        }
+    }
+
+    /// Restores a report saved by [`StallReport::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decoding errors; rejects unknown stall-kind
+    /// tags.
+    pub fn load(r: &mut SnapReader<'_>) -> Result<StallReport, SnapError> {
+        let cycle = r.u64()?;
+        let stalled_for = r.u64()?;
+        let kind = match r.u8()? {
+            0 => StallKind::Deadlock,
+            1 => StallKind::Starvation,
+            _ => return Err(SnapError::BadValue("unknown stall kind tag")),
+        };
+        let flits_in_flight = r.u64()?;
+        let ni_backlog = r.u64()?;
+        let n = r.usize()?;
+        let mut holders = Vec::with_capacity(n);
+        for _ in 0..n {
+            holders.push(VcHold::load(r)?);
+        }
+        Ok(StallReport {
+            cycle,
+            stalled_for,
+            kind,
+            flits_in_flight,
+            ni_backlog,
+            holders,
+        })
     }
 }
 

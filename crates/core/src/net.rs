@@ -21,6 +21,7 @@ use std::collections::VecDeque;
 use flitnet::{CreditLink, Flit, Link, NodeId, PortId, RouterId, VcId};
 use metrics::{DeliveryTracker, LatencyTracker};
 use netsim::audit::AuditLog;
+use netsim::snap::{SnapError, SnapReader, SnapWriter};
 use netsim::telemetry::{FlitEvent, FlitEventKind, NoopSink, TelemetrySink};
 use netsim::{Calendar, Cycles, TimeBase};
 use topo::{PortTarget, Topology};
@@ -1311,6 +1312,259 @@ impl Network {
             holders,
         }
     }
+
+    // ---- checkpoint / restore --------------------------------------------
+
+    /// Serialises the network's complete mutable state into a versioned,
+    /// checksummed snapshot.
+    ///
+    /// The snapshot covers everything a restored run needs to continue
+    /// bit-identically: the clock, in-flight accounting, the workload's
+    /// RNG stream and per-source positions, the injection calendar
+    /// (including its tie-break sequence numbers), staged messages, NI
+    /// queues and credits, every router's buffers/grants/credits/
+    /// schedulers/counters, every link's wire state, the destination-side
+    /// trackers, and the audit/watchdog/stall state. Structural state
+    /// (topology, wiring, configuration) is *not* written — [`Network::
+    /// restore`] requires a network freshly built from the same inputs.
+    ///
+    /// The derived active sets (busy links, backlogged endpoints, router
+    /// pending/granted/staged lists) are recomputed on restore from the
+    /// restored buffers; they are pure functions of that state (the
+    /// predicates the `ActiveSetDesync` audit checks).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.u64(self.now.0);
+        w.u64(self.flits_in_flight);
+        w.u64(self.injected_msgs);
+        w.u64(self.total_link_sends);
+        w.u64(self.stats_start.0);
+        w.usize(self.link_sent.len());
+        for &n in &self.link_sent {
+            w.u64(n);
+        }
+        self.workload.save(&mut w);
+        w.u64(self.calendar.next_seq());
+        let entries = self.calendar.snapshot_entries();
+        w.usize(entries.len());
+        for (at, seq, &idx) in entries {
+            w.u64(at.0);
+            w.u64(seq);
+            w.usize(idx);
+        }
+        w.usize(self.staged.len());
+        for slot in &self.staged {
+            w.option(slot.as_ref(), |w, msg| {
+                w.u64(msg.at.0);
+                w.u32(msg.src.0);
+                w.u32(msg.vc_in.0);
+                w.usize(msg.flits.len());
+                for f in &msg.flits {
+                    f.save(w);
+                }
+            });
+        }
+        for ep in &self.endpoints {
+            for q in &ep.queues {
+                w.usize(q.len());
+                for f in q {
+                    f.save(&mut w);
+                }
+            }
+            ep.sched.save(&mut w);
+            for &c in &ep.credits {
+                w.u32(c);
+            }
+            w.option(ep.current, |w, v| w.usize(v));
+        }
+        for r in &self.routers {
+            r.save(&mut w);
+        }
+        for lp in &self.links {
+            lp.flit.save(&mut w);
+            lp.credit.save(&mut w);
+        }
+        self.sinks.delivery.save(&mut w);
+        self.sinks.latency.save(&mut w);
+        w.usize(self.sinks.frame_tails.len());
+        for frames in &self.sinks.frame_tails {
+            w.usize(frames.len());
+            for &(frame, tails) in frames {
+                w.u32(frame);
+                w.u32(tails);
+            }
+        }
+        w.u64(self.sinks.delivered_msgs);
+        w.u64(self.sinks.delivered_flits);
+        w.option(self.audit.as_ref(), |w, st| {
+            w.u64(st.cfg.interval);
+            w.u64(st.next_at.0);
+            st.log.save(w);
+        });
+        w.option(self.watchdog.as_ref(), |w, wd| {
+            w.u64(wd.cfg.stall_cycles);
+            w.u64(wd.last_signature);
+            w.u64(wd.last_progress_at.0);
+        });
+        w.option(self.stall.as_ref(), |w, s| s.save(w));
+        w.finish()
+    }
+
+    /// Restores state saved by [`Network::snapshot`] into this network,
+    /// which must have been freshly built by [`Network::new`] from the
+    /// *same* topology, workload-builder inputs and router configuration.
+    /// After a successful restore, stepping this network produces
+    /// bit-identical counters, traces and reports to the run the snapshot
+    /// was taken from.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the snapshot is corrupt (bad magic,
+    /// version, length or checksum), truncated, or structurally
+    /// incompatible with this network (wrong link/source/router counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this network has already been stepped (it must be
+    /// freshly constructed).
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        assert_eq!(
+            self.flits_in_flight, 0,
+            "restore target network must be freshly constructed"
+        );
+        let mut r = SnapReader::new(bytes)?;
+        self.now = Cycles(r.u64()?);
+        self.flits_in_flight = r.u64()?;
+        self.injected_msgs = r.u64()?;
+        self.total_link_sends = r.u64()?;
+        self.stats_start = Cycles(r.u64()?);
+        if r.usize()? != self.link_sent.len() {
+            return Err(SnapError::BadValue("link count mismatch"));
+        }
+        for n in &mut self.link_sent {
+            *n = r.u64()?;
+        }
+        self.workload.load_into(&mut r)?;
+        let next_seq = r.u64()?;
+        let n = r.usize()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = Cycles(r.u64()?);
+            let seq = r.u64()?;
+            let idx = r.usize()?;
+            if idx >= self.staged.len() || seq >= next_seq {
+                return Err(SnapError::BadValue("calendar entry out of range"));
+            }
+            entries.push((at, seq, idx));
+        }
+        self.calendar = Calendar::from_snapshot(entries, next_seq);
+        if r.usize()? != self.staged.len() {
+            return Err(SnapError::BadValue("staged source count mismatch"));
+        }
+        for slot in &mut self.staged {
+            *slot = r.option(|r| {
+                let at = Cycles(r.u64()?);
+                let src = NodeId(r.u32()?);
+                let vc_in = VcId(r.u32()?);
+                let n = r.usize()?;
+                let mut flits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    flits.push(Flit::load(r)?);
+                }
+                Ok(ScheduledMessage {
+                    at,
+                    src,
+                    vc_in,
+                    flits,
+                })
+            })?;
+        }
+        for ep in &mut self.endpoints {
+            let mut queued = 0u64;
+            for q in &mut ep.queues {
+                let n = r.usize()?;
+                q.clear();
+                for _ in 0..n {
+                    q.push_back(Flit::load(&mut r)?);
+                }
+                queued += n as u64;
+            }
+            ep.sched.load_into(&mut r)?;
+            for c in &mut ep.credits {
+                *c = r.u32()?;
+            }
+            ep.current = r.option(|r| r.usize())?;
+            if ep.current.is_some_and(|v| v >= ep.queues.len()) {
+                return Err(SnapError::BadValue("NI current VC out of range"));
+            }
+            ep.queued = queued;
+        }
+        for router in &mut self.routers {
+            router.load_into(&mut r)?;
+        }
+        for lp in &mut self.links {
+            lp.flit.load_into(&mut r)?;
+            lp.credit.load_into(&mut r)?;
+        }
+        self.sinks.delivery.load_into(&mut r)?;
+        self.sinks.latency.load_into(&mut r)?;
+        let n = r.usize()?;
+        self.sinks.frame_tails.clear();
+        for _ in 0..n {
+            let m = r.usize()?;
+            let mut frames = Vec::with_capacity(m);
+            for _ in 0..m {
+                frames.push((r.u32()?, r.u32()?));
+            }
+            self.sinks.frame_tails.push(frames);
+        }
+        self.sinks.delivered_msgs = r.u64()?;
+        self.sinks.delivered_flits = r.u64()?;
+        self.audit = r
+            .option(|r| {
+                let interval = r.u64()?;
+                let next_at = Cycles(r.u64()?);
+                let log = AuditLog::load(r)?;
+                Ok(AuditState {
+                    cfg: AuditConfig { interval },
+                    log,
+                    next_at,
+                })
+            })?
+            .or_else(|| self.audit.take());
+        self.watchdog = r
+            .option(|r| {
+                let stall_cycles = r.u64()?;
+                let last_signature = r.u64()?;
+                let last_progress_at = Cycles(r.u64()?);
+                Ok(WatchdogState {
+                    cfg: WatchdogConfig { stall_cycles },
+                    last_signature,
+                    last_progress_at,
+                })
+            })?
+            .or_else(|| self.watchdog.take());
+        self.stall = r.option(StallReport::load)?;
+        r.finish()?;
+        // Recompute the derived active sets from the restored state.
+        self.active_links.clear();
+        for (l, lp) in self.links.iter().enumerate() {
+            let busy = !(lp.flit.is_idle() && lp.credit.is_idle());
+            self.link_active[l] = busy;
+            if busy {
+                self.active_links.push(l);
+            }
+        }
+        self.active_eps.clear();
+        for (e, ep) in self.endpoints.iter().enumerate() {
+            let backlogged = ep.queued > 0;
+            self.ep_active[e] = backlogged;
+            if backlogged {
+                self.active_eps.push(e);
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1641,5 +1895,89 @@ mod tests {
         // The run stops at detection instead of spinning to the end.
         assert!(net.now() < end);
         assert_eq!(stall.stalled_for, 5_000);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let topology = Topology::single_switch(8);
+        let cfg = RouterConfig::default();
+        let mut a = Network::new(&topology, small_workload(0.5, 21), &cfg);
+        let tb = a.timebase();
+        a.run_until(tb.cycles_from_ms(10.0));
+        let bytes = a.snapshot();
+
+        let mut b = Network::new(&topology, small_workload(0.5, 21), &cfg);
+        b.restore(&bytes).expect("restore");
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.injected_msgs(), b.injected_msgs());
+        assert_eq!(a.flits_in_flight(), b.flits_in_flight());
+        assert_eq!(
+            bytes,
+            b.snapshot(),
+            "re-snapshot after restore must be byte-identical"
+        );
+
+        let end = tb.cycles_from_ms(25.0);
+        a.run_until(end);
+        b.run_until(end);
+        assert_eq!(a.injected_msgs(), b.injected_msgs());
+        assert_eq!(a.delivered_msgs(), b.delivered_msgs());
+        assert_eq!(a.delivered_flits(), b.delivered_flits());
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(
+            a.snapshot(),
+            b.snapshot(),
+            "states diverge after the restore point"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trip_with_audit_and_mixed_traffic() {
+        use crate::audit::{AuditConfig, WatchdogConfig};
+        let topology = Topology::fat_mesh(2, 2, 2, 4);
+        let build = || {
+            WorkloadBuilder::new(16, VcPartition::from_mix(16, 50.0, 50.0))
+                .load(0.6)
+                .mix(50.0, 50.0)
+                .seed(22)
+                .build()
+        };
+        let cfg = RouterConfig::default();
+        let mut a = Network::new(&topology, build(), &cfg);
+        a.enable_audit(AuditConfig { interval: 64 });
+        a.enable_watchdog(WatchdogConfig::default());
+        let tb = a.timebase();
+        a.set_warmup_end(tb.cycles_from_ms(5.0));
+        a.run_until(tb.cycles_from_ms(12.0));
+        let bytes = a.snapshot();
+
+        // The snapshot carries the audit/watchdog state, so the restored
+        // network does not need them re-enabled by the caller.
+        let mut b = Network::new(&topology, build(), &cfg);
+        b.restore(&bytes).expect("restore");
+        let end = tb.cycles_from_ms(20.0);
+        a.run_until(end);
+        b.run_until(end);
+        assert_eq!(a.delivered_flits(), b.delivered_flits());
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(
+            a.audit_log().map(|l| l.total()),
+            b.audit_log().map(|l| l.total())
+        );
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn restore_rejects_corrupted_bytes() {
+        let topology = Topology::single_switch(8);
+        let cfg = RouterConfig::default();
+        let mut a = Network::new(&topology, small_workload(0.4, 23), &cfg);
+        let tb = a.timebase();
+        a.run_until(tb.cycles_from_ms(2.0));
+        let mut bytes = a.snapshot();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5a;
+        let mut b = Network::new(&topology, small_workload(0.4, 23), &cfg);
+        assert!(b.restore(&bytes).is_err(), "corruption must be detected");
     }
 }

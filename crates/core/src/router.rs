@@ -1050,6 +1050,160 @@ impl Router {
         }
     }
 
+    /// Serialises the router's mutable state into a snapshot: buffers,
+    /// arrival bookkeeping, grants, owners, credits, schedulers, cursors
+    /// and counters. The derived active sets (pending heads, granted
+    /// connections, staged VCs, resident counter) are *not* written — they
+    /// are pure functions of the buffer state (the exact predicates
+    /// [`Router::audit`]'s `ActiveSetDesync` sweep re-derives) and are
+    /// recomputed on load.
+    pub fn save(&self, w: &mut netsim::snap::SnapWriter) {
+        w.usize(self.arb_cursor);
+        w.u64(self.flits_crossed);
+        w.u64(self.diag.0);
+        w.u64(self.diag.1);
+        w.u64(self.diag.2);
+        w.u64(self.counters.occupancy_samples);
+        for pc in &self.counters.ports {
+            w.u64(pc.rt_flits);
+            w.u64(pc.be_flits);
+            w.u64(pc.mux_conflicts);
+            w.usize(pc.credit_stalls.len());
+            for &s in &pc.credit_stalls {
+                w.u64(s);
+            }
+            w.u64(pc.occupancy_flits);
+        }
+        for ip in &self.inputs {
+            ip.sched.save(w);
+            for ivc in &ip.vcs {
+                ivc.buf.save(w);
+                w.usize(ivc.arrivals.len());
+                for &at in &ivc.arrivals {
+                    w.u64(at.0);
+                }
+                w.option(ivc.grant, |w, g| {
+                    w.usize(g.out_port);
+                    w.usize(g.out_vc);
+                    w.u64(g.ready_at.0);
+                });
+                w.option(ivc.head_seen_at, |w, at| w.u64(at.0));
+            }
+        }
+        for op in &self.outputs {
+            op.sched.save(w);
+            for ovc in &op.vcs {
+                w.usize(ovc.buf.len());
+                for (at, f) in &ovc.buf {
+                    w.u64(at.0);
+                    f.save(w);
+                }
+                w.u32(ovc.credits);
+                w.option(ovc.owner, |w, m| w.u64(m.0));
+            }
+        }
+    }
+
+    /// Restores state saved by [`Router::save`] into this
+    /// freshly-constructed (empty) router, then recomputes the derived
+    /// active sets from the restored buffers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decoding errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router already holds flits.
+    pub fn load_into(
+        &mut self,
+        r: &mut netsim::snap::SnapReader<'_>,
+    ) -> Result<(), netsim::snap::SnapError> {
+        use netsim::snap::SnapError;
+        assert_eq!(self.resident, 0, "restore target router must be empty");
+        let m = self.cfg.vcs_per_pc() as usize;
+        self.arb_cursor = r.usize()?;
+        self.flits_crossed = r.u64()?;
+        self.diag = (r.u64()?, r.u64()?, r.u64()?);
+        self.counters.occupancy_samples = r.u64()?;
+        for pc in &mut self.counters.ports {
+            pc.rt_flits = r.u64()?;
+            pc.be_flits = r.u64()?;
+            pc.mux_conflicts = r.u64()?;
+            if r.usize()? != pc.credit_stalls.len() {
+                return Err(SnapError::BadValue("credit-stall lane count mismatch"));
+            }
+            for s in &mut pc.credit_stalls {
+                *s = r.u64()?;
+            }
+            pc.occupancy_flits = r.u64()?;
+        }
+        for ip in &mut self.inputs {
+            ip.sched.load_into(r)?;
+            for ivc in &mut ip.vcs {
+                ivc.buf.load_into(r)?;
+                let n = r.usize()?;
+                ivc.arrivals.clear();
+                for _ in 0..n {
+                    ivc.arrivals.push_back(Cycles(r.u64()?));
+                }
+                if ivc.arrivals.len() != ivc.buf.len() {
+                    return Err(SnapError::BadValue("arrival bookkeeping mismatch"));
+                }
+                ivc.grant = r.option(|r| {
+                    Ok(Grant {
+                        out_port: r.usize()?,
+                        out_vc: r.usize()?,
+                        ready_at: Cycles(r.u64()?),
+                    })
+                })?;
+                ivc.head_seen_at = r.option(|r| r.u64().map(Cycles))?;
+            }
+        }
+        for op in &mut self.outputs {
+            op.sched.load_into(r)?;
+            for ovc in &mut op.vcs {
+                let n = r.usize()?;
+                ovc.buf.clear();
+                for _ in 0..n {
+                    let at = Cycles(r.u64()?);
+                    ovc.buf.push_back((at, Flit::load(r)?));
+                }
+                ovc.credits = r.u32()?;
+                ovc.owner = r.option(|r| r.u64().map(MsgId))?;
+            }
+        }
+        // Recompute the derived active sets from the restored buffers —
+        // the same predicates the ActiveSetDesync audit checks.
+        let mut resident = 0u64;
+        self.pending.clear();
+        self.pending_mask.fill(false);
+        for (p, ip) in self.inputs.iter_mut().enumerate() {
+            ip.granted.clear();
+            for (v, ivc) in ip.vcs.iter().enumerate() {
+                resident += ivc.buf.len() as u64;
+                if ivc.grant.is_some() {
+                    ip.granted.push(v);
+                } else if !ivc.buf.is_empty() {
+                    let idx = p * m + v;
+                    self.pending_mask[idx] = true;
+                    self.pending.push(idx);
+                }
+            }
+        }
+        for op in &mut self.outputs {
+            op.staged.clear();
+            for (v, ovc) in op.vcs.iter().enumerate() {
+                resident += ovc.buf.len() as u64;
+                if !ovc.buf.is_empty() {
+                    op.staged.push(v);
+                }
+            }
+        }
+        self.resident = resident;
+        Ok(())
+    }
+
     /// Prints a human-readable dump of every VC's state (diagnostics).
     pub fn debug_dump(&self) {
         for (p, ip) in self.inputs.iter().enumerate() {

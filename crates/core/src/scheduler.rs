@@ -19,6 +19,7 @@
 use std::collections::VecDeque;
 
 use flitnet::{Flit, StreamId};
+use netsim::snap::{SnapError, SnapReader, SnapWriter};
 use netsim::Cycles;
 
 use crate::config::SchedulerKind;
@@ -218,6 +219,64 @@ impl MuxScheduler {
     /// assertions in tests).
     pub fn pending(&self, vc: usize) -> usize {
         self.vcs[vc].stamps.len()
+    }
+
+    /// Serialises the mutable scheduler state (stamps, clocks, cursor)
+    /// into a snapshot. The discipline and VC count are configuration and
+    /// are written only as a consistency check.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self.kind {
+            SchedulerKind::VirtualClock => 0,
+            SchedulerKind::Fifo => 1,
+            SchedulerKind::RoundRobin => 2,
+        });
+        w.usize(self.vcs.len());
+        w.usize(self.rr_cursor);
+        for vc in &self.vcs {
+            w.usize(vc.stamps.len());
+            for &s in &vc.stamps {
+                w.f64(s);
+            }
+            w.f64(vc.head_stamp);
+            w.f64(vc.aux_vc);
+            w.f64(vc.vtick);
+            w.option(vc.stream, |w, s| w.u32(s.0));
+        }
+    }
+
+    /// Restores state saved by [`MuxScheduler::save`] into this
+    /// freshly-constructed scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding errors; rejects a snapshot whose discipline or
+    /// VC count disagrees with this scheduler's configuration.
+    pub fn load_into(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let kind_tag = r.u8()?;
+        let expect_tag = match self.kind {
+            SchedulerKind::VirtualClock => 0,
+            SchedulerKind::Fifo => 1,
+            SchedulerKind::RoundRobin => 2,
+        };
+        if kind_tag != expect_tag {
+            return Err(SnapError::BadValue("scheduler kind mismatch"));
+        }
+        if r.usize()? != self.vcs.len() {
+            return Err(SnapError::BadValue("scheduler VC count mismatch"));
+        }
+        self.rr_cursor = r.usize()?;
+        for vc in &mut self.vcs {
+            let n = r.usize()?;
+            vc.stamps.clear();
+            for _ in 0..n {
+                vc.stamps.push_back(r.f64()?);
+            }
+            vc.head_stamp = r.f64()?;
+            vc.aux_vc = r.f64()?;
+            vc.vtick = r.f64()?;
+            vc.stream = r.option(|r| r.u32().map(StreamId))?;
+        }
+        Ok(())
     }
 }
 

@@ -4,8 +4,12 @@
 //! every experiment in the paper follows, and condenses the result into a
 //! [`SimOutcome`].
 
+use std::io;
+use std::path::PathBuf;
+
 use metrics::JitterSummary;
 use netsim::telemetry::{JsonlSink, NoopSink, TelemetrySink};
+use netsim::Cycles;
 use topo::Topology;
 use traffic::Workload;
 
@@ -69,6 +73,38 @@ impl SimOpts {
     /// [`SimOpts::reference`], which always runs sequentially).
     pub fn threads(self, threads: usize) -> SimOpts {
         SimOpts { threads, ..self }
+    }
+}
+
+/// Periodic on-disk checkpointing for a resumable run (see
+/// [`run_checkpointed`]).
+///
+/// The checkpoint file is a [`crate::net::Network::snapshot`] image:
+/// versioned, length- and checksum-guarded, and restored bit-identically.
+/// Writes are atomic (a `.tmp` sibling is renamed over the target), so a
+/// kill mid-write never leaves a torn checkpoint behind.
+#[derive(Debug, Clone)]
+pub struct CheckpointOpts {
+    /// Cycles between snapshots. `0` writes no periodic checkpoints (the
+    /// run can still *resume from* an existing file when `resume` is set).
+    pub interval_cycles: u64,
+    /// Where the snapshot lives. The parent directory is created on the
+    /// first write; the file is deleted when the run completes.
+    pub path: PathBuf,
+    /// Restore from `path` before stepping, if the file exists. A missing
+    /// file is not an error — the run simply starts from cycle zero.
+    pub resume: bool,
+}
+
+impl CheckpointOpts {
+    /// Checkpoint to `path` every `interval_cycles`, resuming from it when
+    /// present — the configuration the sweep engine uses.
+    pub fn resumable(path: PathBuf, interval_cycles: u64) -> CheckpointOpts {
+        CheckpointOpts {
+            interval_cycles,
+            path,
+            resume: true,
+        }
     }
 }
 
@@ -241,6 +277,180 @@ pub fn run_opts_traced(
     (outcome, sink.into_bytes())
 }
 
+/// Like [`run_opts`], but additionally writes a periodic on-disk
+/// checkpoint and — when `ckpt.resume` is set and the file exists — picks
+/// the run up from it instead of starting at cycle zero.
+///
+/// A resumed run is bit-identical to an uninterrupted one: the snapshot
+/// captures the complete mutable simulation state (RNG streams, VC
+/// buffers, scheduler tags, link pipelines, metric accumulators), so
+/// counters, statistics and traces continue exactly where the checkpoint
+/// left them. The checkpoint file is removed once the run reaches its end
+/// cycle, so a completed point never resumes stale state.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; a corrupt or mismatched snapshot surfaces
+/// as [`io::ErrorKind::InvalidData`].
+pub fn run_checkpointed(
+    topology: &Topology,
+    workload: Workload,
+    cfg: &RouterConfig,
+    warmup_secs: f64,
+    measure_secs: f64,
+    opts: SimOpts,
+    ckpt: &CheckpointOpts,
+) -> io::Result<SimOutcome> {
+    run_checkpointed_with(
+        topology,
+        workload,
+        cfg,
+        warmup_secs,
+        measure_secs,
+        opts,
+        ckpt,
+        &mut NoopSink,
+    )
+}
+
+/// [`run_checkpointed`] with a JSONL flit-event trace. A resumed run's
+/// trace covers only the segment after the restore point; appending it to
+/// the pre-checkpoint trace reproduces the uninterrupted run's bytes.
+///
+/// # Errors
+///
+/// See [`run_checkpointed`].
+pub fn run_checkpointed_traced(
+    topology: &Topology,
+    workload: Workload,
+    cfg: &RouterConfig,
+    warmup_secs: f64,
+    measure_secs: f64,
+    opts: SimOpts,
+    ckpt: &CheckpointOpts,
+) -> io::Result<(SimOutcome, Vec<u8>)> {
+    let mut sink = JsonlSink::new();
+    let outcome = run_checkpointed_with(
+        topology,
+        workload,
+        cfg,
+        warmup_secs,
+        measure_secs,
+        opts,
+        ckpt,
+        &mut sink,
+    )?;
+    Ok((outcome, sink.into_bytes()))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_checkpointed_with(
+    topology: &Topology,
+    workload: Workload,
+    cfg: &RouterConfig,
+    warmup_secs: f64,
+    measure_secs: f64,
+    opts: SimOpts,
+    ckpt: &CheckpointOpts,
+    sink: &mut dyn TelemetrySink,
+) -> io::Result<SimOutcome> {
+    assert!(warmup_secs > 0.0, "warm-up must be positive");
+    assert!(measure_secs > 0.0, "measurement window must be positive");
+    let (rt_load, be_load) = workload.realized_load();
+    let oversubscribed = workload.is_oversubscribed();
+    let mut net = Network::new(topology, workload, cfg);
+    if let Some(a) = opts.audit {
+        net.enable_audit(a);
+    }
+    if let Some(w) = opts.watchdog {
+        net.enable_watchdog(w);
+    }
+    let tb = net.timebase();
+    let warmup = tb.cycles_from_secs(warmup_secs);
+    let end = tb.cycles_from_secs(warmup_secs + measure_secs);
+    net.set_warmup_end(warmup);
+    if ckpt.resume {
+        match std::fs::read(&ckpt.path) {
+            Ok(bytes) => net.restore(&bytes).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("checkpoint {}: {e}", ckpt.path.display()),
+                )
+            })?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+    }
+    while net.now() < end && net.stall_report().is_none() {
+        let to = if ckpt.interval_cycles == 0 {
+            end
+        } else {
+            end.min(net.now() + Cycles(ckpt.interval_cycles))
+        };
+        step_net(&mut net, to, opts, sink);
+        if net.now() < end && net.stall_report().is_none() {
+            write_checkpoint(&ckpt.path, &net.snapshot())?;
+        }
+    }
+    match std::fs::remove_file(&ckpt.path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    Ok(outcome_of(&mut net, rt_load, be_load, oversubscribed, end))
+}
+
+/// Writes `bytes` to `path` atomically: a `.tmp` sibling is written,
+/// flushed and renamed over the target, so a kill mid-write leaves either
+/// the previous checkpoint or the new one — never a torn file.
+fn write_checkpoint(path: &std::path::Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// One stepping segment under `opts` (reference / parallel / sequential).
+fn step_net(net: &mut Network, to: Cycles, opts: SimOpts, sink: &mut dyn TelemetrySink) {
+    if opts.reference {
+        net.run_until_reference_with(to, sink);
+    } else if opts.threads > 1 {
+        net.run_until_parallel_with(to, opts.threads, sink);
+    } else {
+        net.run_until_with(to, sink);
+    }
+}
+
+/// Condenses a finished network into the [`SimOutcome`] record.
+fn outcome_of(
+    net: &mut Network,
+    rt_load: f64,
+    be_load: f64,
+    oversubscribed: bool,
+    end: Cycles,
+) -> SimOutcome {
+    let in_flight_at_end = net.note_truncated_messages();
+    SimOutcome {
+        jitter: net.delivery().summary(),
+        be_mean_latency_us: net.latency().mean_us(),
+        be_msgs: net.latency().count(),
+        rt_load,
+        be_load,
+        oversubscribed,
+        injected_msgs: net.injected_msgs(),
+        delivered_msgs: net.delivered_msgs(),
+        in_flight_at_end,
+        cycles: end.get(),
+        counters: net.counters(),
+        stall: net.stall_report().cloned(),
+        audit_violations: net.audit_log().map_or(0, |l| l.total()),
+    }
+}
+
 /// Shared body of [`run`] / [`run_opts`] / [`run_traced`].
 fn run_with(
     topology: &Topology,
@@ -266,29 +476,8 @@ fn run_with(
     let warmup = tb.cycles_from_secs(warmup_secs);
     let end = tb.cycles_from_secs(warmup_secs + measure_secs);
     net.set_warmup_end(warmup);
-    if opts.reference {
-        net.run_until_reference_with(end, sink);
-    } else if opts.threads > 1 {
-        net.run_until_parallel_with(end, opts.threads, sink);
-    } else {
-        net.run_until_with(end, sink);
-    }
-    let in_flight_at_end = net.note_truncated_messages();
-    SimOutcome {
-        jitter: net.delivery().summary(),
-        be_mean_latency_us: net.latency().mean_us(),
-        be_msgs: net.latency().count(),
-        rt_load,
-        be_load,
-        oversubscribed,
-        injected_msgs: net.injected_msgs(),
-        delivered_msgs: net.delivered_msgs(),
-        in_flight_at_end,
-        cycles: end.get(),
-        counters: net.counters(),
-        stall: net.stall_report().cloned(),
-        audit_violations: net.audit_log().map_or(0, |l| l.total()),
-    }
+    step_net(&mut net, end, opts, sink);
+    outcome_of(&mut net, rt_load, be_load, oversubscribed, end)
 }
 
 #[cfg(test)]
@@ -452,6 +641,93 @@ mod tests {
             long < short,
             "truncated share must shrink with the window: short {short} long {long}"
         );
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run() {
+        let topology = Topology::single_switch(8);
+        let cfg = RouterConfig::default();
+        let plain = run(&topology, workload(0.5, 80.0, 20.0, 31), &cfg, 0.01, 0.03);
+        let path = std::env::temp_dir().join("mediaworm_sim_ckpt_plain.snap");
+        let _ = std::fs::remove_file(&path);
+        let out = run_checkpointed(
+            &topology,
+            workload(0.5, 80.0, 20.0, 31),
+            &cfg,
+            0.01,
+            0.03,
+            SimOpts::standard(),
+            &CheckpointOpts::resumable(path.clone(), 20_000),
+        )
+        .expect("checkpointed run");
+        assert_eq!(plain.delivered_msgs, out.delivered_msgs);
+        assert_eq!(plain.injected_msgs, out.injected_msgs);
+        assert_eq!(plain.counters, out.counters);
+        assert_eq!(
+            plain.jitter.mean_ms.to_bits(),
+            out.jitter.mean_ms.to_bits(),
+            "periodic checkpointing must not perturb the statistics"
+        );
+        assert!(!path.exists(), "checkpoint must be removed on completion");
+    }
+
+    #[test]
+    fn resumed_run_is_bit_identical_to_uninterrupted() {
+        use crate::audit::WatchdogConfig;
+        let topology = Topology::single_switch(8);
+        let cfg = RouterConfig::default();
+        let plain = run(&topology, workload(0.6, 80.0, 20.0, 32), &cfg, 0.01, 0.03);
+
+        // Manufacture an interrupted run: step half-way under the same
+        // options run() uses, then leave its snapshot on disk.
+        let mut half = Network::new(&topology, workload(0.6, 80.0, 20.0, 32), &cfg);
+        half.enable_watchdog(WatchdogConfig::default());
+        let tb = half.timebase();
+        half.set_warmup_end(tb.cycles_from_secs(0.01));
+        half.run_until(tb.cycles_from_secs(0.02));
+        let path = std::env::temp_dir().join("mediaworm_sim_ckpt_resume.snap");
+        std::fs::write(&path, half.snapshot()).expect("write checkpoint");
+
+        let out = run_checkpointed(
+            &topology,
+            workload(0.6, 80.0, 20.0, 32),
+            &cfg,
+            0.01,
+            0.03,
+            SimOpts::standard(),
+            &CheckpointOpts::resumable(path.clone(), 0),
+        )
+        .expect("resumed run");
+        assert_eq!(plain.delivered_msgs, out.delivered_msgs);
+        assert_eq!(plain.counters, out.counters);
+        assert_eq!(plain.in_flight_at_end, out.in_flight_at_end);
+        assert_eq!(plain.jitter.mean_ms.to_bits(), out.jitter.mean_ms.to_bits());
+        assert_eq!(plain.jitter.std_ms.to_bits(), out.jitter.std_ms.to_bits());
+        assert_eq!(
+            plain.be_mean_latency_us.to_bits(),
+            out.be_mean_latency_us.to_bits()
+        );
+        assert!(!path.exists(), "checkpoint must be removed on completion");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error_not_a_silent_restart() {
+        let topology = Topology::single_switch(8);
+        let cfg = RouterConfig::default();
+        let path = std::env::temp_dir().join("mediaworm_sim_ckpt_corrupt.snap");
+        std::fs::write(&path, b"not a snapshot").expect("write garbage");
+        let err = run_checkpointed(
+            &topology,
+            workload(0.5, 80.0, 20.0, 33),
+            &cfg,
+            0.01,
+            0.02,
+            SimOpts::standard(),
+            &CheckpointOpts::resumable(path.clone(), 0),
+        )
+        .expect_err("garbage checkpoint must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! fields at route/arbitration time, which the pipeline model enforces
 //! structurally.
 
+use std::borrow::Borrow;
+
+use netsim::snap::{SnapError, SnapReader, SnapWriter};
 use netsim::Cycles;
 
 use crate::class::TrafficClass;
@@ -158,6 +161,68 @@ impl Flit {
     pub fn is_last_msg_of_frame(&self) -> bool {
         self.msg_seq_in_frame + 1 == self.msgs_in_frame
     }
+
+    /// Serialises the flit into a snapshot.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self.kind {
+            FlitKind::Head => 0,
+            FlitKind::Body => 1,
+            FlitKind::Tail => 2,
+            FlitKind::HeadTail => 3,
+        });
+        w.u32(self.stream.0);
+        w.u64(self.msg.0);
+        w.u32(self.frame.0);
+        w.u32(self.seq_in_msg);
+        w.u32(self.msg_len);
+        w.u32(self.msg_seq_in_frame);
+        w.u32(self.msgs_in_frame);
+        w.u32(self.dest.0);
+        w.u32(self.vc.0);
+        w.u32(self.out_vc.0);
+        w.f64(self.vtick);
+        w.u8(match self.class {
+            TrafficClass::Cbr => 0,
+            TrafficClass::Vbr => 1,
+            TrafficClass::BestEffort => 2,
+        });
+        w.u64(self.created_at.0);
+    }
+
+    /// Restores a flit saved by [`Flit::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decoding errors.
+    pub fn load(r: &mut SnapReader<'_>) -> Result<Flit, SnapError> {
+        Ok(Flit {
+            kind: match r.u8()? {
+                0 => FlitKind::Head,
+                1 => FlitKind::Body,
+                2 => FlitKind::Tail,
+                3 => FlitKind::HeadTail,
+                _ => return Err(SnapError::BadValue("flit kind tag")),
+            },
+            stream: StreamId(r.u32()?),
+            msg: MsgId(r.u64()?),
+            frame: FrameId(r.u32()?),
+            seq_in_msg: r.u32()?,
+            msg_len: r.u32()?,
+            msg_seq_in_frame: r.u32()?,
+            msgs_in_frame: r.u32()?,
+            dest: NodeId(r.u32()?),
+            vc: VcId(r.u32()?),
+            out_vc: VcId(r.u32()?),
+            vtick: r.f64()?,
+            class: match r.u8()? {
+                0 => TrafficClass::Cbr,
+                1 => TrafficClass::Vbr,
+                2 => TrafficClass::BestEffort,
+                _ => return Err(SnapError::BadValue("traffic class tag")),
+            },
+            created_at: Cycles(r.u64()?),
+        })
+    }
 }
 
 /// Checks that a FIFO flit sequence is a well-formed run of worm
@@ -171,12 +236,17 @@ impl Flit {
 /// The sequence may begin mid-message (the head has already moved on) and
 /// end mid-message (the tail has not arrived yet). Returns a description
 /// of the first violation, or `None` when the sequence is well-formed.
-pub fn worm_order_violation<'a, I>(flits: I) -> Option<String>
+///
+/// Items may be owned flits (the struct-of-arrays [`crate::VcBuffer`]
+/// assembles them by value) or references.
+pub fn worm_order_violation<I>(flits: I) -> Option<String>
 where
-    I: IntoIterator<Item = &'a Flit>,
+    I: IntoIterator,
+    I::Item: Borrow<Flit>,
 {
-    let mut prev: Option<&Flit> = None;
+    let mut prev: Option<Flit> = None;
     for f in flits {
+        let f = *f.borrow();
         if let Some(p) = prev {
             if p.msg == f.msg {
                 if p.kind.is_tail() {
@@ -304,8 +374,10 @@ mod tests {
         assert_eq!(worm_order_violation(a[1..].iter()), None);
         assert_eq!(worm_order_violation(a[..2].iter()), None);
         // Empty and single-flit sequences are trivially fine.
-        assert_eq!(worm_order_violation([].into_iter()), None);
+        assert_eq!(worm_order_violation(std::iter::empty::<&Flit>()), None);
         assert_eq!(worm_order_violation([&a[1]].into_iter()), None);
+        // Owned items work too (the SoA buffer yields flits by value).
+        assert_eq!(worm_order_violation(a.iter().copied()), None);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use std::collections::VecDeque;
 
+use netsim::snap::{SnapError, SnapReader, SnapWriter};
 use netsim::Cycles;
 
 use crate::flit::Flit;
@@ -106,6 +107,40 @@ impl Link {
     pub fn iter_in_flight(&self) -> impl Iterator<Item = &Flit> {
         self.in_flight.iter().map(|(_, f)| f)
     }
+
+    /// Serialises the wire state (in-flight flits with their arrival
+    /// cycles, plus the bandwidth-gate timestamp) into a snapshot.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.option(self.last_send, |w, at| w.u64(at.0));
+        w.usize(self.in_flight.len());
+        for (at, f) in &self.in_flight {
+            w.u64(at.0);
+            f.save(w);
+        }
+    }
+
+    /// Restores wire state saved by [`Link::save`] into this (idle) link.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decoding errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is not idle.
+    pub fn load_into(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        assert!(
+            self.in_flight.is_empty(),
+            "restore target link must be idle"
+        );
+        self.last_send = r.option(|r| r.u64().map(Cycles))?;
+        let n = r.usize()?;
+        for _ in 0..n {
+            let at = Cycles(r.u64()?);
+            self.in_flight.push_back((at, Flit::load(r)?));
+        }
+        Ok(())
+    }
 }
 
 /// The upstream credit-return path paired with a [`Link`].
@@ -167,6 +202,38 @@ impl CreditLink {
     /// Read-only visibility for the audit layer's conservation checks.
     pub fn iter_in_flight(&self) -> impl Iterator<Item = VcId> + '_ {
         self.in_flight.iter().map(|(_, vc)| *vc)
+    }
+
+    /// Serialises the in-flight credits into a snapshot.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.in_flight.len());
+        for &(at, vc) in &self.in_flight {
+            w.u64(at.0);
+            w.u32(vc.0);
+        }
+    }
+
+    /// Restores credits saved by [`CreditLink::save`] into this (idle)
+    /// credit path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decoding errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the credit path is not idle.
+    pub fn load_into(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        assert!(
+            self.in_flight.is_empty(),
+            "restore target credit link must be idle"
+        );
+        let n = r.usize()?;
+        for _ in 0..n {
+            let at = Cycles(r.u64()?);
+            self.in_flight.push_back((at, VcId(r.u32()?)));
+        }
+        Ok(())
     }
 }
 

@@ -1,14 +1,50 @@
-//! Bounded per-virtual-channel flit buffers.
+//! Bounded per-virtual-channel flit buffers, stored struct-of-arrays.
 //!
 //! Each input port of the router holds one [`VcBuffer`] per virtual channel
 //! (the paper's configuration: 20-flit buffers). Occupancy is governed by
 //! credit-based flow control — the upstream sender only transmits when it
 //! holds a credit, so `push` overflowing indicates a protocol bug and
 //! panics rather than dropping flits.
+//!
+//! # Layout
+//!
+//! The buffer is a fixed-capacity ring with one parallel lane per [`Flit`]
+//! field rather than a `VecDeque<Flit>`. Two things want this:
+//!
+//! * the audit/occupancy scans that read a single field of every buffered
+//!   flit (e.g. [`VcBuffer::classes`]) touch one dense lane instead of
+//!   striding through 96-byte structs, and
+//! * the checkpoint format serialises each lane as a contiguous run, so
+//!   the on-disk layout mirrors the in-memory one.
+//!
+//! The head flit — the only one the router hot path inspects — is
+//! memoized in assembled form, so [`VcBuffer::head`] stays a plain
+//! reference with no per-access reassembly.
 
-use std::collections::VecDeque;
+use netsim::snap::{SnapError, SnapReader, SnapWriter};
 
-use crate::flit::Flit;
+use crate::class::TrafficClass;
+use crate::flit::{Flit, FlitKind};
+use crate::ids::{FrameId, MsgId, NodeId, StreamId, VcId};
+use netsim::Cycles;
+
+/// Placeholder for unoccupied slots and the empty-buffer head memo.
+const VACANT: Flit = Flit {
+    kind: FlitKind::HeadTail,
+    stream: StreamId(0),
+    msg: MsgId(0),
+    frame: FrameId(0),
+    seq_in_msg: 0,
+    msg_len: 1,
+    msg_seq_in_frame: 0,
+    msgs_in_frame: 1,
+    dest: NodeId(0),
+    vc: VcId(0),
+    out_vc: VcId(0),
+    vtick: 0.0,
+    class: TrafficClass::BestEffort,
+    created_at: Cycles(0),
+};
 
 /// A bounded FIFO of flits with a fixed capacity.
 ///
@@ -24,8 +60,25 @@ use crate::flit::Flit;
 /// ```
 #[derive(Debug, Clone)]
 pub struct VcBuffer {
-    flits: VecDeque<Flit>,
-    capacity: usize,
+    cap: usize,
+    head: usize,
+    len: usize,
+    /// The assembled flit at the ring head; [`VACANT`] while empty.
+    head_flit: Flit,
+    kind: Box<[FlitKind]>,
+    stream: Box<[u32]>,
+    msg: Box<[u64]>,
+    frame: Box<[u32]>,
+    seq_in_msg: Box<[u32]>,
+    msg_len: Box<[u32]>,
+    msg_seq_in_frame: Box<[u32]>,
+    msgs_in_frame: Box<[u32]>,
+    dest: Box<[u32]>,
+    vc: Box<[u32]>,
+    out_vc: Box<[u32]>,
+    vtick: Box<[f64]>,
+    class: Box<[TrafficClass]>,
+    created_at: Box<[u64]>,
 }
 
 impl VcBuffer {
@@ -37,34 +90,70 @@ impl VcBuffer {
     pub fn new(capacity: usize) -> VcBuffer {
         assert!(capacity > 0, "a VC buffer must hold at least one flit");
         VcBuffer {
-            flits: VecDeque::with_capacity(capacity),
-            capacity,
+            cap: capacity,
+            head: 0,
+            len: 0,
+            head_flit: VACANT,
+            kind: vec![VACANT.kind; capacity].into_boxed_slice(),
+            stream: vec![0; capacity].into_boxed_slice(),
+            msg: vec![0; capacity].into_boxed_slice(),
+            frame: vec![0; capacity].into_boxed_slice(),
+            seq_in_msg: vec![0; capacity].into_boxed_slice(),
+            msg_len: vec![0; capacity].into_boxed_slice(),
+            msg_seq_in_frame: vec![0; capacity].into_boxed_slice(),
+            msgs_in_frame: vec![0; capacity].into_boxed_slice(),
+            dest: vec![0; capacity].into_boxed_slice(),
+            vc: vec![0; capacity].into_boxed_slice(),
+            out_vc: vec![0; capacity].into_boxed_slice(),
+            vtick: vec![0.0; capacity].into_boxed_slice(),
+            class: vec![VACANT.class; capacity].into_boxed_slice(),
+            created_at: vec![0; capacity].into_boxed_slice(),
         }
     }
 
     /// Maximum number of flits the buffer can hold.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.cap
     }
 
     /// Current number of buffered flits.
     pub fn len(&self) -> usize {
-        self.flits.len()
+        self.len
     }
 
     /// Whether the buffer holds no flits.
     pub fn is_empty(&self) -> bool {
-        self.flits.is_empty()
+        self.len == 0
     }
 
     /// Whether the buffer is at capacity.
     pub fn is_full(&self) -> bool {
-        self.flits.len() >= self.capacity
+        self.len >= self.cap
     }
 
     /// Remaining space in flits.
     pub fn free_space(&self) -> usize {
-        self.capacity - self.flits.len()
+        self.cap - self.len
+    }
+
+    /// Assembles the flit stored in ring slot `slot`.
+    fn get(&self, slot: usize) -> Flit {
+        Flit {
+            kind: self.kind[slot],
+            stream: StreamId(self.stream[slot]),
+            msg: MsgId(self.msg[slot]),
+            frame: FrameId(self.frame[slot]),
+            seq_in_msg: self.seq_in_msg[slot],
+            msg_len: self.msg_len[slot],
+            msg_seq_in_frame: self.msg_seq_in_frame[slot],
+            msgs_in_frame: self.msgs_in_frame[slot],
+            dest: NodeId(self.dest[slot]),
+            vc: VcId(self.vc[slot]),
+            out_vc: VcId(self.out_vc[slot]),
+            vtick: self.vtick[slot],
+            class: self.class[slot],
+            created_at: Cycles(self.created_at[slot]),
+        }
     }
 
     /// Appends a flit.
@@ -78,34 +167,99 @@ impl VcBuffer {
         assert!(
             !self.is_full(),
             "VC buffer overflow: credit protocol violated (capacity {})",
-            self.capacity
+            self.cap
         );
-        self.flits.push_back(flit);
+        let slot = (self.head + self.len) % self.cap;
+        self.kind[slot] = flit.kind;
+        self.stream[slot] = flit.stream.0;
+        self.msg[slot] = flit.msg.0;
+        self.frame[slot] = flit.frame.0;
+        self.seq_in_msg[slot] = flit.seq_in_msg;
+        self.msg_len[slot] = flit.msg_len;
+        self.msg_seq_in_frame[slot] = flit.msg_seq_in_frame;
+        self.msgs_in_frame[slot] = flit.msgs_in_frame;
+        self.dest[slot] = flit.dest.0;
+        self.vc[slot] = flit.vc.0;
+        self.out_vc[slot] = flit.out_vc.0;
+        self.vtick[slot] = flit.vtick;
+        self.class[slot] = flit.class;
+        self.created_at[slot] = flit.created_at.0;
+        if self.len == 0 {
+            self.head_flit = flit;
+        }
+        self.len += 1;
     }
 
     /// The flit at the head of the FIFO, if any.
     pub fn head(&self) -> Option<&Flit> {
-        self.flits.front()
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.head_flit)
+        }
     }
 
     /// Removes and returns the head flit.
     pub fn pop(&mut self) -> Option<Flit> {
-        self.flits.pop_front()
+        if self.len == 0 {
+            return None;
+        }
+        let popped = self.head_flit;
+        self.head = (self.head + 1) % self.cap;
+        self.len -= 1;
+        self.head_flit = if self.len == 0 {
+            VACANT
+        } else {
+            self.get(self.head)
+        };
+        Some(popped)
     }
 
-    /// Iterates over buffered flits, head first.
-    pub fn iter(&self) -> impl Iterator<Item = &Flit> {
-        self.flits.iter()
+    /// Iterates over buffered flits, head first (assembled by value).
+    pub fn iter(&self) -> impl Iterator<Item = Flit> + '_ {
+        (0..self.len).map(move |i| self.get((self.head + i) % self.cap))
+    }
+
+    /// Iterates over just the traffic classes of the buffered flits, head
+    /// first — a single-lane scan for occupancy accounting.
+    pub fn classes(&self) -> impl Iterator<Item = TrafficClass> + '_ {
+        (0..self.len).map(move |i| self.class[(self.head + i) % self.cap])
+    }
+
+    /// Serialises the buffered flits (not the capacity, which is
+    /// configuration) into a snapshot.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.len);
+        for f in self.iter() {
+            f.save(w);
+        }
+    }
+
+    /// Restores flits saved by [`VcBuffer::save`] into this (empty) buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding errors; rejects a flit count beyond capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is not empty.
+    pub fn load_into(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        assert!(self.is_empty(), "restore target buffer must be empty");
+        let n = r.usize()?;
+        if n > self.free_space() {
+            return Err(SnapError::BadValue("VC buffer occupancy over capacity"));
+        }
+        for _ in 0..n {
+            self.push(Flit::load(r)?);
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::FlitKind;
-    use crate::ids::{FrameId, MsgId, NodeId, StreamId, VcId};
-    use crate::TrafficClass;
-    use netsim::Cycles;
 
     fn flit(seq: u32) -> Flit {
         Flit {
@@ -155,6 +309,64 @@ mod tests {
         assert_eq!(buf.free_space(), 2);
         buf.pop();
         assert_eq!(buf.free_space(), 3);
+    }
+
+    #[test]
+    fn ring_wraparound_preserves_flits_exactly() {
+        let mut buf = VcBuffer::new(3);
+        // Drive the ring through several full wraps with mixed occupancy.
+        let mut next = 0u32;
+        let mut expected = std::collections::VecDeque::new();
+        for step in 0..20 {
+            if step % 3 != 2 && !buf.is_full() {
+                let mut f = flit(next);
+                f.msg = MsgId(u64::from(next) * 7);
+                f.vtick = f64::from(next) + 0.5;
+                buf.push(f);
+                expected.push_back(f);
+                next += 1;
+            } else if !buf.is_empty() {
+                assert_eq!(buf.pop(), expected.pop_front());
+            }
+            assert_eq!(buf.head(), expected.front());
+            let got: Vec<Flit> = buf.iter().collect();
+            let want: Vec<Flit> = expected.iter().copied().collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn classes_scans_one_lane() {
+        let mut buf = VcBuffer::new(4);
+        let mut cbr = flit(0);
+        cbr.class = TrafficClass::Cbr;
+        buf.push(cbr);
+        buf.push(flit(1));
+        let classes: Vec<TrafficClass> = buf.classes().collect();
+        assert_eq!(classes, vec![TrafficClass::Cbr, TrafficClass::Vbr]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_after_wraparound() {
+        let mut buf = VcBuffer::new(4);
+        for i in 0..4 {
+            buf.push(flit(i));
+        }
+        buf.pop();
+        buf.pop();
+        buf.push(flit(10)); // wraps
+        let mut w = SnapWriter::new();
+        buf.save(&mut w);
+        let bytes = w.finish();
+        let mut restored = VcBuffer::new(4);
+        let mut r = SnapReader::new(&bytes).unwrap();
+        restored.load_into(&mut r).unwrap();
+        r.finish().unwrap();
+        let a: Vec<Flit> = buf.iter().collect();
+        let b: Vec<Flit> = restored.iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(restored.head(), buf.head());
+        assert_eq!(restored.len(), 3);
     }
 
     #[test]

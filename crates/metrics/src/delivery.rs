@@ -1,6 +1,7 @@
 //! Frame delivery interval (jitter) tracking.
 
 use flitnet::StreamId;
+use netsim::snap::{SnapError, SnapReader, SnapWriter};
 use netsim::{Cycles, Histogram, RunningStats, TimeBase};
 
 /// Aggregated jitter results for a set of real-time streams.
@@ -198,6 +199,47 @@ impl DeliveryTracker {
             .filter(|(_, s)| !s.is_empty())
             .map(|(i, s)| (StreamId(i as u32), s.mean()))
             .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Serialises the tracker's accumulated state into a snapshot (the
+    /// time base is construction-time configuration and is not written).
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.last.len());
+        for &l in &self.last {
+            w.option(l, |w, at| w.u64(at.0));
+        }
+        self.intervals.save(w);
+        w.usize(self.per_stream.len());
+        for s in &self.per_stream {
+            s.save(w);
+        }
+        self.histogram.save(w);
+        w.u64(self.frames);
+        w.u64(self.warmup_end.0);
+    }
+
+    /// Restores state saved by [`DeliveryTracker::save`] into this
+    /// freshly-constructed tracker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decoding errors.
+    pub fn load_into(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        self.last.clear();
+        for _ in 0..n {
+            self.last.push(r.option(|r| r.u64().map(Cycles))?);
+        }
+        self.intervals = RunningStats::load(r)?;
+        let n = r.usize()?;
+        self.per_stream.clear();
+        for _ in 0..n {
+            self.per_stream.push(RunningStats::load(r)?);
+        }
+        self.histogram = Histogram::load(r)?;
+        self.frames = r.u64()?;
+        self.warmup_end = Cycles(r.u64()?);
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! Best-effort message latency tracking.
 
+use netsim::snap::{SnapError, SnapReader, SnapWriter};
 use netsim::{Cycles, RunningStats, TimeBase};
 
 /// Accumulates message latencies (creation → tail delivery) and reports the
@@ -119,6 +120,27 @@ impl LatencyTracker {
     /// truncation); see [`LatencyTracker::note_censored`].
     pub fn censored(&self) -> u64 {
         self.censored
+    }
+
+    /// Serialises the tracker's accumulated state into a snapshot (the
+    /// time base is construction-time configuration and is not written).
+    pub fn save(&self, w: &mut SnapWriter) {
+        self.stats.save(w);
+        w.u64(self.warmup_end.0);
+        w.u64(self.censored);
+    }
+
+    /// Restores state saved by [`LatencyTracker::save`] into this
+    /// freshly-constructed tracker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decoding errors.
+    pub fn load_into(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.stats = RunningStats::load(r)?;
+        self.warmup_end = Cycles(r.u64()?);
+        self.censored = r.u64()?;
+        Ok(())
     }
 }
 

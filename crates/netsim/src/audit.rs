@@ -34,6 +34,8 @@
 
 use std::fmt;
 
+use crate::snap::{SnapError, SnapReader, SnapWriter};
+
 /// The invariant a [`Violation`] breaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ViolationKind {
@@ -73,6 +75,31 @@ impl ViolationKind {
             ViolationKind::GrantWithoutOwner => "grant-without-owner",
             ViolationKind::ActiveSetDesync => "active-set-desync",
         }
+    }
+
+    fn to_tag(self) -> u8 {
+        match self {
+            ViolationKind::CreditConservation => 0,
+            ViolationKind::CreditOverflow => 1,
+            ViolationKind::FlitConservation => 2,
+            ViolationKind::WormOrder => 3,
+            ViolationKind::StagingOverflow => 4,
+            ViolationKind::GrantWithoutOwner => 5,
+            ViolationKind::ActiveSetDesync => 6,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<ViolationKind, SnapError> {
+        Ok(match tag {
+            0 => ViolationKind::CreditConservation,
+            1 => ViolationKind::CreditOverflow,
+            2 => ViolationKind::FlitConservation,
+            3 => ViolationKind::WormOrder,
+            4 => ViolationKind::StagingOverflow,
+            5 => ViolationKind::GrantWithoutOwner,
+            6 => ViolationKind::ActiveSetDesync,
+            _ => return Err(SnapError::BadValue("violation kind tag")),
+        })
     }
 }
 
@@ -158,6 +185,45 @@ impl AuditLog {
     pub fn violations(&self) -> &[Violation] {
         &self.violations
     }
+
+    /// Serialises the log into a snapshot.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.total);
+        w.usize(self.violations.len());
+        for v in &self.violations {
+            w.u64(v.cycle);
+            w.option(v.router, |w, r| w.u32(r));
+            w.u32(v.port);
+            w.u32(v.vc);
+            w.u8(v.kind.to_tag());
+            w.str(&v.detail);
+        }
+    }
+
+    /// Restores a log saved by [`AuditLog::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decoding errors.
+    pub fn load(r: &mut SnapReader<'_>) -> Result<AuditLog, SnapError> {
+        let total = r.u64()?;
+        let n = r.usize()?;
+        if n > AuditLog::MAX_STORED {
+            return Err(SnapError::BadValue("stored violation count"));
+        }
+        let mut violations = Vec::with_capacity(n);
+        for _ in 0..n {
+            violations.push(Violation {
+                cycle: r.u64()?,
+                router: r.option(|r| r.u32())?,
+                port: r.u32()?,
+                vc: r.u32()?,
+                kind: ViolationKind::from_tag(r.u8()?)?,
+                detail: r.str()?,
+            });
+        }
+        Ok(AuditLog { violations, total })
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +282,28 @@ mod tests {
             ..violation(7)
         };
         assert!(endpoint.to_string().contains("node 1"));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_log() {
+        use crate::snap::{SnapReader, SnapWriter};
+        let mut log = AuditLog::new();
+        for c in 0..70 {
+            log.record(violation(c));
+        }
+        log.record(Violation {
+            router: None,
+            kind: ViolationKind::ActiveSetDesync,
+            ..violation(71)
+        });
+        let mut w = SnapWriter::new();
+        log.save(&mut w);
+        let buf = w.finish();
+        let mut r = SnapReader::new(&buf).unwrap();
+        let back = AuditLog::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.total(), log.total());
+        assert_eq!(back.violations(), log.violations());
     }
 
     #[test]

@@ -121,6 +121,39 @@ impl<T> Calendar<T> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Every pending entry as `(at, seq, payload)`, sorted by `(at, seq)`
+    /// — i.e. in pop order. For checkpointing.
+    pub fn snapshot_entries(&self) -> Vec<(Cycles, u64, &T)> {
+        let mut out: Vec<(Cycles, u64, &T)> = self
+            .heap
+            .iter()
+            .map(|e| (e.at, e.seq, &e.payload))
+            .collect();
+        out.sort_by_key(|&(at, seq, _)| (at, seq));
+        out
+    }
+
+    /// The sequence number the next [`Calendar::schedule`] will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Rebuilds a calendar from checkpointed entries, preserving the original
+    /// sequence numbers (and therefore the exact pop order).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any entry's `seq` is `>= next_seq`, which
+    /// would let a later [`Calendar::schedule`] collide with it.
+    pub fn from_snapshot(entries: Vec<(Cycles, u64, T)>, next_seq: u64) -> Calendar<T> {
+        let mut heap = BinaryHeap::with_capacity(entries.len());
+        for (at, seq, payload) in entries {
+            debug_assert!(seq < next_seq, "entry seq {seq} >= next_seq {next_seq}");
+            heap.push(Entry { at, seq, payload });
+        }
+        Calendar { heap, next_seq }
+    }
 }
 
 impl<T> std::fmt::Debug for Calendar<T> {
@@ -193,6 +226,25 @@ mod tests {
         assert_eq!(cal.len(), 1);
         cal.clear();
         assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_pop_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(Cycles(9), 'c');
+        cal.schedule(Cycles(4), 'a');
+        cal.schedule(Cycles(4), 'b');
+        let _ = cal.pop(); // consume 'a' so seqs are non-contiguous
+        let entries: Vec<(Cycles, u64, char)> = cal
+            .snapshot_entries()
+            .into_iter()
+            .map(|(at, seq, p)| (at, seq, *p))
+            .collect();
+        let mut rebuilt = Calendar::from_snapshot(entries, cal.next_seq());
+        rebuilt.schedule(Cycles(4), 'd'); // new events sort after old same-cycle ones
+        assert_eq!(rebuilt.pop(), Some((Cycles(4), 'b')));
+        assert_eq!(rebuilt.pop(), Some((Cycles(4), 'd')));
+        assert_eq!(rebuilt.pop(), Some((Cycles(9), 'c')));
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //!   that the simulators' audit mode files findings into.
 //! * [`par`] — the raw shared-slice / shared-cell views the deterministic
 //!   parallel stepper partitions its state through.
+//! * [`snap`] — the versioned, checksummed binary codec that deterministic
+//!   checkpoint/restore serialises simulation state through.
 //!
 //! # Example
 //!
@@ -49,6 +51,7 @@ pub mod calendar;
 pub mod dist;
 pub mod par;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -56,6 +59,7 @@ pub mod time;
 pub use audit::{AuditLog, Violation, ViolationKind};
 pub use calendar::Calendar;
 pub use rng::SimRng;
+pub use snap::{SnapError, SnapReader, SnapWriter};
 pub use stats::{Histogram, RunningStats};
 pub use telemetry::{FlitEvent, FlitEventKind, JsonlSink, NoopSink, TelemetrySink};
 pub use time::{Cycles, TimeBase};

@@ -6,6 +6,8 @@
 //! pass without storing samples; [`Histogram`] supports percentile queries
 //! for the extended analyses.
 
+use crate::snap::{SnapError, SnapReader, SnapWriter};
+
 /// Single-pass mean / variance / extrema accumulator (Welford's algorithm).
 ///
 /// # Example
@@ -129,6 +131,30 @@ impl RunningStats {
             self.max
         }
     }
+
+    /// Serialises the accumulator into a snapshot.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.n);
+        w.f64(self.mean);
+        w.f64(self.m2);
+        w.f64(self.min);
+        w.f64(self.max);
+    }
+
+    /// Restores an accumulator saved by [`RunningStats::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decoding errors.
+    pub fn load(r: &mut SnapReader<'_>) -> Result<RunningStats, SnapError> {
+        Ok(RunningStats {
+            n: r.u64()?,
+            mean: r.f64()?,
+            m2: r.f64()?,
+            min: r.f64()?,
+            max: r.f64()?,
+        })
+    }
 }
 
 impl Extend<f64> for RunningStats {
@@ -244,7 +270,15 @@ impl Histogram {
     }
 
     /// Approximate percentile (0–100) by linear interpolation within the
-    /// containing bucket. Underflow counts as `lo`, overflow as `hi`.
+    /// containing bucket.
+    ///
+    /// The out-of-range buckets clamp rather than extrapolate: a target
+    /// rank that falls among the underflow samples reports `lo`, and one
+    /// that falls among the overflow samples reports `hi` — so with any
+    /// overflow at all, `percentile(100.0)` is exactly `hi` regardless of
+    /// how far beyond the range the samples actually were. Callers that
+    /// need to detect the clamp should check [`Histogram::overflow`] /
+    /// [`Histogram::underflow`] (or compare against [`Histogram::hi`]).
     ///
     /// # Panics
     ///
@@ -260,12 +294,74 @@ impl Histogram {
         let w = (self.hi - self.lo) / self.buckets.len() as f64;
         for (i, &c) in self.buckets.iter().enumerate() {
             if seen + c >= target {
-                let into = (target - seen) as f64 / c.max(1) as f64;
+                // Reaching here with `seen < target` forces `c >= target - seen
+                // >= 1`; an empty bucket satisfying the branch would mean the
+                // running tally is corrupt, so assert instead of masking it.
+                debug_assert!(c > 0, "empty bucket cannot contain the target rank");
+                let into = (target - seen) as f64 / c as f64;
                 return self.lo + (i as f64 + into) * w;
             }
             seen += c;
         }
+        // The target rank lies among the overflow samples: clamp to `hi`.
+        debug_assert!(seen + self.overflow >= target, "count/bucket tally desync");
         self.hi
+    }
+
+    /// Lower bound of the bucketed range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the bucketed range (the value overflow percentiles
+    /// clamp to).
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Serialises the histogram into a snapshot.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.f64(self.lo);
+        w.f64(self.hi);
+        w.usize(self.buckets.len());
+        for &b in &self.buckets {
+            w.u64(b);
+        }
+        w.u64(self.underflow);
+        w.u64(self.overflow);
+        w.u64(self.non_finite);
+        w.u64(self.count);
+    }
+
+    /// Restores a histogram saved by [`Histogram::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decoding errors; rejects an empty bucket vector
+    /// or an inverted range.
+    pub fn load(r: &mut SnapReader<'_>) -> Result<Histogram, SnapError> {
+        let lo = r.f64()?;
+        let hi = r.f64()?;
+        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
+            return Err(SnapError::BadValue("histogram range"));
+        }
+        let n = r.usize()?;
+        if n == 0 {
+            return Err(SnapError::BadValue("histogram bucket count"));
+        }
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            buckets.push(r.u64()?);
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            buckets,
+            underflow: r.u64()?,
+            overflow: r.u64()?,
+            non_finite: r.u64()?,
+            count: r.u64()?,
+        })
     }
 }
 
@@ -359,6 +455,42 @@ mod tests {
     fn percentile_of_empty_panics() {
         let h = Histogram::new(0.0, 1.0, 4);
         let _ = h.percentile(50.0);
+    }
+
+    #[test]
+    fn overflow_percentiles_clamp_to_hi() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(5.0);
+        h.record(100.0);
+        h.record(2000.0);
+        // Ranks falling among the overflow samples report exactly `hi`,
+        // however far beyond the range the samples were.
+        assert_eq!(h.percentile(100.0), h.hi());
+        assert_eq!(h.percentile(90.0), h.hi());
+        assert_eq!(h.overflow(), 2);
+        // The in-range rank still interpolates inside its bucket.
+        let p33 = h.percentile(33.0);
+        assert!((5.0..=6.0).contains(&p33), "p33 = {p33}");
+    }
+
+    #[test]
+    fn stats_and_histogram_snapshot_round_trip() {
+        use crate::snap::{SnapReader, SnapWriter};
+        let s: RunningStats = [1.5, -2.0, 7.25, 0.0].into_iter().collect();
+        let mut h = Histogram::new(0.0, 10.0, 8);
+        for x in [-3.0, 0.5, 5.0, 9.9, 42.0, f64::NAN] {
+            h.record(x);
+        }
+        let mut w = SnapWriter::new();
+        s.save(&mut w);
+        h.save(&mut w);
+        let buf = w.finish();
+        let mut r = SnapReader::new(&buf).unwrap();
+        let s2 = RunningStats::load(&mut r).unwrap();
+        let h2 = Histogram::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(s, s2);
+        assert_eq!(h, h2);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use flitnet::{
     Flit, FlitKind, FrameId, MsgId, NodeId, StreamId, TrafficClass, VcId, BEST_EFFORT_VTICK,
 };
 use netsim::dist::{Distribution, Exponential};
+use netsim::snap::{SnapError, SnapReader, SnapWriter};
 use netsim::{Cycles, SimRng};
 
 use crate::spec::{ArrivalProcess, WorkloadSpec};
@@ -145,6 +146,27 @@ impl BestEffortSource {
             vc_in,
             flits: Flit::flitify(template),
         }
+    }
+
+    /// Serialises the source's generation state (next injection time and
+    /// message counter) into a snapshot. The rate/VC configuration is
+    /// derived from the workload spec and is not written.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.next_at.0);
+        w.u32(self.msg_counter);
+    }
+
+    /// Restores state saved by [`BestEffortSource::save`] into this
+    /// freshly-constructed source (overwriting the random phase drawn at
+    /// construction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decoding errors.
+    pub fn load_into(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.next_at = Cycles(r.u64()?);
+        self.msg_counter = r.u32()?;
+        Ok(())
     }
 }
 

@@ -2,6 +2,7 @@
 
 use flitnet::{Flit, FlitKind, FrameId, MsgId, NodeId, StreamId, TrafficClass, VcId};
 use netsim::dist::{Constant, Distribution, Normal};
+use netsim::snap::{SnapError, SnapReader, SnapWriter};
 use netsim::{Cycles, SimRng, TimeBase};
 
 use crate::spec::{FrameModel, StreamClass, WorkloadSpec};
@@ -269,6 +270,55 @@ impl RealTimeStream {
     /// The time base used for cycle conversions (handy for tests).
     pub fn timebase(&self) -> TimeBase {
         self.timebase
+    }
+
+    /// Serialises the stream's generation state (frame position, pending
+    /// message lengths, GOP cursor) into a snapshot. The structural fields
+    /// (endpoints, VCs, Vtick, sizer parameters) are derived from the
+    /// workload spec and are not written.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.u32(self.frame_idx);
+        w.u64(self.frame_start.0);
+        w.usize(self.pending.len());
+        for &len in &self.pending {
+            w.u32(len);
+        }
+        w.u32(self.msgs_in_frame);
+        w.u64(self.msg_gap.0);
+        w.u32(self.next_msg_seq);
+        w.usize(match &self.frame_sizer {
+            FrameSizer::Gop { idx, .. } => *idx,
+            _ => 0,
+        });
+    }
+
+    /// Restores generation state saved by [`RealTimeStream::save`] into
+    /// this freshly-constructed stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decoding errors; rejects a GOP cursor on a
+    /// non-GOP sizer.
+    pub fn load_into(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.frame_idx = r.u32()?;
+        self.frame_start = Cycles(r.u64()?);
+        let n = r.usize()?;
+        self.pending.clear();
+        for _ in 0..n {
+            self.pending.push(r.u32()?);
+        }
+        self.msgs_in_frame = r.u32()?;
+        self.msg_gap = Cycles(r.u64()?);
+        self.next_msg_seq = r.u32()?;
+        let gop_idx = r.usize()?;
+        match &mut self.frame_sizer {
+            FrameSizer::Gop { idx, .. } => *idx = gop_idx,
+            _ if gop_idx != 0 => {
+                return Err(SnapError::BadValue("GOP cursor on a non-GOP frame sizer"))
+            }
+            _ => {}
+        }
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! Building complete traffic-mix workloads (paper §4.2.3).
 
 use flitnet::{Flit, NodeId, StreamId, TrafficClass, VcId, VcPartition};
+use netsim::snap::{SnapError, SnapReader, SnapWriter};
 use netsim::{Cycles, SimRng};
 
 use crate::besteffort::BestEffortSource;
@@ -116,6 +117,59 @@ impl Workload {
             Source::RealTime(s) => s.next_message(&mut self.rng, &mut self.next_msg_id),
             Source::BestEffort(s) => s.next_message(&mut self.rng, &mut self.next_msg_id),
         }
+    }
+
+    /// Serialises the workload's generation state into a snapshot: the
+    /// shared RNG stream, the global message-id counter, and every
+    /// source's position. The source roster itself is a pure function of
+    /// the builder inputs and is not written.
+    pub fn save(&self, w: &mut SnapWriter) {
+        for &word in &self.rng.state() {
+            w.u64(word);
+        }
+        w.u64(self.next_msg_id);
+        w.usize(self.sources.len());
+        for src in &self.sources {
+            match src {
+                Source::RealTime(s) => {
+                    w.u8(0);
+                    s.save(w);
+                }
+                Source::BestEffort(s) => {
+                    w.u8(1);
+                    s.save(w);
+                }
+            }
+        }
+    }
+
+    /// Restores state saved by [`Workload::save`] into this workload,
+    /// which must have been rebuilt from the *same* builder inputs (same
+    /// node count, partition, spec, load, mix, class and seed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decoding errors; rejects a source roster whose
+    /// length or per-source kinds disagree with the snapshot.
+    pub fn load_into(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        if state.iter().all(|&w| w == 0) {
+            return Err(SnapError::BadValue("all-zero RNG state"));
+        }
+        self.rng = SimRng::from_state(state);
+        self.next_msg_id = r.u64()?;
+        if r.usize()? != self.sources.len() {
+            return Err(SnapError::BadValue("workload source count mismatch"));
+        }
+        for src in &mut self.sources {
+            let tag = r.u8()?;
+            match (tag, src) {
+                (0, Source::RealTime(s)) => s.load_into(r)?,
+                (1, Source::BestEffort(s)) => s.load_into(r)?,
+                _ => return Err(SnapError::BadValue("workload source kind mismatch")),
+            }
+        }
+        Ok(())
     }
 }
 

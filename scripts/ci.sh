@@ -30,3 +30,15 @@ cargo test -q --test stepping_identity ring_deadlock_classification_is_identical
 cargo test -q -p mediaworm audit
 cargo test -q -p mediaworm watchdog
 cargo test -q -p pcs-router watchdog
+
+# Resume identity: checkpoint/restore must be bit-identical to an
+# uninterrupted run (stitched traces, end snapshots, stall reports) on
+# every stepping path, and the sharded sweep engine must merge shard
+# reports byte-stably and resume interrupted points through the bench
+# layer. Corrupt checkpoints must abort, never silently restart.
+cargo test -q --test stepping_identity checkpoint
+cargo test -q --test stepping_identity snapshot_round_trip_over_random_runs
+cargo test -q -p mediaworm snapshot
+cargo test -q -p mediaworm checkpoint
+cargo test -q -p mediaworm-bench --test shard_resume
+cargo test -q -p mediaworm-bench shard

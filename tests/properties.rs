@@ -280,6 +280,58 @@ proptest! {
             prop_assert!(flits <= msgs * spec.msg_flits);
         }
     }
+
+    /// Histogram percentiles agree with the exact sorted-sample quantile
+    /// to within one bucket width for in-range samples. Both sides use
+    /// the same rank convention (`ceil(p/100 · n)`, clamped to at least
+    /// rank 1), so the bucket's linear interpolation is the only source
+    /// of error.
+    #[test]
+    fn histogram_percentile_matches_exact_quantile(
+        xs in proptest::collection::vec(0.0f64..100.0, 1..400),
+        buckets in 1usize..200,
+        p in 0.0f64..100.0,
+    ) {
+        use netsim::Histogram;
+        let mut h = Histogram::new(0.0, 100.0, buckets);
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0 * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+        let exact = sorted[rank - 1];
+        let width = 100.0 / buckets as f64;
+        let approx = h.percentile(p);
+        prop_assert!(
+            (approx - exact).abs() <= width + 1e-9,
+            "p{p}: histogram {approx} vs exact {exact} (bucket width {width})"
+        );
+        // The extremes bracket the samples: p0 at or below the minimum's
+        // bucket ceiling, p100 at or above the maximum.
+        prop_assert!(h.percentile(100.0) + 1e-9 >= exact.min(*sorted.last().unwrap()));
+    }
+
+    /// Out-of-range samples clamp percentiles to the histogram bounds
+    /// instead of extrapolating.
+    #[test]
+    fn histogram_percentile_clamps_out_of_range(
+        below in 1usize..20,
+        above in 1usize..20,
+    ) {
+        use netsim::Histogram;
+        let mut h = Histogram::new(0.0, 10.0, 16);
+        for _ in 0..below {
+            h.record(-5.0);
+        }
+        for _ in 0..above {
+            h.record(25.0);
+        }
+        prop_assert_eq!(h.underflow(), below as u64);
+        prop_assert_eq!(h.overflow(), above as u64);
+        prop_assert_eq!(h.percentile(0.0).to_bits(), 0.0f64.to_bits());
+        prop_assert_eq!(h.percentile(100.0).to_bits(), 10.0f64.to_bits());
+    }
 }
 
 // The simulation properties below drive full cycle-accurate networks, so

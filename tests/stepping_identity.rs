@@ -13,6 +13,7 @@ use flitnet::VcPartition;
 use mediaworm::{
     sim, CrossbarKind, Network, RouterConfig, SchedulerKind, SimOpts, SimOutcome, WatchdogConfig,
 };
+use netsim::{Cycles, JsonlSink};
 use proptest::prelude::*;
 use topo::Topology;
 use traffic::{StreamClass, Workload, WorkloadBuilder, WorkloadSpec};
@@ -428,6 +429,157 @@ fn ring_deadlock_classification_is_identical_to_reference() {
     assert_eq!(fast.delivered_flits(), slow.delivered_flits());
     assert_eq!(fast.flits_in_flight(), slow.flits_in_flight());
     assert_eq!(fast.counters(), slow.counters());
+}
+
+/// Steps `net` to `to` on the path `threads` selects (1 = sequential
+/// active-set, >1 = parallel), recording trace events into `sink`.
+fn step_traced(net: &mut Network, to: Cycles, threads: usize, sink: &mut JsonlSink) {
+    if threads > 1 {
+        net.run_until_parallel_with(to, threads, sink);
+    } else {
+        net.run_until_with(to, sink);
+    }
+}
+
+/// Untraced [`step_traced`].
+fn step_plain(net: &mut Network, to: Cycles, threads: usize) {
+    if threads > 1 {
+        net.run_until_parallel(to, threads);
+    } else {
+        net.run_until(to);
+    }
+}
+
+/// The checkpoint/restore identity grid: on every topology and stepping
+/// path, a run snapshotted at `mid`, restored into a freshly built
+/// network and stepped to `end` must be bit-identical — counters, metric
+/// accumulators, the stitched trace bytes, and the end-of-run snapshot
+/// image itself — to the uninterrupted run.
+#[test]
+fn checkpoint_restore_grid_is_bit_identical() {
+    let cases: [(&str, Topology, usize); 3] = [
+        ("mesh 8x8", Topology::mesh(8, 8, 1), 64),
+        ("fat mesh 2x2", Topology::fat_mesh(2, 2, 2, 4), 16),
+        ("torus 4x4", Topology::torus(4, 4, 1), 16),
+    ];
+    for (name, topology, nodes) in &cases {
+        let cfg = RouterConfig::new(4);
+        for &threads in &[1usize, 2, 4] {
+            let what = format!("{name} threads {threads}");
+
+            let mut full = Network::new(topology, grid_workload(*nodes, 0.4, 42), &cfg);
+            let tb = full.timebase();
+            let warmup = tb.cycles_from_secs(0.0005);
+            let mid = tb.cycles_from_secs(0.0015);
+            let end = tb.cycles_from_secs(0.0035);
+            full.set_warmup_end(warmup);
+            let mut full_sink = JsonlSink::new();
+            step_traced(&mut full, end, threads, &mut full_sink);
+            assert!(full.delivered_msgs() > 0, "{what}: traffic must flow");
+
+            let mut pre = Network::new(topology, grid_workload(*nodes, 0.4, 42), &cfg);
+            pre.set_warmup_end(warmup);
+            let mut pre_sink = JsonlSink::new();
+            step_traced(&mut pre, mid, threads, &mut pre_sink);
+            let bytes = pre.snapshot();
+
+            let mut post = Network::new(topology, grid_workload(*nodes, 0.4, 42), &cfg);
+            post.restore(&bytes).expect("restore");
+            let mut post_sink = JsonlSink::new();
+            step_traced(&mut post, end, threads, &mut post_sink);
+
+            assert_eq!(
+                full.injected_msgs(),
+                post.injected_msgs(),
+                "{what}: injected"
+            );
+            assert_eq!(
+                full.delivered_flits(),
+                post.delivered_flits(),
+                "{what}: delivered flits"
+            );
+            assert_eq!(full.counters(), post.counters(), "{what}: counters");
+            let mut stitched = pre_sink.into_bytes();
+            stitched.extend_from_slice(&post_sink.into_bytes());
+            assert!(
+                stitched == full_sink.into_bytes(),
+                "{what}: stitched pre+post trace differs from the uninterrupted trace"
+            );
+            assert!(
+                full.snapshot() == post.snapshot(),
+                "{what}: end-of-run snapshots differ"
+            );
+        }
+    }
+}
+
+/// A checkpoint taken before the watchdog trips must reproduce the same
+/// deadlock at the same cycle with a byte-equal stall report after
+/// restore — the waits-for analysis runs on reconstructed state.
+#[test]
+fn ring_deadlock_stall_report_survives_checkpoint() {
+    let mut full = deadlock_ring();
+    let end = full.timebase().cycles_from_ms(500.0);
+    full.run_until(end);
+    let full_stall = full.stall_report().expect("ring must deadlock").clone();
+
+    let mut pre = deadlock_ring();
+    let mid = pre.timebase().cycles_from_ms(1.0);
+    pre.run_until(mid);
+    assert!(
+        pre.stall_report().is_none(),
+        "checkpoint must precede the stall"
+    );
+    let bytes = pre.snapshot();
+
+    let mut post = deadlock_ring();
+    post.restore(&bytes).expect("restore");
+    post.run_until(end);
+    let post_stall = post.stall_report().expect("restored ring must deadlock");
+    assert_eq!(&full_stall, post_stall, "stall reports must be identical");
+    assert_eq!(full.now(), post.now(), "both stop at the detection cycle");
+    assert_eq!(full.injected_msgs(), post.injected_msgs());
+    assert_eq!(full.flits_in_flight(), post.flits_in_flight());
+    assert_eq!(full.counters(), post.counters());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Snapshot round-trip identity holds at random seeds, loads,
+    /// checkpoint cycles, thread counts and topologies — not just the
+    /// hand-picked grid above.
+    #[test]
+    fn snapshot_round_trip_over_random_runs(
+        seed in 0u64..1000,
+        load in 0.2f64..0.8,
+        frac in 0.1f64..0.9,
+        threads in 1usize..5,
+        topo_idx in 0usize..3,
+    ) {
+        let topology = match topo_idx {
+            0 => Topology::mesh(4, 4, 1),
+            1 => Topology::fat_mesh(2, 2, 2, 4),
+            _ => Topology::torus(4, 4, 1),
+        };
+        let cfg = RouterConfig::new(4);
+        let mut a = Network::new(&topology, grid_workload(16, load, seed), &cfg);
+        let tb = a.timebase();
+        let end = tb.cycles_from_secs(0.0025);
+        a.set_warmup_end(tb.cycles_from_secs(0.0005));
+        let mid = Cycles((end.get() as f64 * frac) as u64);
+        step_plain(&mut a, mid, threads);
+        let bytes = a.snapshot();
+
+        let mut b = Network::new(&topology, grid_workload(16, load, seed), &cfg);
+        b.restore(&bytes).expect("restore");
+        step_plain(&mut a, end, threads);
+        step_plain(&mut b, end, threads);
+        prop_assert_eq!(a.injected_msgs(), b.injected_msgs());
+        prop_assert_eq!(a.delivered_flits(), b.delivered_flits());
+        prop_assert_eq!(&a.counters(), &b.counters());
+        prop_assert!(a.snapshot() == b.snapshot(), "end snapshots differ");
+    }
 }
 
 #[test]

@@ -173,6 +173,24 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured [`StdRng::state`].
+        ///
+        /// # Panics
+        ///
+        /// Panics if the state is all-zero (the one state xoshiro cannot
+        /// leave, which `seed_from_u64` can never produce).
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
