@@ -23,7 +23,7 @@
 use mediaworm::{CrossbarKind, RouterConfig, SchedPoint, SchedulerKind, SimOutcome};
 use metrics::{Json, Table};
 use pcs_router::{PcsConfig, PcsOutcome};
-use traffic::{FrameModel, StreamClass, WorkloadSpec};
+use traffic::{FrameModel, PolicingMode, StreamClass, WorkloadSpec};
 
 use crate::sweep::SweepRunner;
 use crate::{
@@ -591,37 +591,77 @@ pub fn fig9(args: &RunArgs) -> ExperimentRun {
     }
 }
 
-/// Ablation — the three multiplexer schedulers side by side (extends
-/// Fig. 3 with the round-robin scheduler the paper mentions in §6).
+/// The full scheduler zoo, in matrix order.
+pub const ALL_SCHEDULERS: [SchedulerKind; 6] = [
+    SchedulerKind::VirtualClock,
+    SchedulerKind::Fifo,
+    SchedulerKind::RoundRobin,
+    SchedulerKind::Wfq,
+    SchedulerKind::Drr,
+    SchedulerKind::Scfq,
+];
+
+/// Ablation — the scheduler-discipline zoo crossed with NI policing over
+/// the Fig. 3 mix: Virtual Clock, FIFO and round-robin (the paper's
+/// §3.3/§6 axis) plus WFQ, DRR and SCFQ, each with policing off, shaping
+/// and demotion. `--schedulers`, `--policing` and `--loads` restrict the
+/// grid (CI smoke runs a tiny slice); the defaults run the full
+/// load × 6 × 3 matrix.
 pub fn ablation_sched(args: &RunArgs) -> ExperimentRun {
-    banner("Ablation: scheduler disciplines (16 VCs, mix 80:20)", args);
-    let mut t = Table::new(["load", "scheduler", "d (ms)", "sigma_d (ms)", "BE lat (us)"])
-        .with_title("Ablation — VirtualClock vs FIFO vs RoundRobin");
+    banner(
+        "Ablation: scheduler x policing matrix (16 VCs, mix 80:20)",
+        args,
+    );
+    let mut t = Table::new([
+        "load",
+        "scheduler",
+        "policing",
+        "d (ms)",
+        "sigma_d (ms)",
+        "BE lat (us)",
+    ])
+    .with_title("Ablation — scheduler discipline x NI policing");
+    let loads: Vec<f64> = args
+        .loads
+        .clone()
+        .unwrap_or_else(|| vec![0.7, 0.8, 0.9, 0.96]);
+    let kinds: Vec<SchedulerKind> = args
+        .schedulers
+        .clone()
+        .unwrap_or_else(|| ALL_SCHEDULERS.to_vec());
+    let modes: Vec<PolicingMode> = args
+        .policing
+        .clone()
+        .unwrap_or_else(|| PolicingMode::ALL.to_vec());
     let mut cells = Vec::new();
     let mut points = Vec::new();
-    for &load in &[0.7, 0.8, 0.9, 0.96] {
-        for kind in [
-            SchedulerKind::VirtualClock,
-            SchedulerKind::Fifo,
-            SchedulerKind::RoundRobin,
-        ] {
-            let mut p = Point::new(load, 80.0, 20.0);
-            p.router = RouterConfig::default().scheduler(kind);
-            cells.push([format!("{load:.2}"), format!("{kind:?}")]);
-            points.push(p);
+    for &load in &loads {
+        for &kind in &kinds {
+            for &mode in &modes {
+                let mut p = Point::new(load, 80.0, 20.0);
+                p.router = RouterConfig::default().scheduler(kind);
+                p.policing = mode;
+                cells.push([format!("{load:.2}"), format!("{kind:?}"), mode.to_string()]);
+                points.push(p);
+            }
         }
     }
     let sw = sweep_single_switch(&points, args);
     let mut records = Vec::new();
-    for (i, [load, kind], out) in sw.zip(&cells) {
+    for (i, [load, kind, mode], out) in sw.zip(&cells) {
         t.row([
             load.clone(),
             kind.clone(),
+            mode.clone(),
             format!("{:.2}", out.jitter.mean_ms),
             format!("{:.2}", out.jitter.std_ms),
             be_cell(out.be_mean_latency_us),
         ]);
-        records.push(point_json(i, &[("load", load), ("scheduler", kind)], out));
+        records.push(point_json(
+            i,
+            &[("load", load), ("scheduler", kind), ("policing", mode)],
+            out,
+        ));
     }
     println!("{t}");
     ExperimentRun {

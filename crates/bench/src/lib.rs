@@ -38,10 +38,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use flitnet::VcPartition;
-use mediaworm::{sim, RouterConfig, SimOpts, SimOutcome};
+use mediaworm::{sim, RouterConfig, SchedulerKind, SimOpts, SimOutcome};
 use metrics::{Json, Table};
 use topo::Topology;
-use traffic::{StreamClass, WorkloadBuilder, WorkloadSpec};
+use traffic::{PolicingMode, StreamClass, WorkloadBuilder, WorkloadSpec};
 
 /// Command-line arguments shared by all experiment binaries.
 #[derive(Debug, Clone)]
@@ -88,6 +88,20 @@ pub struct RunArgs {
     /// Run every point with the flow-control invariant audit enabled
     /// (`--audit`); violation counts land in the per-point JSON records.
     pub audit: bool,
+    /// `--schedulers LIST`: restrict matrix experiments (`ablation_sched`)
+    /// to these disciplines (comma-separated: `vc`, `fifo`, `rr`, `wfq`,
+    /// `drr`, `scfq`). `None` runs the full set. Note that per-point seeds
+    /// derive from the task index *within the selected grid*, so a
+    /// filtered run is bit-identical to itself at any `--jobs`/`--shard`
+    /// setting but is not a row-subset of the full matrix.
+    pub schedulers: Option<Vec<SchedulerKind>>,
+    /// `--policing LIST`: restrict matrix experiments to these NI policing
+    /// modes (comma-separated: `off`, `shape`, `demote`). `None` runs all.
+    pub policing: Option<Vec<PolicingMode>>,
+    /// `--loads LIST`: restrict matrix experiments to these input loads
+    /// (comma-separated fractions). `None` runs the experiment's default
+    /// load grid.
+    pub loads: Option<Vec<f64>>,
 }
 
 impl RunArgs {
@@ -167,6 +181,57 @@ impl RunArgs {
                 }
                 "--resume" => args.resume = true,
                 "--audit" => args.audit = true,
+                "--schedulers" => {
+                    let list = it
+                        .next()
+                        .unwrap_or_else(|| usage("--schedulers needs a list"));
+                    let kinds: Vec<SchedulerKind> = list
+                        .split(',')
+                        .map(|s| {
+                            parse_scheduler_kind(s).unwrap_or_else(|| {
+                                usage(&format!(
+                                    "unknown scheduler {s:?} (vc|fifo|rr|wfq|drr|scfq)"
+                                ))
+                            })
+                        })
+                        .collect();
+                    if kinds.is_empty() {
+                        usage("--schedulers needs a non-empty list");
+                    }
+                    args.schedulers = Some(kinds);
+                }
+                "--policing" => {
+                    let list = it
+                        .next()
+                        .unwrap_or_else(|| usage("--policing needs a list"));
+                    let modes: Vec<PolicingMode> = list
+                        .split(',')
+                        .map(|s| s.parse().unwrap_or_else(|e: String| usage(&e)))
+                        .collect();
+                    if modes.is_empty() {
+                        usage("--policing needs a non-empty list");
+                    }
+                    args.policing = Some(modes);
+                }
+                "--loads" => {
+                    let list = it.next().unwrap_or_else(|| usage("--loads needs a list"));
+                    let loads: Vec<f64> = list
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse()
+                                .ok()
+                                .filter(|&l: &f64| l > 0.0 && l <= 1.5)
+                                .unwrap_or_else(|| {
+                                    usage(&format!("bad load {s:?} (fraction in (0, 1.5])"))
+                                })
+                        })
+                        .collect();
+                    if loads.is_empty() {
+                        usage("--loads needs a non-empty list");
+                    }
+                    args.loads = Some(loads);
+                }
                 "--trace" => {
                     args.trace = Some(PathBuf::from(
                         it.next().unwrap_or_else(|| usage("--trace needs a path")),
@@ -294,7 +359,24 @@ impl Default for RunArgs {
             resume: false,
             trace: None,
             audit: false,
+            schedulers: None,
+            policing: None,
+            loads: None,
         }
+    }
+}
+
+/// Parses a scheduler name for `--schedulers` (case-insensitive, with
+/// the short aliases the ablation docs use).
+pub fn parse_scheduler_kind(s: &str) -> Option<SchedulerKind> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "vc" | "virtualclock" | "virtual_clock" => Some(SchedulerKind::VirtualClock),
+        "fifo" => Some(SchedulerKind::Fifo),
+        "rr" | "roundrobin" | "round_robin" => Some(SchedulerKind::RoundRobin),
+        "wfq" => Some(SchedulerKind::Wfq),
+        "drr" => Some(SchedulerKind::Drr),
+        "scfq" => Some(SchedulerKind::Scfq),
+        _ => None,
     }
 }
 
@@ -305,7 +387,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <experiment> [--quick] [--seed N] [--warmup SECS] [--measure SECS] [--jobs N] \
          [--threads N] [--json [PATH]] [--shard I/N] [--checkpoint CYCLES] [--resume] \
-         [--audit] [--trace PATH]"
+         [--audit] [--trace PATH] [--schedulers LIST] [--policing LIST] [--loads LIST]"
     );
     std::process::exit(2);
 }
@@ -323,6 +405,8 @@ pub struct Point {
     pub class: StreamClass,
     /// Router configuration.
     pub router: RouterConfig,
+    /// NI policing mode for the real-time streams.
+    pub policing: PolicingMode,
     /// Physical workload parameters.
     pub spec: WorkloadSpec,
 }
@@ -337,6 +421,7 @@ impl Point {
             mix_y,
             class: StreamClass::Vbr,
             router: RouterConfig::default(),
+            policing: PolicingMode::Off,
             spec: WorkloadSpec::paper_default(),
         }
     }
@@ -455,6 +540,7 @@ impl Point {
             .mix(self.mix_x, self.mix_y)
             .real_time_class(self.class)
             .seed(seed)
+            .policing(self.policing)
             .build()
     }
 }
@@ -828,6 +914,40 @@ mod tests {
             a.out_path("table2"),
             PathBuf::from("target/bench/BENCH_table2.shard1of4.json")
         );
+    }
+
+    #[test]
+    fn matrix_filter_flags_parse_lists_and_aliases() {
+        let a = argv(&[
+            "--schedulers",
+            "wfq,drr,scfq",
+            "--policing",
+            "off,shape",
+            "--loads",
+            "0.8,0.96",
+        ]);
+        assert_eq!(
+            a.schedulers,
+            Some(vec![
+                SchedulerKind::Wfq,
+                SchedulerKind::Drr,
+                SchedulerKind::Scfq
+            ])
+        );
+        assert_eq!(
+            a.policing,
+            Some(vec![PolicingMode::Off, PolicingMode::Shape])
+        );
+        assert_eq!(a.loads, Some(vec![0.8, 0.96]));
+        assert_eq!(
+            parse_scheduler_kind("VirtualClock"),
+            Some(SchedulerKind::VirtualClock)
+        );
+        assert_eq!(
+            parse_scheduler_kind("round_robin"),
+            Some(SchedulerKind::RoundRobin)
+        );
+        assert_eq!(parse_scheduler_kind("bogus"), None);
     }
 
     #[test]

@@ -29,6 +29,19 @@ pub enum SchedulerKind {
     /// Rotating priority — the other rate-agnostic scheduler the paper
     /// mentions (§6); used in the scheduling ablation.
     RoundRobin,
+    /// Weighted Fair Queueing: per-connection finish times against a
+    /// GPS-approximating virtual time that advances at `1/Σ weights` of
+    /// the backlogged VCs, with each connection's Vtick as its inverse
+    /// weight (Demers/Keshav/Shenker; PGPS).
+    Wfq,
+    /// Deficit Round Robin: per-VC deficit counters replenished by a
+    /// fixed quantum each round (Shreedhar & Varghese). Rate-agnostic —
+    /// all backlogged VCs get equal long-run shares.
+    Drr,
+    /// Self-Clocked Fair Queueing: like WFQ, but the virtual time is the
+    /// service tag of the flit currently/last in service (Golestani),
+    /// which avoids tracking the GPS reference system.
+    Scfq,
 }
 
 /// Where the QoS scheduler is applied in a *multiplexed*-crossbar router.

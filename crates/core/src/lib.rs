@@ -88,5 +88,5 @@ pub use config::{CrossbarKind, RouterConfig, SchedPoint, SchedulerKind};
 pub use counters::{NetCounters, PortCounters, RouterCounters};
 pub use net::Network;
 pub use router::Router;
-pub use scheduler::MuxScheduler;
+pub use scheduler::{MuxScheduler, DRR_QUANTUM, STAMP_SATURATION};
 pub use sim::{run, run_opts, run_opts_traced, run_traced, SimOpts, SimOutcome};

@@ -1,4 +1,5 @@
-//! Multiplexer schedulers: Virtual Clock, FIFO and round-robin.
+//! Multiplexer schedulers: Virtual Clock, FIFO, round-robin, WFQ, DRR
+//! and SCFQ.
 //!
 //! A [`MuxScheduler`] arbitrates one multiplexing point — a crossbar input
 //! multiplexer, an output VC multiplexer, or a network-interface injection
@@ -15,6 +16,28 @@
 //!
 //! **FIFO** stamps flits with their arrival cycle (the conventional
 //! wormhole router of Fig. 3); **round-robin** rotates among eligible VCs.
+//!
+//! The fair-queueing spread around that axis (ROADMAP item 2):
+//!
+//! * **WFQ** stamps each flit with a GPS-approximated finish time
+//!   `F ← max(F_prev, V(now)) + Vtick`, where the scheduler-global
+//!   virtual time `V` advances at rate `1/Σ wᵢ` over the *backlogged*
+//!   VCs' weights `wᵢ = 1/Vtickᵢ`. Unlike Virtual Clock, an idle
+//!   connection earns no credit while others are backlogged — `V` stalls
+//!   rather than tracking the wall clock.
+//! * **SCFQ** (self-clocked fair queueing) replaces the GPS reference
+//!   with the tag of the flit most recently selected for service:
+//!   `F ← max(F_prev, v_served) + Vtick`. Cheaper than WFQ and immune to
+//!   real-clock drift, at the cost of looser delay bounds.
+//! * **DRR** keeps a per-VC deficit counter topped up by a fixed
+//!   [`DRR_QUANTUM`] each round; a VC may send while its deficit covers
+//!   a flit. Rate-agnostic: equal quanta mean equal long-run shares
+//!   regardless of Vtick.
+//!
+//! All stamp/register updates saturate at [`STAMP_SATURATION`] so
+//! best-effort traffic (whose `Vtick` is `1e12`) cannot push a register
+//! past the f64 integer-precision cliff at 2⁵³, where stamp comparisons
+//! and tie rotation would silently degrade.
 
 use std::collections::VecDeque;
 
@@ -23,6 +46,25 @@ use netsim::snap::{SnapError, SnapReader, SnapWriter};
 use netsim::Cycles;
 
 use crate::config::SchedulerKind;
+
+/// Ceiling applied to every virtual-clock-style register and stamp.
+///
+/// Best-effort flits carry `Vtick = 1e12` ([`flitnet::BEST_EFFORT_VTICK`]),
+/// so a backlogged best-effort VC adds `1e12` per flit to its register.
+/// f64 loses integer precision at 2⁵³ ≈ 9.0e15; once two stamps round to
+/// the same value their *order* information is gone and tie rotation is
+/// all that separates them. Saturating well below the cliff (≈ 1000
+/// best-effort flits) keeps real-time stamps (Vticks of ~10–100 cycles)
+/// exactly representable when added on top, and turns the best-effort
+/// tail into an explicit, tested tie-rotation regime instead of a silent
+/// precision failure.
+pub const STAMP_SATURATION: f64 = 1e15;
+
+/// DRR quantum in flits credited to every backlogged VC per round.
+///
+/// Small enough to bound burst length at one message fragment, large
+/// enough that the round-refill bookkeeping stays off the per-flit path.
+pub const DRR_QUANTUM: f64 = 4.0;
 
 /// Per-VC scheduler state.
 #[derive(Debug, Clone, Default)]
@@ -34,8 +76,13 @@ struct VcState {
     /// access in that loop. Maintained on arrival (first flit) and
     /// service (next flit); meaningless while `stamps` is empty.
     head_stamp: f64,
-    /// The connection's virtual clock register.
+    /// The connection's virtual clock register. Virtual Clock uses it as
+    /// Zhang's `auxVC`; WFQ and SCFQ reuse it as the connection's last
+    /// finish tag (same lifecycle: reset when the VC is recycled to a new
+    /// stream).
     aux_vc: f64,
+    /// DRR deficit counter in flits. Untouched by the other disciplines.
+    deficit: f64,
     /// The Vtick of the message currently using this VC (set by its head
     /// flit, discarded — i.e. simply overwritten — after the tail).
     vtick: f64,
@@ -75,6 +122,13 @@ pub struct MuxScheduler {
     kind: SchedulerKind,
     vcs: Vec<VcState>,
     rr_cursor: usize,
+    /// WFQ's GPS-approximated virtual time, advanced lazily on arrivals.
+    v_time: f64,
+    /// The cycle `v_time` was last advanced to (WFQ).
+    v_cycle: u64,
+    /// SCFQ's virtual time: the stamp of the flit last selected for
+    /// service.
+    v_served: f64,
 }
 
 impl MuxScheduler {
@@ -89,6 +143,9 @@ impl MuxScheduler {
             kind,
             vcs: vec![VcState::default(); n_vcs],
             rr_cursor: 0,
+            v_time: 0.0,
+            v_cycle: 0,
+            v_served: 0.0,
         }
     }
 
@@ -108,10 +165,16 @@ impl MuxScheduler {
     ///
     /// Panics if `vc` is out of range.
     pub fn on_arrival(&mut self, vc: usize, now: Cycles, flit: &Flit) {
+        if self.kind == SchedulerKind::Wfq {
+            self.advance_virtual_time(now);
+        }
+        let v_time = self.v_time;
+        let v_served = self.v_served;
         let state = &mut self.vcs[vc];
         if flit.kind.is_head() {
             state.vtick = flit.vtick;
-            // Zhang's auxVC is a per-connection register. When the VC is
+            // Zhang's auxVC is a per-connection register (WFQ and SCFQ
+            // reuse it as the connection's finish tag). When the VC is
             // recycled to a different stream, the new connection must not
             // inherit (and be penalized by) the old connection's clock.
             if state.stream != Some(flit.stream) {
@@ -121,17 +184,56 @@ impl MuxScheduler {
         }
         let stamp = match self.kind {
             SchedulerKind::VirtualClock => {
-                // auxVC ← max(Clock, auxVC) + Vtick  (Zhang's update rule)
-                state.aux_vc = state.aux_vc.max(now.as_f64()) + state.vtick;
+                // auxVC ← max(Clock, auxVC) + Vtick  (Zhang's update
+                // rule), saturated so a best-effort backlog cannot push
+                // the register past f64 integer precision.
+                state.aux_vc = (state.aux_vc.max(now.as_f64()) + state.vtick).min(STAMP_SATURATION);
+                state.aux_vc
+            }
+            SchedulerKind::Wfq => {
+                // F ← max(F_prev, V) + Vtick against the GPS-approximated
+                // virtual time advanced above.
+                state.aux_vc = (state.aux_vc.max(v_time) + state.vtick).min(STAMP_SATURATION);
+                state.aux_vc
+            }
+            SchedulerKind::Scfq => {
+                // F ← max(F_prev, tag of the last-served flit) + Vtick.
+                state.aux_vc = (state.aux_vc.max(v_served) + state.vtick).min(STAMP_SATURATION);
                 state.aux_vc
             }
             SchedulerKind::Fifo => now.as_f64(),
-            SchedulerKind::RoundRobin => 0.0,
+            SchedulerKind::RoundRobin | SchedulerKind::Drr => 0.0,
         };
         if state.stamps.is_empty() {
             state.head_stamp = stamp;
         }
         state.stamps.push_back(stamp);
+    }
+
+    /// Advances WFQ's virtual time to `now`.
+    ///
+    /// `V` grows at `1/Σ wᵢ` over the currently backlogged VCs (with
+    /// `wᵢ = 1/Vtickᵢ`, so a lone backlogged connection's tags and `V`
+    /// move in lockstep), and snaps forward to the wall clock across idle
+    /// periods so connections arriving after a gap are stamped relative
+    /// to the present — mirroring Virtual Clock's `max(Clock, auxVC)`.
+    fn advance_virtual_time(&mut self, now: Cycles) {
+        let dt = now.0.saturating_sub(self.v_cycle);
+        if dt == 0 {
+            return;
+        }
+        self.v_cycle = now.0;
+        let weight: f64 = self
+            .vcs
+            .iter()
+            .filter(|s| !s.stamps.is_empty())
+            .map(|s| 1.0 / s.vtick)
+            .sum();
+        self.v_time = if weight > 0.0 {
+            (self.v_time + dt as f64 / weight).min(STAMP_SATURATION)
+        } else {
+            self.v_time.max(now.as_f64()).min(STAMP_SATURATION)
+        };
     }
 
     /// Picks the VC to serve this cycle among those marked eligible.
@@ -151,7 +253,10 @@ impl MuxScheduler {
             "eligibility mask size mismatch"
         );
         match self.kind {
-            SchedulerKind::VirtualClock | SchedulerKind::Fifo => {
+            SchedulerKind::VirtualClock
+            | SchedulerKind::Fifo
+            | SchedulerKind::Wfq
+            | SchedulerKind::Scfq => {
                 // Scan from the VC after the last one served so that exact
                 // stamp ties rotate across VCs instead of pinning to the
                 // lowest index (which starves high-index VCs under
@@ -195,6 +300,37 @@ impl MuxScheduler {
                 }
                 None
             }
+            SchedulerKind::Drr => {
+                let n = self.vcs.len();
+                // Phase 1: the quantum holder (scan from the cursor
+                // itself, not past it) keeps sending while its deficit
+                // covers a flit, then the remaining credit-holders in
+                // rotation order.
+                for off in 0..n {
+                    let vc = (self.rr_cursor + off) % n;
+                    if !eligible[vc] {
+                        continue;
+                    }
+                    assert!(
+                        !self.vcs[vc].stamps.is_empty(),
+                        "eligible VC must have a queued flit"
+                    );
+                    if self.vcs[vc].deficit >= 1.0 {
+                        return Some(vc);
+                    }
+                }
+                // Phase 2: every eligible VC has exhausted its deficit —
+                // open a new round at the next VC in rotation. The refill
+                // itself happens in `on_service`, keeping `choose` pure
+                // (the unmemoized oracle mirrors this scan exactly).
+                for off in 1..=n {
+                    let vc = (self.rr_cursor + off) % n;
+                    if eligible[vc] {
+                        return Some(vc);
+                    }
+                }
+                None
+            }
         }
     }
 
@@ -204,13 +340,41 @@ impl MuxScheduler {
     ///
     /// Panics if `vc` has no pending flit.
     pub fn on_service(&mut self, vc: usize) {
-        let state = &mut self.vcs[vc];
-        state
-            .stamps
-            .pop_front()
-            .expect("serviced VC must have had a queued flit");
-        if let Some(&next) = state.stamps.front() {
-            state.head_stamp = next;
+        let served = {
+            let state = &mut self.vcs[vc];
+            let served = state
+                .stamps
+                .pop_front()
+                .expect("serviced VC must have had a queued flit");
+            if let Some(&next) = state.stamps.front() {
+                state.head_stamp = next;
+            }
+            served
+        };
+        match self.kind {
+            SchedulerKind::Scfq => {
+                // The served flit's tag becomes the virtual time base for
+                // subsequent arrivals.
+                self.v_served = served;
+            }
+            SchedulerKind::Drr => {
+                // A grant below one flit of deficit means `choose` opened
+                // a new round: top up the backlogged VCs (including the
+                // one just served) and clear idle VCs so they cannot
+                // hoard credit across idle periods. Capping at two quanta
+                // bounds the burst a VC blocked mid-round can later send.
+                if self.vcs[vc].deficit < 1.0 {
+                    for (i, s) in self.vcs.iter_mut().enumerate() {
+                        if i == vc || !s.stamps.is_empty() {
+                            s.deficit = (s.deficit + DRR_QUANTUM).min(2.0 * DRR_QUANTUM);
+                        } else {
+                            s.deficit = 0.0;
+                        }
+                    }
+                }
+                self.vcs[vc].deficit -= 1.0;
+            }
+            _ => {}
         }
         self.rr_cursor = vc;
     }
@@ -225,13 +389,15 @@ impl MuxScheduler {
     /// into a snapshot. The discipline and VC count are configuration and
     /// are written only as a consistency check.
     pub fn save(&self, w: &mut SnapWriter) {
-        w.u8(match self.kind {
-            SchedulerKind::VirtualClock => 0,
-            SchedulerKind::Fifo => 1,
-            SchedulerKind::RoundRobin => 2,
-        });
+        w.u8(kind_tag(self.kind));
         w.usize(self.vcs.len());
         w.usize(self.rr_cursor);
+        // Discipline-global registers, written unconditionally (they are
+        // zero for disciplines that don't use them) to keep the format
+        // uniform across kinds.
+        w.f64(self.v_time);
+        w.u64(self.v_cycle);
+        w.f64(self.v_served);
         for vc in &self.vcs {
             w.usize(vc.stamps.len());
             for &s in &vc.stamps {
@@ -239,6 +405,7 @@ impl MuxScheduler {
             }
             w.f64(vc.head_stamp);
             w.f64(vc.aux_vc);
+            w.f64(vc.deficit);
             w.f64(vc.vtick);
             w.option(vc.stream, |w, s| w.u32(s.0));
         }
@@ -252,19 +419,16 @@ impl MuxScheduler {
     /// Propagates decoding errors; rejects a snapshot whose discipline or
     /// VC count disagrees with this scheduler's configuration.
     pub fn load_into(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        let kind_tag = r.u8()?;
-        let expect_tag = match self.kind {
-            SchedulerKind::VirtualClock => 0,
-            SchedulerKind::Fifo => 1,
-            SchedulerKind::RoundRobin => 2,
-        };
-        if kind_tag != expect_tag {
+        if r.u8()? != kind_tag(self.kind) {
             return Err(SnapError::BadValue("scheduler kind mismatch"));
         }
         if r.usize()? != self.vcs.len() {
             return Err(SnapError::BadValue("scheduler VC count mismatch"));
         }
         self.rr_cursor = r.usize()?;
+        self.v_time = r.f64()?;
+        self.v_cycle = r.u64()?;
+        self.v_served = r.f64()?;
         for vc in &mut self.vcs {
             let n = r.usize()?;
             vc.stamps.clear();
@@ -273,10 +437,23 @@ impl MuxScheduler {
             }
             vc.head_stamp = r.f64()?;
             vc.aux_vc = r.f64()?;
+            vc.deficit = r.f64()?;
             vc.vtick = r.f64()?;
             vc.stream = r.option(|r| r.u32().map(StreamId))?;
         }
         Ok(())
+    }
+}
+
+/// Snapshot tag for a discipline (stable across versions; never reuse).
+fn kind_tag(kind: SchedulerKind) -> u8 {
+    match kind {
+        SchedulerKind::VirtualClock => 0,
+        SchedulerKind::Fifo => 1,
+        SchedulerKind::RoundRobin => 2,
+        SchedulerKind::Wfq => 3,
+        SchedulerKind::Drr => 4,
+        SchedulerKind::Scfq => 5,
     }
 }
 
@@ -303,6 +480,15 @@ mod tests {
             created_at: Cycles(0),
         }
     }
+
+    const ALL_KINDS: [SchedulerKind; 6] = [
+        SchedulerKind::VirtualClock,
+        SchedulerKind::Fifo,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::Wfq,
+        SchedulerKind::Drr,
+        SchedulerKind::Scfq,
+    ];
 
     #[test]
     fn virtual_clock_prefers_higher_rate() {
@@ -521,6 +707,243 @@ mod tests {
         assert_eq!(s.choose(&[true, true]), Some(1));
     }
 
+    /// Proportional-share conformance shared by the stamp-based fair
+    /// queueing disciplines: two streams with a 1:3 rate ratio must be
+    /// served ~1:3 (mirrors `virtual_clock_shares_proportionally`).
+    fn assert_shares_proportionally(kind: SchedulerKind) {
+        let mut s = MuxScheduler::new(kind, 2);
+        let mut h0 = flit(FlitKind::Head, 40.0); // slow stream
+        h0.stream = StreamId(1);
+        let mut h1 = flit(FlitKind::Head, 13.3); // ~3x faster
+        h1.stream = StreamId(2);
+        s.on_arrival(0, Cycles(0), &h0);
+        s.on_arrival(1, Cycles(0), &h1);
+        for _ in 0..399 {
+            s.on_arrival(0, Cycles(0), &flit(FlitKind::Body, 40.0));
+            s.on_arrival(1, Cycles(0), &flit(FlitKind::Body, 13.3));
+        }
+        let mut served = [0u32; 2];
+        for _ in 0..400 {
+            let vc = s.choose(&[true, true]).unwrap();
+            served[vc] += 1;
+            s.on_service(vc);
+        }
+        let ratio = f64::from(served[1]) / f64::from(served[0]);
+        assert!(
+            (2.5..3.5).contains(&ratio),
+            "{kind:?}: ratio {ratio}, served {served:?}"
+        );
+    }
+
+    #[test]
+    fn wfq_shares_proportionally() {
+        assert_shares_proportionally(SchedulerKind::Wfq);
+    }
+
+    #[test]
+    fn scfq_shares_proportionally() {
+        assert_shares_proportionally(SchedulerKind::Scfq);
+    }
+
+    #[test]
+    fn wfq_newcomer_joins_at_current_virtual_time() {
+        // VC 0 builds a deep backlog at t=0 and is served alone for 500
+        // cycles. A stream joining VC 1 at t=500 must be stamped at the
+        // *virtual* time (which tracked VC 0's service tags), not at zero
+        // (which would let it sweep the mux) and not purely at the wall
+        // clock the way Virtual Clock does.
+        let mut s = MuxScheduler::new(SchedulerKind::Wfq, 2);
+        let mut h0 = flit(FlitKind::Head, 10.0);
+        h0.stream = StreamId(1);
+        s.on_arrival(0, Cycles(0), &h0);
+        for _ in 0..999 {
+            s.on_arrival(0, Cycles(0), &flit(FlitKind::Body, 10.0));
+        }
+        for _ in 0..500 {
+            let vc = s.choose(&[true, false]).unwrap();
+            s.on_service(vc);
+        }
+        let mut h1 = flit(FlitKind::Head, 10.0);
+        h1.stream = StreamId(2);
+        s.on_arrival(1, Cycles(500), &h1);
+        for _ in 0..99 {
+            s.on_arrival(1, Cycles(500), &flit(FlitKind::Body, 10.0));
+        }
+        let mut served = [0u32; 2];
+        for _ in 0..100 {
+            let vc = s.choose(&[true, true]).unwrap();
+            served[vc] += 1;
+            s.on_service(vc);
+        }
+        // Equal weights from here on → roughly half the service each.
+        // (Under Virtual Clock the newcomer's wall-clock stamps of ~510
+        // would beat VC 0's ~5010 backlog tags and take all 100 grants.)
+        assert!(
+            (40..=60).contains(&served[1]),
+            "newcomer share {served:?} not ~50/100"
+        );
+    }
+
+    #[test]
+    fn drr_shares_equally_ignoring_rates() {
+        // A 100:1 Vtick ratio is invisible to DRR: equal quanta mean
+        // exactly equal long-run shares.
+        let mut s = MuxScheduler::new(SchedulerKind::Drr, 2);
+        s.on_arrival(0, Cycles(0), &flit(FlitKind::Head, 10.0));
+        s.on_arrival(1, Cycles(0), &flit(FlitKind::Head, 1000.0));
+        for _ in 0..399 {
+            s.on_arrival(0, Cycles(0), &flit(FlitKind::Body, 10.0));
+            s.on_arrival(1, Cycles(0), &flit(FlitKind::Body, 1000.0));
+        }
+        let mut served = [0u32; 2];
+        for _ in 0..400 {
+            let vc = s.choose(&[true, true]).unwrap();
+            served[vc] += 1;
+            s.on_service(vc);
+        }
+        assert_eq!(served, [200, 200], "DRR must ignore Vtick");
+    }
+
+    #[test]
+    fn drr_serves_in_quantum_bursts() {
+        let mut s = MuxScheduler::new(SchedulerKind::Drr, 2);
+        for vc in 0..2 {
+            for _ in 0..20 {
+                s.on_arrival(vc, Cycles(0), &flit(FlitKind::Body, 1.0));
+            }
+        }
+        let mut order = Vec::new();
+        for _ in 0..12 {
+            let vc = s.choose(&[true, true]).unwrap();
+            s.on_service(vc);
+            order.push(vc);
+        }
+        // New rounds open at the VC after the cursor; each backlogged VC
+        // then drains one quantum (4 flits) before yielding.
+        assert_eq!(order, vec![1, 1, 1, 1, 0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn drr_deficit_does_not_accumulate_across_idle() {
+        let mut s = MuxScheduler::new(SchedulerKind::Drr, 2);
+        // VC 1 is backlogged alone through several rounds; VC 0 is idle
+        // and must NOT bank quanta for later.
+        for _ in 0..20 {
+            s.on_arrival(1, Cycles(0), &flit(FlitKind::Body, 1.0));
+        }
+        for _ in 0..12 {
+            let vc = s.choose(&[false, true]).unwrap();
+            assert_eq!(vc, 1);
+            s.on_service(vc);
+        }
+        // VC 0 wakes up: it gets at most the capped burst (2 quanta),
+        // not 3 rounds' worth of credit.
+        for _ in 0..20 {
+            s.on_arrival(0, Cycles(0), &flit(FlitKind::Body, 1.0));
+        }
+        let mut burst0 = 0;
+        loop {
+            let vc = s.choose(&[true, true]).unwrap();
+            if vc != 0 {
+                break;
+            }
+            burst0 += 1;
+            s.on_service(vc);
+            assert!(burst0 <= 2 * DRR_QUANTUM as u32, "idle VC hoarded credit");
+        }
+    }
+
+    #[test]
+    fn zoo_is_work_conserving() {
+        // A lone eligible VC is always served immediately, whatever the
+        // discipline and whatever its rate.
+        for kind in ALL_KINDS {
+            let mut s = MuxScheduler::new(kind, 4);
+            let mut h = flit(FlitKind::Head, flitnet::BEST_EFFORT_VTICK);
+            h.stream = StreamId(7);
+            s.on_arrival(2, Cycles(123), &h);
+            assert_eq!(
+                s.choose(&[false, false, true, false]),
+                Some(2),
+                "{kind:?} must be work-conserving"
+            );
+        }
+    }
+
+    #[test]
+    fn zoo_equal_stamps_rotate_across_vcs() {
+        // Same-cycle, same-rate arrivals give byte-identical stamp
+        // sequences on every VC; the tie rotation must share service
+        // instead of pinning to the lowest index.
+        for kind in [SchedulerKind::Wfq, SchedulerKind::Scfq] {
+            let mut s = MuxScheduler::new(kind, 4);
+            for vc in 0..4 {
+                let mut h = flit(FlitKind::Head, 10.0);
+                h.stream = StreamId(vc as u32);
+                s.on_arrival(vc, Cycles(0), &h);
+                for _ in 0..99 {
+                    s.on_arrival(vc, Cycles(0), &flit(FlitKind::Body, 10.0));
+                }
+            }
+            let mut served = [0u32; 4];
+            for _ in 0..200 {
+                let vc = s.choose(&[true, true, true, true]).unwrap();
+                served[vc] += 1;
+                s.on_service(vc);
+            }
+            assert_eq!(served, [50, 50, 50, 50], "{kind:?} ties must share");
+        }
+    }
+
+    #[test]
+    fn best_effort_backlog_saturates_stamps_and_still_rotates() {
+        // Regression for the Virtual Clock register blow-up: a backlogged
+        // best-effort VC adds BEST_EFFORT_VTICK (1e12) per flit to its
+        // register, which used to grow without bound toward the f64
+        // integer-precision cliff at 2^53. The register now saturates at
+        // STAMP_SATURATION; stamps stay bounded and ordered, and the
+        // post-saturation tie regime still shares service via rotation.
+        let mut s = MuxScheduler::new(SchedulerKind::VirtualClock, 3);
+        for vc in 0..2 {
+            let mut h = flit(FlitKind::Head, flitnet::BEST_EFFORT_VTICK);
+            h.stream = StreamId(vc as u32);
+            s.on_arrival(vc, Cycles(0), &h);
+            for _ in 0..1_999 {
+                s.on_arrival(
+                    vc,
+                    Cycles(0),
+                    &flit(FlitKind::Body, flitnet::BEST_EFFORT_VTICK),
+                );
+            }
+        }
+        for vc in 0..2 {
+            let mut prev = f64::NEG_INFINITY;
+            for &stamp in &s.vcs[vc].stamps {
+                assert!(stamp.is_finite(), "stamp must stay finite");
+                assert!(
+                    stamp <= STAMP_SATURATION,
+                    "stamp {stamp:e} escaped the saturation ceiling"
+                );
+                assert!(prev <= stamp, "stamps must stay ordered");
+                prev = stamp;
+            }
+        }
+        // Saturated (tied) stamps share service through the cursor.
+        let mut served = [0u32; 3];
+        for _ in 0..1_000 {
+            let vc = s.choose(&[true, true, false]).unwrap();
+            served[vc] += 1;
+            s.on_service(vc);
+        }
+        assert_eq!(served[..2], [500, 500], "saturated BE VCs must share");
+        // A real-time stream arriving after saturation still wins: its
+        // register resets to the wall clock, far below the BE plateau.
+        let mut rt = flit(FlitKind::Head, 100.0);
+        rt.stream = StreamId(99);
+        s.on_arrival(2, Cycles(4_000), &rt);
+        assert_eq!(s.choose(&[true, true, true]), Some(2));
+    }
+
     #[test]
     #[should_panic(expected = "queued flit")]
     fn eligible_without_flit_panics() {
@@ -536,7 +959,10 @@ mod tests {
             assert_eq!(eligible.len(), self.vcs.len());
             let n = self.vcs.len();
             match self.kind {
-                SchedulerKind::VirtualClock | SchedulerKind::Fifo => {
+                SchedulerKind::VirtualClock
+                | SchedulerKind::Fifo
+                | SchedulerKind::Wfq
+                | SchedulerKind::Scfq => {
                     let mut best: Option<(f64, usize)> = None;
                     for off in 1..=n {
                         let vc = (self.rr_cursor + off) % n;
@@ -562,6 +988,25 @@ mod tests {
                     }
                     None
                 }
+                SchedulerKind::Drr => {
+                    for off in 0..n {
+                        let vc = (self.rr_cursor + off) % n;
+                        if eligible[vc] && self.vcs[vc].deficit >= 1.0 {
+                            assert!(
+                                !self.vcs[vc].stamps.is_empty(),
+                                "eligible VC must have a queued flit"
+                            );
+                            return Some(vc);
+                        }
+                    }
+                    for off in 1..=n {
+                        let vc = (self.rr_cursor + off) % n;
+                        if eligible[vc] {
+                            return Some(vc);
+                        }
+                    }
+                    None
+                }
             }
         }
     }
@@ -578,11 +1023,7 @@ mod tests {
             rng ^= rng << 17;
             rng
         };
-        for kind in [
-            SchedulerKind::VirtualClock,
-            SchedulerKind::Fifo,
-            SchedulerKind::RoundRobin,
-        ] {
+        for kind in ALL_KINDS {
             let n = 8;
             let mut s = MuxScheduler::new(kind, n);
             let mut choices = Vec::new();

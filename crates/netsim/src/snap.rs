@@ -39,7 +39,11 @@
 //! ```
 
 /// Current snapshot layout version; bump on any field-sequence change.
-pub const SNAP_VERSION: u32 = 1;
+///
+/// History: v1 — initial layout; v2 — scheduler-zoo fields (global
+/// `v_time`/`v_cycle`/`v_served`, per-VC DRR deficit), best-effort
+/// source fractional-gap carry, and workload policer state.
+pub const SNAP_VERSION: u32 = 2;
 
 const MAGIC: [u8; 4] = *b"MWSN";
 const HEADER_LEN: usize = 4 + 4 + 8 + 8;

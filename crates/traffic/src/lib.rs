@@ -35,11 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod besteffort;
+pub mod police;
 pub mod spec;
 pub mod stream;
 pub mod workload;
 
 pub use besteffort::BestEffortSource;
+pub use police::{Policer, PolicingMode, TokenBucket};
 pub use spec::{ArrivalProcess, FrameModel, StreamClass, WorkloadSpec};
 pub use stream::RealTimeStream;
 pub use workload::{ScheduledMessage, Source, StreamInfo, Workload, WorkloadBuilder};

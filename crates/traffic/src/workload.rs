@@ -5,6 +5,7 @@ use netsim::snap::{SnapError, SnapReader, SnapWriter};
 use netsim::{Cycles, SimRng};
 
 use crate::besteffort::BestEffortSource;
+use crate::police::{Policer, PolicingMode};
 use crate::spec::{StreamClass, WorkloadSpec};
 use crate::stream::RealTimeStream;
 
@@ -66,6 +67,7 @@ pub struct Workload {
     spec: WorkloadSpec,
     partition: VcPartition,
     oversubscribed: bool,
+    policer: Policer,
 }
 
 impl Workload {
@@ -113,10 +115,22 @@ impl Workload {
     ///
     /// Panics if `idx` is out of range.
     pub fn next_message(&mut self, idx: usize) -> ScheduledMessage {
-        match &mut self.sources[idx] {
+        let mut msg = match &mut self.sources[idx] {
             Source::RealTime(s) => s.next_message(&mut self.rng, &mut self.next_msg_id),
             Source::BestEffort(s) => s.next_message(&mut self.rng, &mut self.next_msg_id),
+        };
+        // Police real-time sources against their negotiated envelope at
+        // the NI, in front of admission control. Best-effort sources have
+        // no contract to enforce.
+        if idx < self.rt_count {
+            self.policer.apply(idx, &mut msg);
         }
+        msg
+    }
+
+    /// The NI policing mode the workload was built with.
+    pub fn policing(&self) -> PolicingMode {
+        self.policer.mode()
     }
 
     /// Serialises the workload's generation state into a snapshot: the
@@ -141,6 +155,7 @@ impl Workload {
                 }
             }
         }
+        self.policer.save(w);
     }
 
     /// Restores state saved by [`Workload::save`] into this workload,
@@ -169,6 +184,7 @@ impl Workload {
                 _ => return Err(SnapError::BadValue("workload source kind mismatch")),
             }
         }
+        self.policer.load_into(r)?;
         Ok(())
     }
 }
@@ -201,6 +217,7 @@ pub struct WorkloadBuilder {
     mix_y: f64,
     class: StreamClass,
     seed: u64,
+    policing: PolicingMode,
 }
 
 impl WorkloadBuilder {
@@ -222,6 +239,7 @@ impl WorkloadBuilder {
             mix_y: 20.0,
             class: StreamClass::Vbr,
             seed: 0,
+            policing: PolicingMode::Off,
         }
     }
 
@@ -260,6 +278,13 @@ impl WorkloadBuilder {
     /// Sets the RNG seed (the whole workload is a pure function of it).
     pub fn seed(mut self, seed: u64) -> WorkloadBuilder {
         self.seed = seed;
+        self
+    }
+
+    /// Chooses the NI policing action for real-time streams (default:
+    /// [`PolicingMode::Off`]).
+    pub fn policing(mut self, mode: PolicingMode) -> WorkloadBuilder {
+        self.policing = mode;
         self
     }
 
@@ -360,6 +385,7 @@ impl WorkloadBuilder {
             spec: self.spec.clone(),
             partition: self.partition,
             oversubscribed,
+            policer: Policer::new(self.policing, rt_count, &self.spec),
         }
     }
 }
@@ -460,6 +486,56 @@ mod tests {
                 assert!(seen.insert(m.flits[0].msg));
             }
         }
+    }
+
+    #[test]
+    fn shaped_workload_keeps_per_source_time_order() {
+        let mut wl = builder()
+            .load(0.9)
+            .seed(5)
+            .policing(PolicingMode::Shape)
+            .build();
+        for i in 0..wl.source_count() {
+            let mut last = Cycles::ZERO;
+            for _ in 0..8 {
+                let m = wl.next_message(i);
+                assert!(m.at >= last, "shaping broke time order at source {i}");
+                last = m.at;
+            }
+        }
+    }
+
+    #[test]
+    fn demoted_messages_keep_their_class_and_vcs() {
+        // A very bursty VBR spec (σ = mean/2) so oversized frames reliably
+        // overrun the mean-rate bucket within a few frame intervals.
+        let spec = WorkloadSpec {
+            frame_std_bytes: 8_333.0,
+            ..WorkloadSpec::paper_default()
+        };
+        let mut wl = builder()
+            .spec(spec)
+            .load(0.9)
+            .seed(6)
+            .policing(PolicingMode::Demote)
+            .build();
+        let p = wl.partition();
+        let rt = wl.real_time_stream_count().min(16);
+        let mut demoted = 0u32;
+        for i in 0..rt {
+            for _ in 0..1_700 {
+                let m = wl.next_message(i);
+                if m.flits[0].vtick == flitnet::BEST_EFFORT_VTICK {
+                    demoted += 1;
+                    // Demotion changes scheduling priority only: the
+                    // flits stay in their class partition.
+                    assert_eq!(m.flits[0].class, TrafficClass::Vbr);
+                    assert!(p.class_of(m.vc_in).is_real_time());
+                }
+            }
+        }
+        // VBR frames above the mean must trip the mean-rate bucket.
+        assert!(demoted > 0, "a VBR workload should demote some messages");
     }
 
     #[test]

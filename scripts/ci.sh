@@ -42,3 +42,18 @@ cargo test -q -p mediaworm snapshot
 cargo test -q -p mediaworm checkpoint
 cargo test -q -p mediaworm-bench --test shard_resume
 cargo test -q -p mediaworm-bench shard
+
+# Ablation smoke: a tiny slice of the scheduler x policing matrix must
+# produce bit-identical results at any --jobs split. The throughput
+# block records wall-clock time (the one legitimate difference), so it
+# is stripped before comparing; everything else must match byte-for-byte.
+smoke_flags=(--quick --schedulers wfq,drr,scfq --policing off,shape --loads 0.8)
+cargo run --release -q -p mediaworm-bench --bin ablation_sched -- \
+  "${smoke_flags[@]}" --jobs 1 --json target/bench/ablation_smoke_jobs1.json
+cargo run --release -q -p mediaworm-bench --bin ablation_sched -- \
+  "${smoke_flags[@]}" --jobs 2 --json target/bench/BENCH_ablation_sched.json
+sed 's/"throughput".*//' target/bench/ablation_smoke_jobs1.json \
+  > target/bench/ablation_smoke_jobs1.stripped
+sed 's/"throughput".*//' target/bench/BENCH_ablation_sched.json \
+  > target/bench/ablation_smoke_jobs2.stripped
+cmp target/bench/ablation_smoke_jobs1.stripped target/bench/ablation_smoke_jobs2.stripped

@@ -123,6 +123,89 @@ proptest! {
         );
     }
 
+    /// Every discipline in the scheduler zoo is work-conserving: whenever
+    /// any VC is eligible, one is served — and never an empty one.
+    #[test]
+    fn scheduler_zoo_is_work_conserving(
+        kind_idx in 0usize..6,
+        arrivals in proptest::collection::vec((0usize..4, 1.0f64..1000.0), 1..200),
+    ) {
+        let kind = [
+            SchedulerKind::VirtualClock,
+            SchedulerKind::Fifo,
+            SchedulerKind::RoundRobin,
+            SchedulerKind::Wfq,
+            SchedulerKind::Drr,
+            SchedulerKind::Scfq,
+        ][kind_idx];
+        let mut s = MuxScheduler::new(kind, 4);
+        let mut queued = [0u32; 4];
+        for (vc, vtick) in &arrivals {
+            s.on_arrival(*vc, Cycles(0), &flit(FlitKind::HeadTail, *vtick, *vc as u32));
+            queued[*vc] += 1;
+        }
+        let total: u32 = queued.iter().sum();
+        for _ in 0..total {
+            let eligible: Vec<bool> = queued.iter().map(|&q| q > 0).collect();
+            let vc = s.choose(&eligible).expect("work conservation");
+            prop_assert!(queued[vc] > 0, "{kind:?} granted an empty VC");
+            queued[vc] -= 1;
+            s.on_service(vc);
+        }
+        prop_assert!(queued.iter().all(|&q| q == 0));
+    }
+
+    /// The rate-aware fair-queueing disciplines (WFQ, SCFQ) share a
+    /// backlogged link in proportion to the configured rates, like
+    /// Virtual Clock does.
+    #[test]
+    fn fair_queueing_zoo_shares_by_rate(kind_idx in 0usize..2, ratio in 2u32..8) {
+        let kind = [SchedulerKind::Wfq, SchedulerKind::Scfq][kind_idx];
+        let mut s = MuxScheduler::new(kind, 2);
+        let slow_tick = 1000.0;
+        let fast_tick = slow_tick / f64::from(ratio);
+        let n = 2000u32;
+        s.on_arrival(0, Cycles(0), &flit(FlitKind::Head, slow_tick, 0));
+        s.on_arrival(1, Cycles(0), &flit(FlitKind::Head, fast_tick, 1));
+        for _ in 1..n {
+            s.on_arrival(0, Cycles(0), &flit(FlitKind::Body, slow_tick, 0));
+            s.on_arrival(1, Cycles(0), &flit(FlitKind::Body, fast_tick, 1));
+        }
+        let mut served = [0u32; 2];
+        for _ in 0..n {
+            let vc = s.choose(&[true, true]).expect("backlogged");
+            served[vc] += 1;
+            s.on_service(vc);
+        }
+        let measured = f64::from(served[1]) / f64::from(served[0]);
+        prop_assert!(
+            (measured - f64::from(ratio)).abs() / f64::from(ratio) < 0.25,
+            "{kind:?}: expected ratio {ratio}, measured {measured:.2} ({served:?})"
+        );
+    }
+
+    /// DRR ignores rates entirely: with a fixed quantum both backlogged
+    /// VCs get equal service no matter how skewed their vticks are.
+    #[test]
+    fn drr_splits_evenly_regardless_of_rate(ratio in 2u32..8) {
+        let mut s = MuxScheduler::new(SchedulerKind::Drr, 2);
+        let slow_tick = 1000.0;
+        let fast_tick = slow_tick / f64::from(ratio);
+        let n = 2000u32;
+        for i in 0..n {
+            let k = if i == 0 { FlitKind::Head } else { FlitKind::Body };
+            s.on_arrival(0, Cycles(0), &flit(k, slow_tick, 0));
+            s.on_arrival(1, Cycles(0), &flit(k, fast_tick, 1));
+        }
+        let mut served = [0u32; 2];
+        for _ in 0..n {
+            let vc = s.choose(&[true, true]).expect("backlogged");
+            served[vc] += 1;
+            s.on_service(vc);
+        }
+        prop_assert!(served[0] == served[1], "DRR must split evenly: {served:?}");
+    }
+
     /// The calendar pops events in non-decreasing time order, FIFO within
     /// a cycle.
     #[test]

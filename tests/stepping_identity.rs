@@ -16,18 +16,34 @@ use mediaworm::{
 use netsim::{Cycles, JsonlSink};
 use proptest::prelude::*;
 use topo::Topology;
-use traffic::{StreamClass, Workload, WorkloadBuilder, WorkloadSpec};
+use traffic::{PolicingMode, StreamClass, Workload, WorkloadBuilder, WorkloadSpec};
 
 /// The fig. 3 load grid (fractions of link bandwidth).
 const LOADS: [f64; 5] = [0.6, 0.7, 0.8, 0.9, 0.96];
 
-fn fig3_workload(load: f64, seed: u64) -> Workload {
+/// Every discipline in the scheduler zoo, for identity grids that must
+/// cover them all.
+const ZOO: [SchedulerKind; 6] = [
+    SchedulerKind::VirtualClock,
+    SchedulerKind::Fifo,
+    SchedulerKind::RoundRobin,
+    SchedulerKind::Wfq,
+    SchedulerKind::Drr,
+    SchedulerKind::Scfq,
+];
+
+fn fig3_policed(load: f64, seed: u64, policing: PolicingMode) -> Workload {
     WorkloadBuilder::new(8, VcPartition::from_mix(16, 80.0, 20.0))
         .load(load)
         .mix(80.0, 20.0)
         .real_time_class(StreamClass::Vbr)
+        .policing(policing)
         .seed(seed)
         .build()
+}
+
+fn fig3_workload(load: f64, seed: u64) -> Workload {
+    fig3_policed(load, seed, PolicingMode::Off)
 }
 
 /// Every observable of the two outcomes must match, floats bit-for-bit.
@@ -94,6 +110,86 @@ fn fig3_load_grid_is_bit_identical_to_reference() {
             );
             assert!(fast.delivered_msgs > 0, "{kind:?} load {load} must flow");
             assert_outcomes_identical(&fast, &slow, &format!("{kind:?} load {load}"));
+        }
+    }
+}
+
+/// The new disciplines (round-robin, WFQ, DRR, SCFQ) crossed with NI
+/// policing must be bit-identical on the memoized fast path and the
+/// unmemoized full-scan reference — same contract the Virtual Clock and
+/// FIFO grid above enforces.
+#[test]
+fn scheduler_zoo_and_policing_are_bit_identical_to_reference() {
+    let topology = Topology::single_switch(8);
+    for kind in [
+        SchedulerKind::RoundRobin,
+        SchedulerKind::Wfq,
+        SchedulerKind::Drr,
+        SchedulerKind::Scfq,
+    ] {
+        let cfg = RouterConfig::default().scheduler(kind);
+        for mode in PolicingMode::ALL {
+            let what = format!("{kind:?} policing {mode}");
+            let fast = sim::run_opts(
+                &topology,
+                fig3_policed(0.9, 42, mode),
+                &cfg,
+                0.005,
+                0.015,
+                SimOpts::standard(),
+            );
+            let slow = sim::run_opts(
+                &topology,
+                fig3_policed(0.9, 42, mode),
+                &cfg,
+                0.005,
+                0.015,
+                SimOpts::standard().reference(),
+            );
+            assert!(fast.delivered_msgs > 0, "{what}: traffic must flow");
+            assert_outcomes_identical(&fast, &slow, &what);
+        }
+    }
+}
+
+/// Every zoo discipline survives a mid-run snapshot/restore: the
+/// restored run must land on the same counters and a byte-equal
+/// end-of-run snapshot as the uninterrupted one. Shape policing rides
+/// along so the token buckets' state is exercised too.
+#[test]
+fn scheduler_zoo_survives_mid_run_snapshot_restore() {
+    let topology = Topology::single_switch(8);
+    for kind in ZOO {
+        for mode in [PolicingMode::Off, PolicingMode::Shape] {
+            let what = format!("{kind:?} policing {mode}");
+            let cfg = RouterConfig::default().scheduler(kind);
+            let mut full = Network::new(&topology, fig3_policed(0.9, 42, mode), &cfg);
+            let tb = full.timebase();
+            let warmup = tb.cycles_from_secs(0.001);
+            let mid = tb.cycles_from_secs(0.004);
+            let end = tb.cycles_from_secs(0.008);
+            full.set_warmup_end(warmup);
+            full.run_until(end);
+            assert!(full.delivered_msgs() > 0, "{what}: traffic must flow");
+
+            let mut pre = Network::new(&topology, fig3_policed(0.9, 42, mode), &cfg);
+            pre.set_warmup_end(warmup);
+            pre.run_until(mid);
+            let bytes = pre.snapshot();
+
+            let mut post = Network::new(&topology, fig3_policed(0.9, 42, mode), &cfg);
+            post.restore(&bytes).expect("restore");
+            post.run_until(end);
+            assert_eq!(
+                full.injected_msgs(),
+                post.injected_msgs(),
+                "{what}: injected"
+            );
+            assert_eq!(full.counters(), post.counters(), "{what}: counters");
+            assert!(
+                full.snapshot() == post.snapshot(),
+                "{what}: end-of-run snapshots differ"
+            );
         }
     }
 }
@@ -212,10 +308,16 @@ fn audited_run_is_bit_identical_to_reference() {
 /// endpoints, 4 VCs split 2+2 (the torus dateline rule needs two VCs
 /// per populated class), 80:20 VBR traffic mix.
 fn grid_workload(nodes: usize, load: f64, seed: u64) -> Workload {
+    grid_workload_policed(nodes, load, seed, PolicingMode::Off)
+}
+
+/// [`grid_workload`] with NI policing applied to the real-time streams.
+fn grid_workload_policed(nodes: usize, load: f64, seed: u64, policing: PolicingMode) -> Workload {
     WorkloadBuilder::new(nodes, VcPartition::from_mix(4, 50.0, 50.0))
         .load(load)
         .mix(80.0, 20.0)
         .real_time_class(StreamClass::Vbr)
+        .policing(policing)
         .seed(seed)
         .build()
 }
@@ -547,8 +649,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
     /// Snapshot round-trip identity holds at random seeds, loads,
-    /// checkpoint cycles, thread counts and topologies — not just the
-    /// hand-picked grid above.
+    /// checkpoint cycles, thread counts, topologies, scheduler
+    /// disciplines and policing modes — not just the hand-picked grids
+    /// above.
     #[test]
     fn snapshot_round_trip_over_random_runs(
         seed in 0u64..1000,
@@ -556,14 +659,18 @@ proptest! {
         frac in 0.1f64..0.9,
         threads in 1usize..5,
         topo_idx in 0usize..3,
+        kind_idx in 0usize..6,
+        pol_idx in 0usize..3,
     ) {
         let topology = match topo_idx {
             0 => Topology::mesh(4, 4, 1),
             1 => Topology::fat_mesh(2, 2, 2, 4),
             _ => Topology::torus(4, 4, 1),
         };
-        let cfg = RouterConfig::new(4);
-        let mut a = Network::new(&topology, grid_workload(16, load, seed), &cfg);
+        let mode = PolicingMode::ALL[pol_idx];
+        let wl = |s| grid_workload_policed(16, load, s, mode);
+        let cfg = RouterConfig::new(4).scheduler(ZOO[kind_idx]);
+        let mut a = Network::new(&topology, wl(seed), &cfg);
         let tb = a.timebase();
         let end = tb.cycles_from_secs(0.0025);
         a.set_warmup_end(tb.cycles_from_secs(0.0005));
@@ -571,7 +678,7 @@ proptest! {
         step_plain(&mut a, mid, threads);
         let bytes = a.snapshot();
 
-        let mut b = Network::new(&topology, grid_workload(16, load, seed), &cfg);
+        let mut b = Network::new(&topology, wl(seed), &cfg);
         b.restore(&bytes).expect("restore");
         step_plain(&mut a, end, threads);
         step_plain(&mut b, end, threads);
