@@ -233,6 +233,59 @@ fn bench_net_step(c: &mut Criterion) {
     g.finish();
 }
 
+/// [`fig3_network`] with token-bucket shaping at the NIs and a choice of
+/// horizon skipping, for the quiescence-skip pair of the `net_step`
+/// group.
+fn fig3_shaped_network(load: f64, skipping: bool) -> Network {
+    let topology = Topology::single_switch(8);
+    let wl = WorkloadBuilder::new(8, VcPartition::from_mix(16, 80.0, 20.0))
+        .load(load)
+        .mix(80.0, 20.0)
+        .real_time_class(StreamClass::Vbr)
+        .policing(traffic::PolicingMode::Shape)
+        .seed(3)
+        .build();
+    let mut net = Network::new(&topology, wl, &RouterConfig::default());
+    let tb = net.timebase();
+    net.run_until(tb.cycles_from_ms(2.0));
+    net.set_horizon_skipping(skipping);
+    net
+}
+
+/// The quiescence-skip pair: a low-load point and a shaped point where
+/// most cycles are skippable, each stepped with the horizon driver and
+/// with the legacy idle-jump-only stepper. Tracks the skip path so a
+/// regression that stops cycles from being skipped shows up as these
+/// benches collapsing toward their `legacy` counterparts.
+fn bench_net_step_skip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_step");
+    g.sample_size(20);
+    for (label, shaped) in [("low_load", false), ("shaped", true)] {
+        for (mode, skipping) in [("horizon", true), ("legacy", false)] {
+            g.bench_function(format!("{mode}_fig3_{label}_0.3_10k_cycles"), |b| {
+                b.iter_batched(
+                    || {
+                        if shaped {
+                            fig3_shaped_network(0.3, skipping)
+                        } else {
+                            let mut net = fig3_network(0.3);
+                            net.set_horizon_skipping(skipping);
+                            net
+                        }
+                    },
+                    |mut net| {
+                        let end = net.now() + Cycles(10_000);
+                        net.run_until(end);
+                        black_box(net.delivered_flits())
+                    },
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    g.finish();
+}
+
 /// An 8x8 mesh (64 nodes, 4 VCs) warmed into steady state, for the
 /// threads axis of the `net_step` group.
 fn mesh_network(load: f64) -> Network {
@@ -286,6 +339,7 @@ criterion_group!(
     bench_normal,
     bench_router_cycle,
     bench_net_step,
+    bench_net_step_skip,
     bench_net_step_threads,
     bench_telemetry
 );

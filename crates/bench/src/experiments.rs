@@ -144,6 +144,7 @@ fn point_json(index: usize, labels: &[(&str, &str)], out: &SimOutcome) -> Json {
     o.push("delivered_msgs", Json::Uint(out.delivered_msgs));
     o.push("in_flight_at_end", Json::Uint(out.in_flight_at_end));
     o.push("counters", out.counters.to_json());
+    o.push("skip", out.skip.to_json());
     o.push("audit_violations", Json::Uint(out.audit_violations));
     o.push(
         "stall",

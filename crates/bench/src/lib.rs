@@ -102,6 +102,10 @@ pub struct RunArgs {
     /// (comma-separated fractions). `None` runs the experiment's default
     /// load grid.
     pub loads: Option<Vec<f64>>,
+    /// `--skip-only` (perf binary): measure and emit only the
+    /// quiescence-skip section, so CI can gate on `cycles_skipped > 0`
+    /// without paying for the full throughput harness.
+    pub skip_only: bool,
 }
 
 impl RunArgs {
@@ -181,6 +185,7 @@ impl RunArgs {
                 }
                 "--resume" => args.resume = true,
                 "--audit" => args.audit = true,
+                "--skip-only" => args.skip_only = true,
                 "--schedulers" => {
                     let list = it
                         .next()
@@ -362,6 +367,7 @@ impl Default for RunArgs {
             schedulers: None,
             policing: None,
             loads: None,
+            skip_only: false,
         }
     }
 }
@@ -387,7 +393,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <experiment> [--quick] [--seed N] [--warmup SECS] [--measure SECS] [--jobs N] \
          [--threads N] [--json [PATH]] [--shard I/N] [--checkpoint CYCLES] [--resume] \
-         [--audit] [--trace PATH] [--schedulers LIST] [--policing LIST] [--loads LIST]"
+         [--audit] [--trace PATH] [--schedulers LIST] [--policing LIST] [--loads LIST] \
+         [--skip-only]"
     );
     std::process::exit(2);
 }

@@ -19,6 +19,10 @@
 //!   `Network::restore` take on a warmed fig. 3 network and how many
 //!   bytes the snapshot is — the per-checkpoint price `--checkpoint`
 //!   pays.
+//! * **Quiescence skip** (`skip`): at a low-load point and under
+//!   `--policing shape`, the stepped-vs-skipped cycle split of the
+//!   horizon driver and its wall-clock speedup over the legacy
+//!   idle-jump-only stepper. `--skip-only` emits just this section.
 //!
 //! The numbers are hardware-dependent; the point of recording them per CI
 //! run is the *trend* (and the speedup ratio, which is dimensionless).
@@ -26,11 +30,11 @@
 use std::time::Instant;
 
 use flitnet::VcPartition;
-use mediaworm::{Network, RouterConfig};
+use mediaworm::{Network, RouterConfig, SkipStats};
 use metrics::Json;
 use netsim::Cycles;
 use topo::Topology;
-use traffic::{StreamClass, WorkloadBuilder};
+use traffic::{PolicingMode, StreamClass, WorkloadBuilder};
 
 use crate::{experiments, RunArgs};
 
@@ -68,16 +72,38 @@ impl StepTiming {
 }
 
 /// A fig. 3-configured network (16-VC Virtual Clock switch, 80:20 mix)
-/// at cycle zero — the restore target shape.
-fn fig3_network_cold(load: f64, seed: u64) -> Network {
+/// with the given NI policing mode and router config, at cycle zero —
+/// the restore target shape.
+fn fig3_network_cfg(load: f64, seed: u64, policing: PolicingMode, cfg: &RouterConfig) -> Network {
     let topology = Topology::single_switch(8);
     let wl = WorkloadBuilder::new(8, VcPartition::from_mix(16, 80.0, 20.0))
         .load(load)
         .mix(80.0, 20.0)
         .real_time_class(StreamClass::Vbr)
+        .policing(policing)
         .seed(seed)
         .build();
-    Network::new(&topology, wl, &RouterConfig::default())
+    Network::new(&topology, wl, cfg)
+}
+
+/// [`fig3_network_cfg`] with the paper's Table 1 router defaults.
+fn fig3_network_policed(load: f64, seed: u64, policing: PolicingMode) -> Network {
+    fig3_network_cfg(load, seed, policing, &RouterConfig::default())
+}
+
+/// The wire-dominated router variant of the skip section: 64-cycle links
+/// against 4-flit buffers, so the credit round trip dwarfs the per-VC
+/// credit supply and a sparse message spends most of its life parked
+/// mid-wire or credit-blocked. The legacy all-idle jump can never fire
+/// inside a message here (`flits_in_flight > 0` throughout), which is
+/// exactly the regime the quiescence horizon exists for.
+fn wire_dominated_config() -> RouterConfig {
+    RouterConfig::default().link_latency(64).buf_flits(4)
+}
+
+/// [`fig3_network_policed`] with policing off.
+fn fig3_network_cold(load: f64, seed: u64) -> Network {
+    fig3_network_policed(load, seed, PolicingMode::Off)
 }
 
 /// [`fig3_network_cold`] warmed 2 simulated ms into a busy steady state.
@@ -147,6 +173,142 @@ fn time_mesh_stepping(load: f64, seed: u64, cycles: u64, threads: usize) -> Step
     }
 }
 
+/// One quiescence-skip measurement: the same warmed fig. 3 point stepped
+/// over the same window with horizon skipping on and (legacy all-idle
+/// jump only) off, plus the skip counters of the horizon run.
+#[derive(Debug, Clone)]
+pub struct SkipTiming {
+    /// Offered load of the point.
+    pub load: f64,
+    /// NI policing mode label (`"off"` / `"shape"` / `"demote"`).
+    pub policing: &'static str,
+    /// Router-config label: `"table1"` (paper defaults) or `"wire64"`
+    /// (64-cycle under-credited links).
+    pub config: &'static str,
+    /// Simulated cycles covered by the timed window.
+    pub cycles: u64,
+    /// Wall-clock seconds with horizon skipping enabled.
+    pub horizon_secs: f64,
+    /// Wall-clock seconds with the legacy idle-jump-only stepper.
+    pub active_secs: f64,
+    /// Skip counters of the horizon run's measured window.
+    pub skip: SkipStats,
+}
+
+impl SkipTiming {
+    /// Wall-clock speedup of the horizon path over the legacy active
+    /// stepper on this window.
+    pub fn horizon_over_active(&self) -> f64 {
+        self.active_secs / self.horizon_secs.max(1e-12)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj([
+            ("load", Json::num(self.load)),
+            ("policing", Json::str(self.policing)),
+            ("config", Json::str(self.config)),
+            ("cycles", Json::Uint(self.cycles)),
+        ]);
+        o.push("horizon_secs", Json::num(self.horizon_secs));
+        o.push("active_secs", Json::num(self.active_secs));
+        o.push("horizon_over_active", Json::num(self.horizon_over_active()));
+        o.push("skip", self.skip.to_json());
+        o
+    }
+}
+
+/// Times `cycles` of steady-state stepping at a fig. 3 point twice — with
+/// horizon skipping and with the legacy idle-jump-only stepper — and
+/// checks the two runs simulate identical bits while they're at it.
+fn time_skip(
+    load: f64,
+    seed: u64,
+    cycles: u64,
+    policing: PolicingMode,
+    label: &'static str,
+    cfg: &RouterConfig,
+    config: &'static str,
+) -> SkipTiming {
+    // Warm one network with the (end-clamped) horizon driver and
+    // snapshot it: every timed repeat restores the same image, so both
+    // modes measure the exact same window from the exact same state and
+    // a repeat costs a restore, not a fresh 2 ms warm-up.
+    let mut warm = fig3_network_cfg(load, seed, policing, cfg);
+    let tb = warm.timebase();
+    warm.run_until(tb.cycles_from_ms(2.0));
+    let image = warm.snapshot();
+    let end = warm.now() + Cycles(cycles);
+
+    let run = |skipping: bool| {
+        let mut net = fig3_network_cfg(load, seed, policing, cfg);
+        net.restore(&image)
+            .expect("skip-timing image must restore into its own configuration");
+        net.set_horizon_skipping(skipping);
+        net.reset_skip_stats();
+        let started = Instant::now();
+        net.run_until(end);
+        let secs = started.elapsed().as_secs_f64();
+        std::hint::black_box(net.delivered_flits());
+        (secs, net)
+    };
+
+    // Interleave the modes and keep the best window of each: scheduler
+    // noise on shared CI hosts dwarfs the per-window difference, and the
+    // minimum is the standard noise-robust throughput estimator.
+    const REPEATS: usize = 5;
+    let mut horizon_secs = f64::INFINITY;
+    let mut active_secs = f64::INFINITY;
+    let mut pair = None;
+    for _ in 0..REPEATS {
+        let (h_secs, h_net) = run(true);
+        let (a_secs, a_net) = run(false);
+        horizon_secs = horizon_secs.min(h_secs);
+        active_secs = active_secs.min(a_secs);
+        pair = Some((h_net, a_net));
+    }
+    let (horizon, active) = pair.expect("at least one repeat ran");
+    assert_eq!(
+        (horizon.injected_msgs(), horizon.delivered_msgs()),
+        (active.injected_msgs(), active.delivered_msgs()),
+        "horizon and legacy stepping must simulate the same run"
+    );
+    SkipTiming {
+        load,
+        policing: label,
+        config,
+        cycles,
+        horizon_secs,
+        active_secs,
+        skip: horizon.skip_stats(),
+    }
+}
+
+/// Measures the `skip` section: skip effectiveness and horizon-over-active
+/// wall-clock speedup at a low-load point and a shaped point.
+fn run_skip_section(args: &RunArgs, cycles: u64) -> Vec<SkipTiming> {
+    let table1 = RouterConfig::default();
+    let wire64 = wire_dominated_config();
+    let mut skips = Vec::new();
+    for (load, policing, label, cfg, config) in [
+        (0.3, PolicingMode::Off, "off", &table1, "table1"),
+        (0.3, PolicingMode::Shape, "shape", &table1, "table1"),
+        (0.6, PolicingMode::Shape, "shape", &table1, "table1"),
+        (0.05, PolicingMode::Off, "off", &wire64, "wire64"),
+    ] {
+        let t = time_skip(load, args.seed, cycles, policing, label, cfg, config);
+        println!(
+            "   skip @ load {load:.2}/{label}/{config}: {:.1}% skipped | {} jumps | horizon {:>9.0} cyc/s | active {:>9.0} cyc/s | {:.2}x",
+            t.skip.skip_ratio() * 100.0,
+            t.skip.horizon_jumps,
+            t.cycles as f64 / t.horizon_secs.max(1e-12),
+            t.cycles as f64 / t.active_secs.max(1e-12),
+            t.horizon_over_active(),
+        );
+        skips.push(t);
+    }
+    skips
+}
+
 /// Cost of one checkpoint on a warmed fig. 3 network: snapshot time,
 /// restore time (into a freshly built identical network) and the snapshot
 /// size in bytes.
@@ -203,12 +365,27 @@ fn time_snapshot(load: f64, seed: u64) -> SnapshotCost {
 /// `--seed` and `--jobs`. Prints a human-readable summary as it goes.
 pub fn run_perf(args: &RunArgs) -> Json {
     let cycles: u64 = if args.quick { 100_000 } else { 400_000 };
+    // The skip section compares two drivers whose per-cycle costs differ
+    // by nanoseconds; it needs windows long enough to rise above timer
+    // and scheduler noise.
+    let skip_cycles: u64 = if args.quick { 1_000_000 } else { 4_000_000 };
     println!("== simulator throughput (perf) ==");
     println!(
         "   fig3 config: 8-port switch, 16 VCs, 80:20 mix, seed {}",
         args.seed
     );
     println!();
+
+    if args.skip_only {
+        // `--skip-only`: just the quiescence-skip section, for CI gates
+        // that assert skip effectiveness without paying for the full
+        // harness.
+        let skips = run_skip_section(args, skip_cycles);
+        return Json::obj([
+            ("experiment", Json::str("perf")),
+            ("skip", Json::arr(skips.iter().map(SkipTiming::to_json))),
+        ]);
+    }
 
     let mut timings: Vec<StepTiming> = Vec::new();
     let mut speedups: Vec<(f64, f64)> = Vec::new();
@@ -266,6 +443,10 @@ pub fn run_perf(args: &RunArgs) -> Json {
     }
     println!();
 
+    // Quiescence-skip effectiveness and horizon-over-active speedup.
+    let skips = run_skip_section(args, skip_cycles);
+    println!();
+
     // The standard sweep, timed the same way `--json` runs are.
     let started = Instant::now();
     let sweep = experiments::fig3(args);
@@ -310,6 +491,7 @@ pub fn run_perf(args: &RunArgs) -> Json {
             "snapshot",
             Json::arr(snapshot_costs.iter().map(SnapshotCost::to_json)),
         ),
+        ("skip", Json::arr(skips.iter().map(SkipTiming::to_json))),
         ("sweep", sweep.to_json(sweep_secs)),
     ])
 }
@@ -344,6 +526,47 @@ mod tests {
         let doc = c.to_json().to_string();
         assert!(doc.contains("\"bytes\":"));
         assert!(doc.contains("\"restore_secs\":"));
+    }
+
+    #[test]
+    fn skip_timing_measures_nonzero_skips_at_low_load() {
+        // Load 0.3 leaves the fig. 3 switch quiescent most of the time:
+        // the horizon driver must skip cycles there, and both drivers
+        // must simulate the same run (time_skip asserts that itself).
+        let t = time_skip(
+            0.3,
+            7,
+            50_000,
+            PolicingMode::Off,
+            "off",
+            &RouterConfig::default(),
+            "table1",
+        );
+        assert!(t.skip.cycles_skipped > 0, "no cycles skipped at load 0.3");
+        assert!(t.skip.horizon_jumps > 0);
+        assert_eq!(t.skip.simulated_cycles(), 50_000);
+        assert!(t.horizon_over_active().is_finite());
+        let doc = t.to_json().to_string();
+        assert!(doc.contains("\"cycles_skipped\":"));
+        assert!(doc.contains("\"horizon_over_active\":"));
+    }
+
+    #[test]
+    fn skip_timing_shaped_point_skips_inter_message_gaps() {
+        let t = time_skip(
+            0.3,
+            7,
+            50_000,
+            PolicingMode::Shape,
+            "shape",
+            &RouterConfig::default(),
+            "table1",
+        );
+        assert!(
+            t.skip.cycles_skipped > 0,
+            "token-bucket shaping must leave skippable gaps"
+        );
+        assert_eq!(t.policing, "shape");
     }
 
     #[test]

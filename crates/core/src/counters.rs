@@ -13,9 +13,57 @@ use metrics::Json;
 /// How often (in cycles) the crossbar samples input-buffer occupancy.
 ///
 /// Sampling happens on active cycles only: a router that is idle (and
-/// skipped by the driver's idle jump) records no samples, which is the
-/// interesting regime anyway — an idle router's buffers are empty.
+/// skipped by the driver's quiescence-horizon jump) records no samples,
+/// which is the interesting regime anyway — an idle router's buffers are
+/// empty. The crossbar stage asserts this invariant (`debug_assert` on
+/// `Router::has_work`), and a skipped span therefore contributes neither
+/// samples nor occupancy sums; mean occupancy is a *busy-cycle* mean, not
+/// a wall-clock mean, regardless of how many cycles the driver jumps.
 pub const OCCUPANCY_SAMPLE_PERIOD: u64 = 1024;
+
+/// Quiescence-skip effectiveness counters, kept by the network driver.
+///
+/// Always on (two integer adds per stepped cycle or jump) but *not* part
+/// of [`NetCounters`]: skip behaviour is a property of the driver, not of
+/// the simulated machine — an audited run steps extra due-cycles and so
+/// skips less, while producing bit-identical simulation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkipStats {
+    /// Cycles actually executed through the step pipeline.
+    pub cycles_stepped: u64,
+    /// Cycles jumped over because the network was quiescent.
+    pub cycles_skipped: u64,
+    /// Number of horizon jumps taken (each skips ≥ 1 cycle).
+    pub horizon_jumps: u64,
+}
+
+impl SkipStats {
+    /// Total simulated cycles this driver advanced (stepped + skipped).
+    pub fn simulated_cycles(&self) -> u64 {
+        self.cycles_stepped + self.cycles_skipped
+    }
+
+    /// Fraction of simulated cycles that were skipped (0.0 when nothing
+    /// was simulated).
+    pub fn skip_ratio(&self) -> f64 {
+        let total = self.simulated_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles_skipped as f64 / total as f64
+        }
+    }
+
+    /// The skip counters as a flat JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles_stepped", Json::Uint(self.cycles_stepped)),
+            ("cycles_skipped", Json::Uint(self.cycles_skipped)),
+            ("horizon_jumps", Json::Uint(self.horizon_jumps)),
+            ("skip_ratio", Json::num(self.skip_ratio())),
+        ])
+    }
+}
 
 /// Counters for one physical channel (its input and output side).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -197,6 +245,23 @@ mod tests {
     fn empty_counters_serialize_without_nan() {
         let text = NetCounters::default().to_json().to_string();
         assert!(text.contains("\"mean_occupancy_flits\":null"));
+        assert!(!text.contains("NaN"));
+    }
+
+    #[test]
+    fn skip_stats_ratio_and_json() {
+        let s = SkipStats::default();
+        assert_eq!(s.skip_ratio(), 0.0);
+        let s = SkipStats {
+            cycles_stepped: 25,
+            cycles_skipped: 75,
+            horizon_jumps: 3,
+        };
+        assert_eq!(s.simulated_cycles(), 100);
+        assert!((s.skip_ratio() - 0.75).abs() < 1e-12);
+        let text = s.to_json().to_string();
+        assert!(text.contains("\"cycles_skipped\":75"));
+        assert!(text.contains("\"horizon_jumps\":3"));
         assert!(!text.contains("NaN"));
     }
 

@@ -85,7 +85,7 @@ pub mod sim;
 pub use admission::{AdmissionController, AdmissionError, ReleaseError};
 pub use audit::{AuditConfig, StallKind, StallReport, VcHold, WatchdogConfig};
 pub use config::{CrossbarKind, RouterConfig, SchedPoint, SchedulerKind};
-pub use counters::{NetCounters, PortCounters, RouterCounters};
+pub use counters::{NetCounters, PortCounters, RouterCounters, SkipStats};
 pub use net::Network;
 pub use router::Router;
 pub use scheduler::{MuxScheduler, DRR_QUANTUM, STAMP_SATURATION};

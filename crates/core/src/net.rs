@@ -29,7 +29,7 @@ use traffic::{ScheduledMessage, Workload};
 
 use crate::audit::{AuditConfig, StallKind, StallReport, WatchdogConfig};
 use crate::config::RouterConfig;
-use crate::counters::NetCounters;
+use crate::counters::{NetCounters, SkipStats};
 use crate::router::{sorted_insert, CreditReturn, Departure, Router};
 use crate::scheduler::MuxScheduler;
 
@@ -183,6 +183,13 @@ pub struct Network {
     watchdog: Option<WatchdogState>,
     /// The stall report, once the watchdog has tripped.
     stall: Option<StallReport>,
+    /// Whether the drivers may jump quiescent spans to the horizon
+    /// (default on). The perf harness turns it off to time the legacy
+    /// all-idle-jump baseline against the horizon path.
+    horizon_skipping: bool,
+    /// Skip-effectiveness counters (driver diagnostics; never
+    /// serialised — a restored network starts its own tally).
+    skip: SkipStats,
 }
 
 impl Network {
@@ -231,7 +238,13 @@ impl Network {
                 };
                 links.push(LinkPair {
                     flit: Link::new(Cycles(u64::from(cfg.link_latency_value()))),
-                    credit: CreditLink::new(Cycles(u64::from(cfg.link_latency_value()))),
+                    // The downstream input port can free at most one slot
+                    // per VC per cycle (full crossbar), bounding the
+                    // credit ring at m credits per cycle of latency.
+                    credit: CreditLink::new(
+                        Cycles(u64::from(cfg.link_latency_value())),
+                        m as usize,
+                    ),
                     rx,
                     tx: TxSide::RouterOut {
                         router: rid.index(),
@@ -247,7 +260,7 @@ impl Network {
             let (router, port) = topology.attachment(NodeId(n as u32));
             links.push(LinkPair {
                 flit: Link::new(Cycles(u64::from(cfg.link_latency_value()))),
-                credit: CreditLink::new(Cycles(u64::from(cfg.link_latency_value()))),
+                credit: CreditLink::new(Cycles(u64::from(cfg.link_latency_value())), m as usize),
                 rx: RxSide::RouterIn {
                     router: router.index(),
                     port,
@@ -341,6 +354,8 @@ impl Network {
             audit: None,
             watchdog: None,
             stall: None,
+            horizon_skipping: true,
+            skip: SkipStats::default(),
         }
     }
 
@@ -593,6 +608,9 @@ impl Network {
         self.set_tracing(sink.is_enabled());
         let checked = self.audit.is_some() || self.watchdog.is_some();
         while self.now < end {
+            if self.try_horizon_jump(end) {
+                continue;
+            }
             self.step_impl(sink, reference);
             if checked {
                 self.safety_check();
@@ -600,15 +618,132 @@ impl Network {
                     break;
                 }
             }
-            if self.flits_in_flight == 0 {
-                // Idle: jump to the next injection (always > now, since
-                // inject() drained everything due this cycle).
-                let next = self.calendar.next_at().unwrap_or(end);
-                self.now = next.max(self.now + Cycles(1));
-            } else {
-                self.now += Cycles(1);
+            self.advance_clock(end);
+        }
+    }
+
+    /// Whether no component can change state at the current cycle: every
+    /// router's pipeline is empty (`!has_work`, which covers pending
+    /// heads, granted connections and staged outputs — all imply resident
+    /// flits) and every backlogged NI is credit-blocked on all its VCs.
+    ///
+    /// Anything else that *will* act — a due injection, a flit or credit
+    /// arriving on a wire, an audit or watchdog deadline — acts at a
+    /// known future cycle, which is what [`Network::horizon`] computes.
+    fn quiescent(&self) -> bool {
+        // Fast path: `flits_in_flight` counts every undelivered flit —
+        // NI-queued, router-resident and on-the-wire — so zero means
+        // nothing can act and the scans below would all pass trivially.
+        if self.flits_in_flight == 0 {
+            return true;
+        }
+        self.routers.iter().all(|r| !r.has_work())
+            && self.active_eps.iter().all(|&n| {
+                let ep = &self.endpoints[n];
+                !ep.queues
+                    .iter()
+                    .zip(&ep.credits)
+                    .any(|(q, &c)| !q.is_empty() && c > 0)
+            })
+    }
+
+    /// The earliest future cycle at which any component can act: the next
+    /// calendar injection, the earliest in-flight flit or credit arrival
+    /// across the active links, and — when enabled — the next audit sweep
+    /// and the watchdog's trip deadline. `Cycles(u64::MAX)` if none of
+    /// those exist (an empty network with an exhausted calendar).
+    ///
+    /// The link terms are O(1) head loads per active link
+    /// ([`Link::earliest_arrival`]); during quiescent spans the active
+    /// link list is exactly the set of wires still carrying state, so the
+    /// scan is as small as the span is quiet.
+    fn horizon(&self) -> Cycles {
+        let mut h = self.calendar.next_at().unwrap_or(Cycles(u64::MAX));
+        for &l in &self.active_links {
+            let lp = &self.links[l];
+            if let Some(at) = lp.flit.earliest_arrival() {
+                h = h.min(at);
+            }
+            if let Some(at) = lp.credit.earliest_arrival() {
+                h = h.min(at);
             }
         }
+        // Safety machinery deadlines are horizon terms, not exceptions:
+        // an audited run steps its due-cycles (the sweep observes the
+        // same quiescent state it would have seen under exhaustive
+        // stepping), and the watchdog's trip cycle stays exact even when
+        // the span around it is skipped.
+        if let Some(st) = &self.audit {
+            h = h.min(st.next_at);
+        }
+        if let Some(wd) = &self.watchdog {
+            h = h.min(wd.last_progress_at + Cycles(wd.cfg.stall_cycles));
+        }
+        h
+    }
+
+    /// If skipping is enabled, the network is quiescent and nothing is
+    /// due at the current cycle, jumps the clock to the horizon (clamped
+    /// to `end`) and returns `true`; the caller skips the step pipeline
+    /// entirely. Every skipped cycle is one in which no component could
+    /// have acted, so stepping it would have been a pure no-op — the
+    /// identity suites hold the horizon path to that claim bit-for-bit.
+    fn try_horizon_jump(&mut self, end: Cycles) -> bool {
+        if !self.horizon_skipping || !self.quiescent() {
+            return false;
+        }
+        let h = self.horizon();
+        if h <= self.now {
+            return false;
+        }
+        debug_assert!(
+            self.routers.iter().all(|r| !r.has_work()),
+            "horizon jump with router work pending"
+        );
+        let target = h.min(end);
+        self.skip.cycles_skipped += (target - self.now).get();
+        self.skip.horizon_jumps += 1;
+        self.now = target;
+        true
+    }
+
+    /// End-of-cycle clock advance shared by the sequential and parallel
+    /// drivers. With horizon skipping enabled this is a plain `+1` (the
+    /// jump decision lives at the top of the loop, so a re-entered
+    /// driver — e.g. a checkpoint segment boundary — re-jumps without
+    /// stepping); with it disabled, the legacy all-idle jump to the next
+    /// injection is preserved as the perf baseline, overshooting `end`
+    /// exactly like the pre-horizon stepper did.
+    fn advance_clock(&mut self, end: Cycles) {
+        self.skip.cycles_stepped += 1;
+        if !self.horizon_skipping && self.flits_in_flight == 0 {
+            let next = self.calendar.next_at().unwrap_or(end);
+            self.now = next.max(self.now + Cycles(1));
+        } else {
+            self.now += Cycles(1);
+        }
+    }
+
+    /// Skip-effectiveness counters accumulated by this network's drivers
+    /// since construction (or [`Network::reset_skip_stats`]).
+    pub fn skip_stats(&self) -> SkipStats {
+        self.skip
+    }
+
+    /// Zeroes the skip counters (e.g. between a warm-up and a measured
+    /// window).
+    pub fn reset_skip_stats(&mut self) {
+        self.skip = SkipStats::default();
+    }
+
+    /// Enables or disables quiescence-horizon skipping (on by default).
+    ///
+    /// With skipping off the drivers fall back to the legacy behaviour —
+    /// stepping every cycle unless the network is completely empty — so
+    /// the perf harness can measure the horizon's win honestly against
+    /// the previous stepper rather than against a strawman.
+    pub fn set_horizon_skipping(&mut self, on: bool) {
+        self.horizon_skipping = on;
     }
 
     /// Runs the simulation until cycle `end` without the idle-cycle jump:

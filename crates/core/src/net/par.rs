@@ -398,6 +398,9 @@ pub(super) fn drive(net: &mut Network, end: Cycles, threads: usize, sink: &mut d
         }
 
         while net.now < end {
+            if net.try_horizon_jump(end) {
+                continue;
+            }
             let now = net.now;
             net.inject(now, sink);
             let ctx = Ctx::capture(net, now);
@@ -480,12 +483,7 @@ pub(super) fn drive(net: &mut Network, end: Cycles, threads: usize, sink: &mut d
                     break;
                 }
             }
-            if net.flits_in_flight == 0 {
-                let next = net.calendar.next_at().unwrap_or(end);
-                net.now = next.max(net.now + Cycles(1));
-            } else {
-                net.now += Cycles(1);
-            }
+            net.advance_clock(end);
         }
 
         cmd.store(EXIT, Ordering::Relaxed);

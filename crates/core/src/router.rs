@@ -640,6 +640,17 @@ impl Router {
         let m = self.cfg.vcs_per_pc() as usize;
         self.diag.0 += 1;
         if now.get().is_multiple_of(OCCUPANCY_SAMPLE_PERIOD) {
+            // Occupancy is a busy-cycle statistic: the drivers only run
+            // the crossbar on routers with resident flits, so quiescent
+            // spans (stepped or horizon-skipped alike) contribute no
+            // samples. If a driver ever called this on an idle router,
+            // skipped and stepped runs would sample different cycle sets
+            // and the identity suites would diverge — fail fast instead.
+            debug_assert!(
+                self.has_work(),
+                "occupancy sampling on an idle router: drivers must gate \
+                 the crossbar stage on has_work()"
+            );
             self.counters.occupancy_samples += 1;
             for (p, ip) in self.inputs.iter().enumerate() {
                 let buffered: usize = ip.vcs.iter().map(|vc| vc.buf.len()).sum();

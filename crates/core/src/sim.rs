@@ -15,7 +15,7 @@ use traffic::Workload;
 
 use crate::audit::{AuditConfig, StallReport, WatchdogConfig};
 use crate::config::RouterConfig;
-use crate::counters::NetCounters;
+use crate::counters::{NetCounters, SkipStats};
 use crate::net::Network;
 
 /// Opt-in safety layers for a run (see [`crate::audit`]).
@@ -146,6 +146,10 @@ pub struct SimOutcome {
     /// Flow-control invariant violations the audit sweep observed (0 when
     /// auditing is off — see [`SimOpts`]).
     pub audit_violations: u64,
+    /// Quiescence-skip effectiveness of the run's driver (stepped vs
+    /// skipped cycles, horizon jumps). Diagnostic only: two runs that
+    /// differ here (e.g. audited vs not) still simulate identical bits.
+    pub skip: SkipStats,
 }
 
 impl SimOutcome {
@@ -448,6 +452,7 @@ fn outcome_of(
         counters: net.counters(),
         stall: net.stall_report().cloned(),
         audit_violations: net.audit_log().map_or(0, |l| l.total()),
+        skip: net.skip_stats(),
     }
 }
 

@@ -4,14 +4,95 @@
 //! latency; the matching [`CreditLink`] carries per-VC buffer credits back
 //! upstream with the same latency model. Both are plain delay lines — the
 //! *decision* of what to send is the router's job.
-
-use std::collections::VecDeque;
+//!
+//! Both channels store their in-flight payloads in a fixed-capacity ring
+//! sized at construction from the latency: a flit channel holds at most
+//! one entry per cycle of latency (the bandwidth gate enforces one send
+//! per cycle, and due flits drain before new sends within a cycle), and a
+//! credit channel holds at most `per_cycle_max` entries per cycle of
+//! latency (the crossbar frees at most that many slots per port per
+//! cycle). The ring kills the `VecDeque` heap traffic in `deliver` and
+//! makes [`Link::earliest_arrival`] a plain head load — the key input to
+//! the quiescence-horizon computation in `core::net`.
 
 use netsim::snap::{SnapError, SnapReader, SnapWriter};
 use netsim::Cycles;
 
 use crate::flit::Flit;
 use crate::ids::VcId;
+
+/// Fixed-capacity FIFO of `(arrival cycle, payload)` pairs.
+///
+/// Entries are pushed in send order; because both channel types delay by a
+/// constant latency, arrival cycles are monotonically non-decreasing and
+/// the head is always the earliest arrival.
+#[derive(Debug, Clone)]
+struct Ring<T> {
+    slots: Box<[Option<(Cycles, T)>]>,
+    head: usize,
+    len: usize,
+}
+
+impl<T> Ring<T> {
+    fn with_capacity(cap: usize) -> Ring<T> {
+        assert!(cap > 0, "ring capacity must be at least one slot");
+        Ring {
+            slots: (0..cap).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn push_back(&mut self, at: Cycles, item: T) {
+        assert!(
+            self.len < self.slots.len(),
+            "link ring over capacity: flow control admitted more than \
+             latency-bounded traffic"
+        );
+        let tail = (self.head + self.len) % self.slots.len();
+        self.slots[tail] = Some((at, item));
+        self.len += 1;
+    }
+
+    fn front(&self) -> Option<&(Cycles, T)> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head].as_ref()
+        }
+    }
+
+    fn pop_front(&mut self) -> Option<(Cycles, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        let entry = self.slots[self.head].take();
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        entry
+    }
+
+    /// Iterates head-to-tail (send order).
+    fn iter(&self) -> impl Iterator<Item = &(Cycles, T)> {
+        (0..self.len).map(move |i| {
+            self.slots[(self.head + i) % self.slots.len()]
+                .as_ref()
+                .expect("occupied ring slot")
+        })
+    }
+}
 
 /// A one-flit-per-cycle pipelined physical channel.
 ///
@@ -36,12 +117,15 @@ use crate::ids::VcId;
 #[derive(Debug, Clone)]
 pub struct Link {
     latency: Cycles,
-    in_flight: VecDeque<(Cycles, Flit)>,
+    in_flight: Ring<Flit>,
     last_send: Option<Cycles>,
 }
 
 impl Link {
     /// Creates a link with the given pipeline latency (≥ 1 cycle).
+    ///
+    /// The in-flight ring holds `latency` slots: the one-send-per-cycle
+    /// bandwidth gate bounds occupancy by the latency window.
     ///
     /// # Panics
     ///
@@ -54,7 +138,7 @@ impl Link {
         );
         Link {
             latency,
-            in_flight: VecDeque::new(),
+            in_flight: Ring::with_capacity(latency.0 as usize),
             last_send: None,
         }
     }
@@ -78,7 +162,7 @@ impl Link {
     pub fn send(&mut self, now: Cycles, flit: Flit) {
         assert!(self.can_send(now), "link bandwidth exceeded at {now}");
         self.last_send = Some(now);
-        self.in_flight.push_back((now + self.latency, flit));
+        self.in_flight.push_back(now + self.latency, flit);
     }
 
     /// Takes the flit arriving at cycle `now`, if any.
@@ -100,6 +184,16 @@ impl Link {
         self.in_flight.is_empty()
     }
 
+    /// The arrival cycle of the earliest in-flight flit, if any.
+    ///
+    /// Entries arrive in send order and the delay is constant, so the
+    /// head of the ring is always the minimum — this is an O(1) load,
+    /// cheap enough to scan across every active link when computing the
+    /// quiescence horizon.
+    pub fn earliest_arrival(&self) -> Option<Cycles> {
+        self.in_flight.front().map(|&(at, _)| at)
+    }
+
     /// Iterates over the flits currently on the wire, in send order.
     ///
     /// Read-only visibility for the audit layer's conservation checks;
@@ -113,7 +207,7 @@ impl Link {
     pub fn save(&self, w: &mut SnapWriter) {
         w.option(self.last_send, |w, at| w.u64(at.0));
         w.usize(self.in_flight.len());
-        for (at, f) in &self.in_flight {
+        for (at, f) in self.in_flight.iter() {
             w.u64(at.0);
             f.save(w);
         }
@@ -123,7 +217,8 @@ impl Link {
     ///
     /// # Errors
     ///
-    /// Propagates snapshot decoding errors.
+    /// Propagates snapshot decoding errors; rejects snapshots claiming
+    /// more in-flight flits than the latency-bounded ring can hold.
     ///
     /// # Panics
     ///
@@ -135,9 +230,12 @@ impl Link {
         );
         self.last_send = r.option(|r| r.u64().map(Cycles))?;
         let n = r.usize()?;
+        if n > self.in_flight.capacity() {
+            return Err(SnapError::BadValue("link in-flight count over capacity"));
+        }
         for _ in 0..n {
             let at = Cycles(r.u64()?);
-            self.in_flight.push_back((at, Flit::load(r)?));
+            self.in_flight.push_back(at, Flit::load(r)?);
         }
         Ok(())
     }
@@ -150,30 +248,40 @@ impl Link {
 #[derive(Debug, Clone)]
 pub struct CreditLink {
     latency: Cycles,
-    in_flight: VecDeque<(Cycles, VcId)>,
+    in_flight: Ring<VcId>,
 }
 
 impl CreditLink {
     /// Creates a credit path with the given latency (≥ 1 cycle).
     ///
+    /// `per_cycle_max` bounds how many credits the downstream component
+    /// can return in a single cycle (for a router input port that is the
+    /// VC count — a full crossbar can drain one flit per VC per cycle);
+    /// the in-flight ring holds `per_cycle_max * latency` slots.
+    ///
     /// # Panics
     ///
     /// Panics if `latency` is zero: credits must take as long to return
     /// as flits take to travel, or flow control turns instantaneous.
-    pub fn new(latency: Cycles) -> CreditLink {
+    /// Panics if `per_cycle_max` is zero.
+    pub fn new(latency: Cycles, per_cycle_max: usize) -> CreditLink {
         assert!(
             latency > Cycles::ZERO,
             "credit link latency must be at least one cycle"
         );
+        assert!(
+            per_cycle_max > 0,
+            "credit link per-cycle maximum must be at least one"
+        );
         CreditLink {
             latency,
-            in_flight: VecDeque::new(),
+            in_flight: Ring::with_capacity(per_cycle_max * latency.0 as usize),
         }
     }
 
     /// Sends one credit for `vc` at cycle `now`.
     pub fn send(&mut self, now: Cycles, vc: VcId) {
-        self.in_flight.push_back((now + self.latency, vc));
+        self.in_flight.push_back(now + self.latency, vc);
     }
 
     /// Takes the next credit arriving at or before `now`, if any. Call in a
@@ -197,17 +305,23 @@ impl CreditLink {
         self.in_flight.len()
     }
 
+    /// The arrival cycle of the earliest in-flight credit, if any (O(1):
+    /// constant delay keeps the ring sorted by arrival).
+    pub fn earliest_arrival(&self) -> Option<Cycles> {
+        self.in_flight.front().map(|&(at, _)| at)
+    }
+
     /// Iterates over the VCs of the credits currently in flight.
     ///
     /// Read-only visibility for the audit layer's conservation checks.
     pub fn iter_in_flight(&self) -> impl Iterator<Item = VcId> + '_ {
-        self.in_flight.iter().map(|(_, vc)| *vc)
+        self.in_flight.iter().map(|&(_, vc)| vc)
     }
 
     /// Serialises the in-flight credits into a snapshot.
     pub fn save(&self, w: &mut SnapWriter) {
         w.usize(self.in_flight.len());
-        for &(at, vc) in &self.in_flight {
+        for &(at, vc) in self.in_flight.iter() {
             w.u64(at.0);
             w.u32(vc.0);
         }
@@ -218,7 +332,8 @@ impl CreditLink {
     ///
     /// # Errors
     ///
-    /// Propagates snapshot decoding errors.
+    /// Propagates snapshot decoding errors; rejects snapshots claiming
+    /// more in-flight credits than the ring can hold.
     ///
     /// # Panics
     ///
@@ -229,9 +344,14 @@ impl CreditLink {
             "restore target credit link must be idle"
         );
         let n = r.usize()?;
+        if n > self.in_flight.capacity() {
+            return Err(SnapError::BadValue(
+                "credit link in-flight count over capacity",
+            ));
+        }
         for _ in 0..n {
             let at = Cycles(r.u64()?);
-            self.in_flight.push_back((at, VcId(r.u32()?)));
+            self.in_flight.push_back(at, VcId(r.u32()?));
         }
         Ok(())
     }
@@ -276,8 +396,8 @@ mod tests {
     fn preserves_order_across_cycles() {
         let mut link = Link::new(Cycles(1));
         link.send(Cycles(0), flit(0));
-        link.send(Cycles(1), flit(1));
         assert_eq!(link.recv(Cycles(1)).unwrap().seq_in_msg, 0);
+        link.send(Cycles(1), flit(1));
         assert_eq!(link.recv(Cycles(2)).unwrap().seq_in_msg, 1);
     }
 
@@ -300,12 +420,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "credit link latency")]
     fn zero_latency_credit_link_panics() {
-        let _ = CreditLink::new(Cycles(0));
+        let _ = CreditLink::new(Cycles(0), 1);
     }
 
     #[test]
     fn credits_round_trip() {
-        let mut credits = CreditLink::new(Cycles(1));
+        let mut credits = CreditLink::new(Cycles(1), 4);
         credits.send(Cycles(5), VcId(3));
         credits.send(Cycles(5), VcId(1));
         assert!(credits.recv(Cycles(5)).is_none());
@@ -333,11 +453,90 @@ mod tests {
         let seqs: Vec<u32> = link.iter_in_flight().map(|f| f.seq_in_msg).collect();
         assert_eq!(seqs, vec![0, 1]);
 
-        let mut credits = CreditLink::new(Cycles(2));
+        let mut credits = CreditLink::new(Cycles(2), 4);
         credits.send(Cycles(0), VcId(3));
         credits.send(Cycles(0), VcId(1));
         assert_eq!(credits.in_flight(), 2);
         let vcs: Vec<VcId> = credits.iter_in_flight().collect();
         assert_eq!(vcs, vec![VcId(3), VcId(1)]);
+    }
+
+    #[test]
+    fn earliest_arrival_tracks_head() {
+        let mut link = Link::new(Cycles(3));
+        assert_eq!(link.earliest_arrival(), None);
+        link.send(Cycles(10), flit(0));
+        link.send(Cycles(11), flit(1));
+        assert_eq!(link.earliest_arrival(), Some(Cycles(13)));
+        let _ = link.recv(Cycles(13));
+        assert_eq!(link.earliest_arrival(), Some(Cycles(14)));
+
+        let mut credits = CreditLink::new(Cycles(2), 1);
+        assert_eq!(credits.earliest_arrival(), None);
+        credits.send(Cycles(4), VcId(0));
+        assert_eq!(credits.earliest_arrival(), Some(Cycles(6)));
+    }
+
+    #[test]
+    fn ring_wraps_under_sustained_traffic() {
+        // Saturate a latency-3 link for many cycles so the ring head wraps
+        // repeatedly; order and arrival cycles must stay exact.
+        let mut link = Link::new(Cycles(3));
+        let mut next_rx = 0u32;
+        for t in 0..100u64 {
+            // Deliveries drain before sends within a cycle, exactly as the
+            // network steps links — that order is what bounds the ring.
+            if let Some(f) = link.recv(Cycles(t)) {
+                assert_eq!(f.seq_in_msg, next_rx);
+                next_rx += 1;
+            }
+            link.send(Cycles(t), flit(t as u32));
+        }
+        assert_eq!(link.in_flight(), 3);
+        for t in 100..103u64 {
+            let f = link.recv(Cycles(t)).expect("drain tail");
+            assert_eq!(f.seq_in_msg, next_rx);
+            next_rx += 1;
+        }
+        assert!(link.is_idle());
+        assert_eq!(next_rx, 100);
+    }
+
+    #[test]
+    fn credit_ring_holds_per_cycle_burst_times_latency() {
+        // 4 credits per cycle for `latency` cycles is the worst case the
+        // ring is sized for; it must hold them all without panicking.
+        let mut credits = CreditLink::new(Cycles(2), 4);
+        for t in 0..2u64 {
+            for v in 0..4u32 {
+                credits.send(Cycles(t), VcId(v));
+            }
+        }
+        assert_eq!(credits.in_flight(), 8);
+        let mut got = 0;
+        for t in 2..4u64 {
+            while credits.recv(Cycles(t)).is_some() {
+                got += 1;
+            }
+        }
+        assert_eq!(got, 8);
+    }
+
+    #[test]
+    fn overfull_link_snapshot_is_rejected() {
+        // A latency-1 link can hold one flit; a snapshot claiming two
+        // must be rejected as corrupt, not grow the ring.
+        let mut donor = Link::new(Cycles(2));
+        donor.send(Cycles(0), flit(0));
+        donor.send(Cycles(1), flit(1));
+        let mut w = SnapWriter::new();
+        donor.save(&mut w);
+        let bytes = w.finish();
+        let mut target = Link::new(Cycles(1));
+        let mut r = SnapReader::new(&bytes).unwrap();
+        assert!(matches!(
+            target.load_into(&mut r),
+            Err(SnapError::BadValue(_))
+        ));
     }
 }

@@ -43,6 +43,24 @@ cargo test -q -p mediaworm checkpoint
 cargo test -q -p mediaworm-bench --test shard_resume
 cargo test -q -p mediaworm-bench shard
 
+# Quiescence-horizon identity: the horizon-skipping driver must be
+# byte-identical to the exhaustive every-cycle oracle (and the reference
+# and parallel drivers) across loads, policing modes and topologies,
+# including a checkpoint taken inside a skipped span and the deadlocked
+# ring's stall report.
+cargo test -q --test stepping_identity horizon
+cargo test -q --test stepping_identity snapshot_mid_jump
+cargo test -q -p mediaworm skip
+cargo test -q -p mediaworm-bench skip_timing
+
+# Skip effectiveness: the perf harness's skip section (fig. 3 load 0.3,
+# the shaped points, the wire-dominated configuration) must report a
+# nonzero cycles_skipped at every point.
+cargo run --release -q -p mediaworm-bench --bin perf -- \
+  --quick --skip-only --json target/bench/BENCH_perf_skip.json
+test "$(jq '(.skip | length >= 4) and ([.skip[] | .skip.cycles_skipped > 0] | all)' \
+  target/bench/BENCH_perf_skip.json)" = "true"
+
 # Ablation smoke: a tiny slice of the scheduler x policing matrix must
 # produce bit-identical results at any --jobs split. The throughput
 # block records wall-clock time (the one legitimate difference), so it

@@ -708,3 +708,260 @@ fn ring_deadlock_classification_is_identical_under_parallel_stepping() {
     assert_eq!(par.flits_in_flight(), seq.flits_in_flight());
     assert_eq!(par.counters(), seq.counters());
 }
+
+// ---------------------------------------------------------------------------
+// Quiescence-horizon time skipping.
+//
+// `Network::run_until` jumps the clock over any span in which no component
+// can act — every router pipeline empty and every backlogged NI credit-
+// blocked — not just when the network is fully drained. The skipped cycles
+// must be *provably* no-ops: every observable (counters, traces, stall
+// reports, snapshots) has to match `run_until_exhaustive`, which steps
+// every single cycle with skipping disabled and acts as the oracle here.
+// These grids use bare networks (no audit or watchdog) so end snapshots
+// can be compared byte-for-byte.
+
+/// Every observable of two bare networks stepped to the same cycle must
+/// match, including the snapshot bytes (which cover RNG streams, link
+/// rings, scheduler state and metric accumulators).
+fn assert_networks_identical(fast: &Network, slow: &Network, what: &str) {
+    assert_eq!(fast.now(), slow.now(), "{what}: clock");
+    assert_eq!(
+        fast.injected_msgs(),
+        slow.injected_msgs(),
+        "{what}: injected"
+    );
+    assert_eq!(
+        fast.delivered_msgs(),
+        slow.delivered_msgs(),
+        "{what}: delivered msgs"
+    );
+    assert_eq!(
+        fast.delivered_flits(),
+        slow.delivered_flits(),
+        "{what}: delivered flits"
+    );
+    assert_eq!(
+        fast.flits_in_flight(),
+        slow.flits_in_flight(),
+        "{what}: flits in flight"
+    );
+    assert_eq!(fast.counters(), slow.counters(), "{what}: counters");
+    assert!(
+        fast.snapshot() == slow.snapshot(),
+        "{what}: snapshots differ"
+    );
+}
+
+/// The horizon driver vs. the exhaustive oracle over the fig. 3 switch at
+/// a low-, mid- and saturation-load point, under every policing mode. At
+/// the low-load and shaped points the driver must actually skip cycles —
+/// otherwise this test is vacuous.
+#[test]
+fn horizon_skipping_matches_exhaustive_on_fig3_grid() {
+    let topology = Topology::single_switch(8);
+    let cfg = RouterConfig::default();
+    for &load in &[0.3, 0.6, 0.96] {
+        for mode in PolicingMode::ALL {
+            let what = format!("fig3 load {load} policing {mode:?}");
+            let mut jumped = Network::new(&topology, fig3_policed(load, 42, mode), &cfg);
+            let mut naive = Network::new(&topology, fig3_policed(load, 42, mode), &cfg);
+            let end = jumped.timebase().cycles_from_secs(0.003);
+            jumped.run_until(end);
+            naive.run_until_exhaustive(end);
+            assert!(jumped.delivered_msgs() > 0, "{what}: traffic must flow");
+            assert_networks_identical(&jumped, &naive, &what);
+            let skip = jumped.skip_stats();
+            assert_eq!(
+                skip.simulated_cycles(),
+                end.get(),
+                "{what}: stepped + skipped must cover the whole run"
+            );
+            if load <= 0.3 || mode == PolicingMode::Shape {
+                assert!(
+                    skip.cycles_skipped > 0,
+                    "{what}: a skippable point must skip cycles"
+                );
+                assert!(skip.horizon_jumps > 0, "{what}: jumps must be counted");
+            }
+        }
+    }
+}
+
+/// One equivalence class across all four drivers — horizon-skipping
+/// active, exhaustive, full-scan reference and the 4-thread parallel
+/// stepper — over multi-hop topologies and every policing mode. The
+/// reference and parallel drivers share the horizon engine, so this also
+/// pins that jumping composes with full scans and barrier phases.
+#[test]
+fn horizon_identity_grid_over_topologies_and_drivers() {
+    let cases: [(&str, Topology, usize); 3] = [
+        ("mesh 4x4", Topology::mesh(4, 4, 1), 16),
+        ("fat mesh 2x2", Topology::fat_mesh(2, 2, 2, 4), 16),
+        ("torus 4x4", Topology::torus(4, 4, 1), 16),
+    ];
+    for (name, topology, nodes) in &cases {
+        let cfg = RouterConfig::new(4);
+        for mode in PolicingMode::ALL {
+            let what = format!("{name} policing {mode:?}");
+            let build =
+                || Network::new(topology, grid_workload_policed(*nodes, 0.3, 9, mode), &cfg);
+            let mut jumped = build();
+            let end = jumped.timebase().cycles_from_secs(0.002);
+            jumped.run_until(end);
+            assert!(jumped.delivered_msgs() > 0, "{what}: traffic must flow");
+
+            let mut naive = build();
+            naive.run_until_exhaustive(end);
+            assert_networks_identical(&jumped, &naive, &format!("{what} vs exhaustive"));
+
+            let mut reference = build();
+            reference.run_until_reference(end);
+            assert_networks_identical(&jumped, &reference, &format!("{what} vs reference"));
+
+            let mut par = build();
+            par.run_until_parallel(end, 4);
+            assert_networks_identical(&jumped, &par, &format!("{what} vs 4 threads"));
+            assert_eq!(
+                jumped.skip_stats(),
+                par.skip_stats(),
+                "{what}: sequential and parallel drivers must take the same jumps"
+            );
+        }
+    }
+}
+
+/// Skipped spans must record no telemetry: the exhaustive oracle steps
+/// through every idle cycle, so if idle cycles ever sampled occupancy the
+/// oracle would accumulate samples the jumping driver skips over. Equal
+/// sample counts alongside a nonzero skip count prove skipped (and idle-
+/// stepped) cycles contribute nothing.
+#[test]
+fn horizon_skipped_spans_record_no_occupancy_samples() {
+    let topology = Topology::single_switch(8);
+    let cfg = RouterConfig::default();
+    let mut jumped = Network::new(&topology, fig3_policed(0.3, 11, PolicingMode::Shape), &cfg);
+    let mut naive = Network::new(&topology, fig3_policed(0.3, 11, PolicingMode::Shape), &cfg);
+    let end = jumped.timebase().cycles_from_secs(0.003);
+    jumped.run_until(end);
+    naive.run_until_exhaustive(end);
+    let skipped = jumped.skip_stats().cycles_skipped;
+    assert!(skipped > 0, "shaped low-load point must skip cycles");
+    let fast = jumped.counters();
+    let slow = naive.counters();
+    assert!(fast.occupancy_samples > 0, "busy cycles must still sample");
+    assert_eq!(
+        fast.occupancy_samples, slow.occupancy_samples,
+        "skipped spans must not change the occupancy sample count"
+    );
+    assert_eq!(
+        fast.occupancy_flits, slow.occupancy_flits,
+        "skipped spans must not change the sampled occupancy sum"
+    );
+}
+
+/// A checkpoint taken *inside* a skipped span must behave exactly like
+/// one taken on a stepped cycle: the restored network re-snapshots to the
+/// same bytes, and resuming both the original and the restored copy lands
+/// them in identical end states. The interrupt cycle is asserted idle so
+/// the test really does land mid-jump rather than on a busy cycle.
+#[test]
+fn snapshot_mid_jump_round_trips_bit_identically() {
+    let topology = Topology::single_switch(8);
+    let cfg = RouterConfig::default();
+    let wl = |s| fig3_policed(0.3, s, PolicingMode::Shape);
+    let mut a = Network::new(&topology, wl(5), &cfg);
+    let tb = a.timebase();
+    let end = tb.cycles_from_secs(0.003);
+    // An odd interrupt cycle partway through the run: at 30% shaped load
+    // most cycles sit inside inter-message gaps the driver jumps over.
+    let mid = Cycles(tb.cycles_from_secs(0.00137).get() | 1);
+    a.run_until(mid);
+    assert_eq!(a.now(), mid, "jump must clamp exactly at the target");
+    assert_eq!(
+        a.flits_in_flight(),
+        0,
+        "interrupt cycle must fall in an idle span (inside a jump)"
+    );
+    assert!(
+        a.skip_stats().cycles_skipped > 0,
+        "the run up to the checkpoint must have skipped cycles"
+    );
+
+    let bytes = a.snapshot();
+    let mut b = Network::new(&topology, wl(5), &cfg);
+    b.restore(&bytes).expect("restore");
+    assert!(
+        b.snapshot() == bytes,
+        "restored network must re-snapshot to the same bytes"
+    );
+
+    a.run_until(end);
+    b.run_until(end);
+    assert_networks_identical(&a, &b, "resumed original vs restored");
+
+    // And the interrupted run must match an uninterrupted one.
+    let mut c = Network::new(&topology, wl(5), &cfg);
+    c.run_until(end);
+    assert_networks_identical(&a, &c, "interrupted vs uninterrupted");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Horizon-vs-exhaustive identity holds at random seeds, loads,
+    /// scheduler disciplines, policing modes and topologies — not just
+    /// the hand-picked grids above.
+    #[test]
+    fn horizon_identity_over_random_runs(
+        seed in 0u64..1000,
+        load in 0.1f64..0.8,
+        topo_idx in 0usize..3,
+        kind_idx in 0usize..6,
+        pol_idx in 0usize..3,
+    ) {
+        let topology = match topo_idx {
+            0 => Topology::mesh(4, 4, 1),
+            1 => Topology::fat_mesh(2, 2, 2, 4),
+            _ => Topology::torus(4, 4, 1),
+        };
+        let mode = PolicingMode::ALL[pol_idx];
+        let cfg = RouterConfig::new(4).scheduler(ZOO[kind_idx]);
+        let wl = |s| grid_workload_policed(16, load, s, mode);
+        let mut jumped = Network::new(&topology, wl(seed), &cfg);
+        let mut naive = Network::new(&topology, wl(seed), &cfg);
+        let end = jumped.timebase().cycles_from_secs(0.002);
+        jumped.run_until(end);
+        naive.run_until_exhaustive(end);
+        prop_assert_eq!(jumped.now(), naive.now());
+        prop_assert_eq!(jumped.injected_msgs(), naive.injected_msgs());
+        prop_assert_eq!(jumped.delivered_flits(), naive.delivered_flits());
+        prop_assert_eq!(&jumped.counters(), &naive.counters());
+        prop_assert!(jumped.snapshot() == naive.snapshot(), "snapshots differ");
+        // Stepped + skipped must cover the whole run.
+        prop_assert_eq!(jumped.skip_stats().simulated_cycles(), end.get());
+    }
+}
+
+/// The deadlock watchdog must fire at the same cycle with a byte-equal
+/// stall report whether or not the driver jumps: the watchdog deadline
+/// (`last_progress_at + stall_cycles`) is a horizon term, so a quiescent
+///-but-deadlocked ring gets its check cycle stepped, not skipped.
+#[test]
+fn horizon_skipping_preserves_deadlock_detection() {
+    let mut jumped = deadlock_ring();
+    let mut naive = deadlock_ring();
+    naive.set_horizon_skipping(false);
+    let end = jumped.timebase().cycles_from_ms(500.0);
+    jumped.run_until(end);
+    naive.run_until(end);
+    let fast = jumped.stall_report().expect("jumping ring must deadlock");
+    let slow = naive.stall_report().expect("legacy ring must deadlock");
+    assert_eq!(fast, slow, "stall reports must be identical");
+    assert_eq!(
+        jumped.now(),
+        naive.now(),
+        "both stop at the detection cycle"
+    );
+    assert_eq!(jumped.counters(), naive.counters());
+}
