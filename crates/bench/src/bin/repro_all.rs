@@ -29,6 +29,7 @@ fn main() {
         ("Ablation: sched point", experiments::ablation_point),
         ("Ablation: VC borrowing", experiments::ablation_borrowing),
         ("Extension: GOP frames", experiments::gop_sensitivity),
+        ("Extension: delay bounds", experiments::bounds),
     ];
     let mut report = String::new();
     for (title, f) in runs {

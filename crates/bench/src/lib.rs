@@ -88,6 +88,13 @@ pub struct RunArgs {
     /// Run every point with the flow-control invariant audit enabled
     /// (`--audit`); violation counts land in the per-point JSON records.
     pub audit: bool,
+    /// Run every point with the network-calculus delay-bound audit
+    /// enabled (`--bounds`): each real-time stream's analytic worst-case
+    /// latency is checked against the observed maximum, and the
+    /// per-stream bounds land in the per-point JSON records. Only
+    /// feedforward topologies (the single switch, meshes) have bounds;
+    /// a point on a torus aborts with a typed error.
+    pub bounds: bool,
     /// `--schedulers LIST`: restrict matrix experiments (`ablation_sched`)
     /// to these disciplines (comma-separated: `vc`, `fifo`, `rr`, `wfq`,
     /// `drr`, `scfq`). `None` runs the full set. Note that per-point seeds
@@ -185,6 +192,7 @@ impl RunArgs {
                 }
                 "--resume" => args.resume = true,
                 "--audit" => args.audit = true,
+                "--bounds" => args.bounds = true,
                 "--skip-only" => args.skip_only = true,
                 "--schedulers" => {
                     let list = it
@@ -292,15 +300,19 @@ impl RunArgs {
     }
 
     /// The [`SimOpts`] these args imply: the standard watchdog always,
-    /// plus the invariant audit when `--audit` was given, on
+    /// plus the invariant audit when `--audit` was given and the
+    /// delay-bound audit when `--bounds` was given, on
     /// [`RunArgs::effective_threads`] stepping threads.
     pub fn sim_opts(&self) -> SimOpts {
-        let base = if self.audit {
+        let mut opts = if self.audit {
             SimOpts::audited()
         } else {
             SimOpts::standard()
         };
-        base.threads(self.effective_threads())
+        if self.bounds {
+            opts = opts.bounds();
+        }
+        opts.threads(self.effective_threads())
     }
 
     /// The checkpoint cadence in simulated cycles, if points should
@@ -364,6 +376,7 @@ impl Default for RunArgs {
             resume: false,
             trace: None,
             audit: false,
+            bounds: false,
             schedulers: None,
             policing: None,
             loads: None,
@@ -393,8 +406,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <experiment> [--quick] [--seed N] [--warmup SECS] [--measure SECS] [--jobs N] \
          [--threads N] [--json [PATH]] [--shard I/N] [--checkpoint CYCLES] [--resume] \
-         [--audit] [--trace PATH] [--schedulers LIST] [--policing LIST] [--loads LIST] \
-         [--skip-only]"
+         [--audit] [--bounds] [--trace PATH] [--schedulers LIST] [--policing LIST] \
+         [--loads LIST] [--skip-only]"
     );
     std::process::exit(2);
 }
@@ -955,6 +968,16 @@ mod tests {
             Some(SchedulerKind::RoundRobin)
         );
         assert_eq!(parse_scheduler_kind("bogus"), None);
+    }
+
+    #[test]
+    fn bounds_flag_parses_and_reaches_sim_opts() {
+        let a = argv(&["--bounds"]);
+        assert!(a.bounds);
+        assert!(a.sim_opts().bounds);
+        let b = argv(&["--audit"]);
+        assert!(!b.bounds);
+        assert!(!b.sim_opts().bounds);
     }
 
     #[test]

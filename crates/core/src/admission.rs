@@ -46,7 +46,10 @@ pub struct AdmissionController {
     link_bps: f64,
     threshold: f64,
     reserved: HashMap<LinkKey, f64>,
-    routes: HashMap<u32, Vec<LinkKey>>,
+    /// Per admitted stream: each route link's key and aggregate capacity
+    /// (kept so `release` can scale its cleanup threshold per bundle; the
+    /// injection pseudo-key cannot be recovered from `bundle_of`).
+    routes: HashMap<u32, Vec<(LinkKey, f64)>>,
 }
 
 /// Why a stream was rejected.
@@ -121,18 +124,19 @@ impl AdmissionController {
     /// (its lowest member port) and metered against `width × link_bps` —
     /// booking only the first candidate link both rejected streams the
     /// bundle could carry and left the other members unaccounted.
+    ///
+    /// Keys come from [`AdmissionController::bundle_of`], the same
+    /// function `utilisation` reads with: keying by `min(route
+    /// candidates)` instead used to desynchronise the two whenever routing
+    /// offered a strict subset of a bundle (reserve under one key, read
+    /// another — utilisation silently reported 0).
     fn route_links(&self, src: NodeId, dest: NodeId) -> Vec<(LinkKey, f64)> {
         let mut links = vec![((u32::MAX, src.get()), self.link_bps)];
         let (mut at, _) = self.topology.attachment(src);
         let (goal, _) = self.topology.attachment(dest);
         loop {
             let cands = self.topology.route(at, dest);
-            let key_port = cands
-                .iter()
-                .map(|p| p.get())
-                .min()
-                .expect("route always offers a port");
-            links.push(((at.get(), key_port), self.link_bps * cands.len() as f64));
+            links.push(self.bundle_of(at, cands[0]));
             if at == goal {
                 break;
             }
@@ -210,8 +214,7 @@ impl AdmissionController {
         for (key, _) in &links {
             *self.reserved.entry(*key).or_insert(0.0) += rate_bps;
         }
-        self.routes
-            .insert(stream.get(), links.into_iter().map(|(k, _)| k).collect());
+        self.routes.insert(stream.get(), links);
         Ok(())
     }
 
@@ -226,13 +229,16 @@ impl AdmissionController {
             .routes
             .remove(&stream.get())
             .ok_or(ReleaseError { stream })?;
-        for key in links {
+        for (key, capacity_bps) in links {
             let used = self.reserved.get_mut(&key).expect("reservation exists");
             // Clamp at zero: subtraction can undershoot by a few ulps and a
             // negative reservation would let later admissions overshoot the
-            // threshold.
+            // threshold. The drop-the-entry threshold scales with the
+            // *bundle's* aggregate capacity — a fixed `link_bps * 1e-12`
+            // under-cleans wide bundles, whose ulp-scale residue is
+            // proportionally larger.
             *used = (*used - rate_bps).max(0.0);
-            if *used <= self.link_bps * 1e-12 {
+            if *used <= capacity_bps * 1e-12 {
                 self.reserved.remove(&key);
             }
         }
@@ -379,6 +385,63 @@ mod tests {
         // Releasing one stream frees bundle headroom again.
         ac.release(StreamId(0), 400e6).unwrap();
         ac.admit(StreamId(2), NodeId(2), NodeId(10), 400e6).unwrap();
+    }
+
+    #[test]
+    fn routing_subset_of_a_bundle_reserves_under_the_bundle_key() {
+        // Fat-tree uplinks are route *candidates* that lead to different
+        // spine routers, so each is its own width-1 bundle. `route_links`
+        // used to pool them anyway — keyed by min(candidate), metered at
+        // `cands.len() × link_bps` — while `utilisation()` reads the
+        // width-1 bundle at 1 × link_bps. `admit` therefore booked two
+        // full-rate streams against the pooled capacity and the port-0
+        // uplink read 200 % utilised.
+        let t = Topology::fat_tree(2, 2, 2);
+        let mut ac = AdmissionController::new(&t, 400e6, 1.0);
+        // Node 0 (edge router 0) → node 2 (edge router 1): up one spine,
+        // back down. The up hop books the bundle of candidate port 0.
+        ac.admit(StreamId(0), NodeId(0), NodeId(2), 400e6).unwrap();
+        assert!((ac.utilisation(RouterId(0), PortId(0)) - 1.0).abs() < 1e-9);
+        // Pre-fix this second full-rate stream was *accepted* against the
+        // phantom pooled capacity, overbooking the physical uplink.
+        let err = ac
+            .admit(StreamId(1), NodeId(1), NodeId(3), 400e6)
+            .unwrap_err();
+        assert_eq!(err.link, (RouterId(0), PortId(0)));
+        // The reservation admit metered is the one utilisation reports.
+        assert!(ac.utilisation(RouterId(0), PortId(0)) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn release_cleanup_threshold_scales_with_bundle_capacity() {
+        // A 1536-wide fat bundle accumulates reservations around 4e11 bps,
+        // where one f64 ulp is ~1.2e-4 — already above the old absolute
+        // cleanup threshold of link_bps × 1e-12 = 4e-4 after a few ops.
+        // The varied rate schedule below deterministically leaves a
+        // subtraction residue of ~6.8e-4 bps on the bundle accumulator
+        // once every stream is released: the old threshold leaked the
+        // entry (utilisation stayed nonzero forever), the
+        // capacity-scaled threshold cleans it.
+        let t = Topology::fat_mesh(2, 1, 1536, 1536);
+        let mut ac = AdmissionController::new(&t, 400e6, 1.0);
+        let rate = |i: u32| 400e6 * (0.5 + 0.4 * f64::from((i * 37) % 101) / 101.0);
+        for i in 0..1536u32 {
+            // Distinct src/dest per stream: the shared bundle is the only
+            // accumulator that sees every rate.
+            ac.admit(StreamId(i), NodeId(i), NodeId(1536 + i), rate(i))
+                .unwrap();
+        }
+        let bundle_port = t.route(RouterId(0), NodeId(1536))[0];
+        assert!(ac.utilisation(RouterId(0), bundle_port) > 0.4);
+        for i in 0..1536u32 {
+            ac.release(StreamId(i), rate(i)).unwrap();
+        }
+        assert_eq!(ac.admitted(), 0);
+        assert_eq!(
+            ac.utilisation(RouterId(0), bundle_port),
+            0.0,
+            "released bundle must report exactly zero utilisation"
+        );
     }
 
     #[test]

@@ -46,6 +46,11 @@
 //!   conservation, worm well-formedness) and the progress watchdog that
 //!   classifies stalls as deadlock vs. starvation with a structured
 //!   [`StallReport`].
+//! * [`bounds`] — the network-calculus delay-bound oracle
+//!   ([`BoundsOracle`]): maps an experiment onto the `calculus` crate's
+//!   arrival/service-curve model and audits the run's observed latencies
+//!   against each real-time stream's analytic worst case
+//!   (`SimOpts::bounds()` / the bench `--bounds` flag).
 //!
 //! ## Quick start
 //!
@@ -75,6 +80,7 @@
 
 pub mod admission;
 pub mod audit;
+pub mod bounds;
 pub mod config;
 pub mod counters;
 pub mod net;
@@ -84,6 +90,7 @@ pub mod sim;
 
 pub use admission::{AdmissionController, AdmissionError, ReleaseError};
 pub use audit::{AuditConfig, StallKind, StallReport, VcHold, WatchdogConfig};
+pub use bounds::{BoundViolation, BoundViolationKind, BoundsOracle, BoundsReport, StreamBound};
 pub use config::{CrossbarKind, RouterConfig, SchedPoint, SchedulerKind};
 pub use counters::{NetCounters, PortCounters, RouterCounters, SkipStats};
 pub use net::Network;

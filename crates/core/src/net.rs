@@ -23,7 +23,7 @@ use metrics::{DeliveryTracker, LatencyTracker};
 use netsim::audit::AuditLog;
 use netsim::snap::{SnapError, SnapReader, SnapWriter};
 use netsim::telemetry::{FlitEvent, FlitEventKind, NoopSink, TelemetrySink};
-use netsim::{Calendar, Cycles, TimeBase};
+use netsim::{Calendar, Cycles, RunningStats, TimeBase};
 use topo::{PortTarget, Topology};
 use traffic::{ScheduledMessage, Workload};
 
@@ -112,6 +112,18 @@ struct Sinks {
     frame_tails: Vec<Vec<(u32, u32)>>,
     delivered_msgs: u64,
     delivered_flits: u64,
+    /// Per real-time stream: end-to-end message latency in cycles
+    /// (injection stamp → tail delivery), for messages created after
+    /// warmup. These are the observations the delay-bound audit checks
+    /// against the analytic worst case.
+    rt_latency: Vec<RunningStats>,
+    /// Per real-time stream: creation stamps of injected-but-undelivered
+    /// messages, in injection order. A message stuck in the fabric must
+    /// still be counted against its delay bound — this is what lets the
+    /// audit catch a deadlocked (never-delivering) network.
+    rt_outstanding: Vec<VecDeque<u64>>,
+    /// Messages created before this stamp stay out of `rt_latency`.
+    rt_warmup_end: Cycles,
 }
 
 /// The simulated network: topology + routers + endpoints + traffic.
@@ -334,6 +346,9 @@ impl Network {
                 frame_tails: Vec::new(),
                 delivered_msgs: 0,
                 delivered_flits: 0,
+                rt_latency: Vec::new(),
+                rt_outstanding: Vec::new(),
+                rt_warmup_end: Cycles::ZERO,
             },
             now: Cycles::ZERO,
             flits_in_flight: 0,
@@ -410,6 +425,24 @@ impl Network {
     pub fn set_warmup_end(&mut self, at: Cycles) {
         self.sinks.delivery.set_warmup_end(at);
         self.sinks.latency.set_warmup_end(at);
+        self.sinks.rt_warmup_end = at;
+    }
+
+    /// Per real-time stream message-latency statistics (cycles, messages
+    /// created after warmup). Indexed by stream id; streams that have not
+    /// delivered yet may be absent from the tail of the slice.
+    pub fn rt_latency_stats(&self) -> &[RunningStats] {
+        &self.sinks.rt_latency
+    }
+
+    /// The creation stamp of stream `s`'s oldest injected-but-undelivered
+    /// message, if any. `now − stamp` is a latency already *incurred* —
+    /// the delay-bound audit charges stuck messages with it.
+    pub fn rt_oldest_outstanding(&self, s: usize) -> Option<u64> {
+        self.sinks
+            .rt_outstanding
+            .get(s)
+            .and_then(|q| q.front().copied())
     }
 
     /// The frame-delivery (jitter) tracker.
@@ -825,6 +858,14 @@ impl Network {
             }
             self.flits_in_flight += msg.flits.len() as u64;
             self.injected_msgs += 1;
+            let head = &msg.flits[0];
+            if head.class.is_real_time() {
+                let s = head.stream.index();
+                if s >= self.sinks.rt_outstanding.len() {
+                    self.sinks.rt_outstanding.resize_with(s + 1, VecDeque::new);
+                }
+                self.sinks.rt_outstanding[s].push_back(head.created_at.get());
+            }
             let next = self.workload.next_message(i);
             debug_assert!(next.at >= msg.at, "source injections must be monotonic");
             self.calendar.schedule(next.at, i);
@@ -938,6 +979,20 @@ impl Network {
         sinks.delivered_msgs += 1;
         if flit.class.is_real_time() {
             let s = flit.stream.index();
+            if s >= sinks.rt_latency.len() {
+                sinks.rt_latency.resize_with(s + 1, RunningStats::new);
+            }
+            if flit.created_at >= sinks.rt_warmup_end {
+                sinks.rt_latency[s].push((now - flit.created_at).get() as f64);
+            }
+            // Retire the message from the outstanding FIFO by stamp (not
+            // front-pop: fat bundles can deliver messages out of order).
+            if let Some(q) = sinks.rt_outstanding.get_mut(s) {
+                let stamp = flit.created_at.get();
+                if let Some(pos) = q.iter().position(|&c| c == stamp) {
+                    q.remove(pos);
+                }
+            }
             if s >= sinks.frame_tails.len() {
                 sinks.frame_tails.resize_with(s + 1, Vec::new);
             }
@@ -1173,6 +1228,17 @@ impl Network {
     /// audit layer (a credit that matches no freed downstream slot).
     pub fn inject_credit_fault(&mut self, router: RouterId, port: PortId, vc: VcId) {
         self.routers[router.index()].receive_credit(port, vc);
+    }
+
+    /// Discards every downstream credit of router `router`'s output
+    /// `(port, vc)` — the opposite flow-control fault to
+    /// [`Network::inject_credit_fault`]. Applied to an ejection port
+    /// (whose endpoint never returns credits) before traffic flows, the
+    /// VC is starved forever: flits routed to it stall indefinitely.
+    /// Mutation-testing hook for the delay-bound oracle, which must flag
+    /// the stuck messages as bound violations.
+    pub fn inject_credit_starvation(&mut self, router: RouterId, port: PortId, vc: VcId) {
+        self.routers[router.index()].init_credits(port, vc, 0);
     }
 
     /// Forwarding-progress signature: strictly increases whenever any
@@ -1531,6 +1597,18 @@ impl Network {
         }
         w.u64(self.sinks.delivered_msgs);
         w.u64(self.sinks.delivered_flits);
+        w.usize(self.sinks.rt_latency.len());
+        for st in &self.sinks.rt_latency {
+            st.save(&mut w);
+        }
+        w.usize(self.sinks.rt_outstanding.len());
+        for q in &self.sinks.rt_outstanding {
+            w.usize(q.len());
+            for &c in q {
+                w.u64(c);
+            }
+        }
+        w.u64(self.sinks.rt_warmup_end.0);
         w.option(self.audit.as_ref(), |w, st| {
             w.u64(st.cfg.interval);
             w.u64(st.next_at.0);
@@ -1655,6 +1733,22 @@ impl Network {
         }
         self.sinks.delivered_msgs = r.u64()?;
         self.sinks.delivered_flits = r.u64()?;
+        let n = r.usize()?;
+        self.sinks.rt_latency.clear();
+        for _ in 0..n {
+            self.sinks.rt_latency.push(RunningStats::load(&mut r)?);
+        }
+        let n = r.usize()?;
+        self.sinks.rt_outstanding.clear();
+        for _ in 0..n {
+            let m = r.usize()?;
+            let mut q = VecDeque::with_capacity(m);
+            for _ in 0..m {
+                q.push_back(r.u64()?);
+            }
+            self.sinks.rt_outstanding.push(q);
+        }
+        self.sinks.rt_warmup_end = Cycles(r.u64()?);
         self.audit = r
             .option(|r| {
                 let interval = r.u64()?;

@@ -14,6 +14,7 @@ use topo::Topology;
 use traffic::Workload;
 
 use crate::audit::{AuditConfig, StallReport, WatchdogConfig};
+use crate::bounds::{BoundsOracle, BoundsReport};
 use crate::config::RouterConfig;
 use crate::counters::{NetCounters, SkipStats};
 use crate::net::Network;
@@ -34,6 +35,13 @@ pub struct SimOpts {
     /// [`crate::net::Network::run_until_parallel`]). `0` and `1` both mean
     /// sequential; results are bit-identical at any count.
     pub threads: usize,
+    /// Delay-bound audit: compute each real-time stream's analytic
+    /// worst-case latency before the run (see [`crate::bounds`]) and
+    /// check `observed ≤ bound` at the end, attaching a
+    /// [`BoundsReport`] to the outcome. Panics at run start if the
+    /// topology's routes are not feedforward (tori, cyclic ring traffic)
+    /// — those have no network-calculus bound.
+    pub bounds: bool,
 }
 
 impl SimOpts {
@@ -46,6 +54,7 @@ impl SimOpts {
             watchdog: Some(WatchdogConfig::default()),
             reference: false,
             threads: 1,
+            bounds: false,
         }
     }
 
@@ -57,6 +66,16 @@ impl SimOpts {
             watchdog: Some(WatchdogConfig::default()),
             reference: false,
             threads: 1,
+            bounds: false,
+        }
+    }
+
+    /// This configuration with the delay-bound audit on (the bench
+    /// `--bounds` flag).
+    pub fn bounds(self) -> SimOpts {
+        SimOpts {
+            bounds: true,
+            ..self
         }
     }
 
@@ -150,6 +169,10 @@ pub struct SimOutcome {
     /// skipped cycles, horizon jumps). Diagnostic only: two runs that
     /// differ here (e.g. audited vs not) still simulate identical bits.
     pub skip: SkipStats,
+    /// The delay-bound audit (`None` unless [`SimOpts::bounds`] was on):
+    /// per-stream analytic worst case vs. observed maximum latency, with
+    /// any `observed > bound` violations pulled out.
+    pub bounds: Option<BoundsReport>,
 }
 
 impl SimOutcome {
@@ -362,6 +385,7 @@ fn run_checkpointed_with(
     assert!(measure_secs > 0.0, "measurement window must be positive");
     let (rt_load, be_load) = workload.realized_load();
     let oversubscribed = workload.is_oversubscribed();
+    let oracle = oracle_for(topology, &workload, cfg, opts);
     let mut net = Network::new(topology, workload, cfg);
     if let Some(a) = opts.audit {
         net.enable_audit(a);
@@ -401,7 +425,14 @@ fn run_checkpointed_with(
         Err(e) if e.kind() == io::ErrorKind::NotFound => {}
         Err(e) => return Err(e),
     }
-    Ok(outcome_of(&mut net, rt_load, be_load, oversubscribed, end))
+    Ok(outcome_of(
+        &mut net,
+        rt_load,
+        be_load,
+        oversubscribed,
+        end,
+        oracle,
+    ))
 }
 
 /// Writes `bytes` to `path` atomically: a `.tmp` sibling is written,
@@ -436,7 +467,9 @@ fn outcome_of(
     be_load: f64,
     oversubscribed: bool,
     end: Cycles,
+    oracle: Option<BoundsOracle>,
 ) -> SimOutcome {
+    let bounds = oracle.map(|o| o.report(net, end));
     let in_flight_at_end = net.note_truncated_messages();
     SimOutcome {
         jitter: net.delivery().summary(),
@@ -453,6 +486,29 @@ fn outcome_of(
         stall: net.stall_report().cloned(),
         audit_violations: net.audit_log().map_or(0, |l| l.total()),
         skip: net.skip_stats(),
+        bounds,
+    }
+}
+
+/// Builds the delay-bound oracle when [`SimOpts::bounds`] asks for one.
+/// Must run *before* `Network::new` consumes the workload.
+///
+/// # Panics
+///
+/// Panics when the route set is not feedforward — the caller opted into
+/// bounds on a topology that has none.
+fn oracle_for(
+    topology: &Topology,
+    workload: &Workload,
+    cfg: &RouterConfig,
+    opts: SimOpts,
+) -> Option<BoundsOracle> {
+    if !opts.bounds {
+        return None;
+    }
+    match BoundsOracle::new(topology, workload, cfg) {
+        Ok(o) => Some(o),
+        Err(e) => panic!("delay-bound audit unavailable: {e}"),
     }
 }
 
@@ -470,6 +526,7 @@ fn run_with(
     assert!(measure_secs > 0.0, "measurement window must be positive");
     let (rt_load, be_load) = workload.realized_load();
     let oversubscribed = workload.is_oversubscribed();
+    let oracle = oracle_for(topology, &workload, cfg, opts);
     let mut net = Network::new(topology, workload, cfg);
     if let Some(a) = opts.audit {
         net.enable_audit(a);
@@ -482,7 +539,7 @@ fn run_with(
     let end = tb.cycles_from_secs(warmup_secs + measure_secs);
     net.set_warmup_end(warmup);
     step_net(&mut net, end, opts, sink);
-    outcome_of(&mut net, rt_load, be_load, oversubscribed, end)
+    outcome_of(&mut net, rt_load, be_load, oversubscribed, end, oracle)
 }
 
 #[cfg(test)]

@@ -42,8 +42,10 @@
 ///
 /// History: v1 — initial layout; v2 — scheduler-zoo fields (global
 /// `v_time`/`v_cycle`/`v_served`, per-VC DRR deficit), best-effort
-/// source fractional-gap carry, and workload policer state.
-pub const SNAP_VERSION: u32 = 2;
+/// source fractional-gap carry, and workload policer state; v3 —
+/// `RunningStats` non-finite sample counter and per-stream real-time
+/// message latency maxima (the delay-bound audit's observations).
+pub const SNAP_VERSION: u32 = 3;
 
 const MAGIC: [u8; 4] = *b"MWSN";
 const HEADER_LEN: usize = 4 + 4 + 8 + 8;

@@ -31,6 +31,7 @@ pub struct RunningStats {
     m2: f64,
     min: f64,
     max: f64,
+    non_finite: u64,
 }
 
 impl RunningStats {
@@ -42,11 +43,21 @@ impl RunningStats {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            non_finite: 0,
         }
     }
 
     /// Adds one sample.
+    ///
+    /// Non-finite samples (`NaN`, `±∞`) are tallied separately via
+    /// [`RunningStats::non_finite`] and excluded from the moments — a NaN
+    /// would poison `mean`/`m2` forever while `f64::min`/`max` silently
+    /// *drop* it, leaving a NaN mean next to finite extrema.
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
         self.n += 1;
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
@@ -57,11 +68,14 @@ impl RunningStats {
 
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &RunningStats) {
+        self.non_finite += other.non_finite;
         if other.n == 0 {
             return;
         }
         if self.n == 0 {
+            let non_finite = self.non_finite;
             *self = *other;
+            self.non_finite = non_finite;
             return;
         }
         let n1 = self.n as f64;
@@ -83,6 +97,11 @@ impl RunningStats {
     /// Whether no samples have been pushed.
     pub fn is_empty(&self) -> bool {
         self.n == 0
+    }
+
+    /// Non-finite samples (`NaN`, `±∞`) rejected by [`RunningStats::push`].
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
     }
 
     /// Arithmetic mean; `NaN` if empty.
@@ -139,6 +158,7 @@ impl RunningStats {
         w.f64(self.m2);
         w.f64(self.min);
         w.f64(self.max);
+        w.u64(self.non_finite);
     }
 
     /// Restores an accumulator saved by [`RunningStats::save`].
@@ -153,6 +173,7 @@ impl RunningStats {
             m2: r.f64()?,
             min: r.f64()?,
             max: r.f64()?,
+            non_finite: r.u64()?,
         })
     }
 }
@@ -422,6 +443,69 @@ mod tests {
         let mut e = RunningStats::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn non_finite_samples_do_not_poison_stats() {
+        // Regression: push() used to fold NaN into mean/m2 forever (the
+        // Welford recurrences propagate it) while f64::min/max silently
+        // *dropped* it — a NaN mean next to finite extrema.
+        let mut s = RunningStats::new();
+        s.push(2.0);
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(f64::NEG_INFINITY);
+        s.push(4.0);
+        assert_eq!(s.count(), 2, "non-finite samples must not count");
+        assert_eq!(s.non_finite(), 3);
+        assert_eq!(s.mean(), 3.0, "mean must stay finite");
+        assert!(s.variance().is_finite());
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn merge_threads_non_finite_counts() {
+        let mut a = RunningStats::new();
+        a.push(f64::NAN);
+        a.push(1.0);
+        let mut b = RunningStats::new();
+        b.push(f64::INFINITY);
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.non_finite(), 2);
+        assert_eq!(a.mean(), 2.0);
+        // Merging into an empty accumulator keeps its rejected tally.
+        let mut e = RunningStats::new();
+        e.push(f64::NAN);
+        e.merge(&b);
+        assert_eq!(e.non_finite(), 2);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.mean(), 3.0);
+        // …and merging an empty-but-poisoned side still carries its tally.
+        let mut c = RunningStats::new();
+        c.push(5.0);
+        let mut poisoned = RunningStats::new();
+        poisoned.push(f64::NAN);
+        c.merge(&poisoned);
+        assert_eq!(c.non_finite(), 1);
+        assert_eq!(c.mean(), 5.0);
+    }
+
+    #[test]
+    fn non_finite_count_round_trips_through_snapshot() {
+        use crate::snap::{SnapReader, SnapWriter};
+        let mut s = RunningStats::new();
+        s.push(1.0);
+        s.push(f64::NAN);
+        let mut w = SnapWriter::new();
+        s.save(&mut w);
+        let buf = w.finish();
+        let mut r = SnapReader::new(&buf).unwrap();
+        let s2 = RunningStats::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(s, s2);
+        assert_eq!(s2.non_finite(), 1);
     }
 
     #[test]

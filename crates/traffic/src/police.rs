@@ -142,7 +142,12 @@ impl TokenBucket {
         self.refill(at);
         if self.tokens < need {
             let wait = ((need - self.tokens) / self.rate).ceil();
-            self.tokens += wait * self.rate;
+            // Clamp to the bucket depth, exactly like `refill`: `wait` is
+            // rounded up to a whole cycle, and banking the fractional
+            // remainder of `wait * rate` as bonus tokens let a shaped
+            // source's long-run output creep past the σ + ρt envelope
+            // (the same envelope the calculus delay bounds assume).
+            self.tokens = (self.tokens + wait * self.rate).min(self.depth);
             self.updated += Cycles(wait as u64);
         }
         self.tokens -= need;
@@ -396,5 +401,49 @@ mod tests {
             assert_eq!(mode.to_string().parse::<PolicingMode>(), Ok(mode));
         }
         assert!("bogus".parse::<PolicingMode>().is_err());
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn shaped_output_never_exceeds_sigma_rho_envelope(
+            rate in 0.3f64..0.95,
+            depth_flits in 4u32..24,
+            gaps in proptest::collection::vec(0u64..2, 150..250),
+        ) {
+            // Regression: `shape` used to bank the fractional remainder of
+            // `wait.ceil() * rate` as bonus tokens, letting `tokens` creep
+            // past `depth` under a saturated backlog of depth-sized
+            // messages (banking needs `need > depth − rate`, so full-depth
+            // worms are the worst case). The banked surplus eventually
+            // funds an extra early release that breaks the stationary
+            // (σ, ρ) envelope — the exact envelope the calculus delay
+            // bounds assume `PolicingMode::Shape` enforces.
+            let depth = f64::from(depth_flits);
+            let mut bucket = TokenBucket::new(rate, depth);
+            let mut releases: Vec<(u64, f64)> = Vec::new();
+            let mut at = Cycles::ZERO;
+            for &gap in &gaps {
+                at += Cycles(gap);
+                let release = bucket.shape(at, depth);
+                releases.push((release.0, depth));
+            }
+            // σ + ρt must hold over EVERY window, not just from t = 0:
+            // the initially-full bucket's slack masks from-zero checks.
+            for i in 0..releases.len() {
+                let mut out = 0.0;
+                for j in i..releases.len() {
+                    out += releases[j].1;
+                    let window = (releases[j].0 - releases[i].0) as f64;
+                    prop_assert!(
+                        out <= depth + rate * window + 1e-6,
+                        "window [{}, {}]: released {} > {} + {} * {}",
+                        releases[i].0, releases[j].0, out, depth, rate, window
+                    );
+                }
+            }
+        }
     }
 }

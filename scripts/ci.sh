@@ -61,6 +61,25 @@ cargo run --release -q -p mediaworm-bench --bin perf -- \
 test "$(jq '(.skip | length >= 4) and ([.skip[] | .skip.cycles_skipped > 0] | all)' \
   target/bench/BENCH_perf_skip.json)" = "true"
 
+# Delay-bound oracle: the network-calculus bounds must dominate the
+# simulator on healthy runs (sim <= bound for every real-time stream),
+# and the credit-starvation mutation test proves the oracle fires when
+# flow control is sabotaged. Both run as part of the full suite above;
+# naming them keeps the gate loud if they are renamed away.
+cargo test -q -p calculus
+cargo test -q --test delay_bounds
+
+# Bounds smoke: one Virtual Clock slice of the bounds matrix must bound
+# every stream, observe no violations, and audit the provable (CBR,
+# policing-off) envelopes clean.
+cargo run --release -q -p mediaworm-bench --bin bounds -- \
+  --quick --schedulers vc --policing off,shape --loads 0.8 \
+  --json target/bench/BENCH_bounds.json
+test "$(jq '([.results[] | .bounds_summary.guaranteed_violations == 0] | all)
+  and ([.results[] | .bounds_summary.bounded > 0] | all)
+  and ([.results[] | .bounds_summary.violations == 0] | all)' \
+  target/bench/BENCH_bounds.json)" = "true"
+
 # Ablation smoke: a tiny slice of the scheduler x policing matrix must
 # produce bit-identical results at any --jobs split. The throughput
 # block records wall-clock time (the one legitimate difference), so it

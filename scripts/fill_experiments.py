@@ -25,6 +25,7 @@ SECTIONS = {
     "ABL_POINT": "## Ablation: sched point",
     "ABL_BORROW": "## Ablation: VC borrowing",
     "GOP": "## Extension: GOP frames",
+    "BOUNDS": "## Extension: delay bounds",
 }
 
 
